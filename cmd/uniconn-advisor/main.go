@@ -1,0 +1,59 @@
+// uniconn-advisor implements the paper's future-work direction of
+// performance-guided backend selection (§VIII): it calibrates every
+// supported (backend, API) pair on a machine with the OSU-style
+// microbenchmarks and prints, per message size and placement, which backend
+// a UNICONN application should select.
+//
+// Usage:
+//
+//	uniconn-advisor                        # Perlmutter
+//	uniconn-advisor -machine LUMI
+//	uniconn-advisor -size 32768 -inter     # one query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/autosel"
+	"repro/internal/bench"
+	"repro/internal/machine"
+)
+
+func main() {
+	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	size := flag.Int64("size", 0, "answer a single query for this message size (bytes)")
+	inter := flag.Bool("inter", false, "query inter-node placement")
+	flag.Parse()
+
+	m := machine.ByName(*machineName)
+	if m == nil {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+	adv, err := autosel.Calibrate(m, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *size > 0 {
+		lw, lv := adv.Recommend(*size, *inter, autosel.MinLatency)
+		bw, bv := adv.Recommend(*size, *inter, autosel.MaxBandwidth)
+		fmt.Printf("machine=%s size=%s inter=%v\n", m.Name, bench.HumanBytes(*size), *inter)
+		fmt.Printf("  lowest latency:  %v (%.2f us)\n", lw, lv/1000)
+		fmt.Printf("  best bandwidth:  %v (%.2f GB/s)\n", bw, bv/1e9)
+		return
+	}
+	fmt.Println(adv.Report())
+	for _, inter := range []bool{false, true} {
+		where := "intra-node"
+		if inter {
+			where = "inter-node"
+		}
+		if x := adv.Crossover(inter, autosel.MinLatency); x > 0 {
+			fmt.Printf("%s latency crossover near %s\n", where, bench.HumanBytes(x))
+		}
+		if x := adv.Crossover(inter, autosel.MaxBandwidth); x > 0 {
+			fmt.Printf("%s bandwidth crossover near %s\n", where, bench.HumanBytes(x))
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// uniconn-cg runs the paper's Conjugate Gradient experiment (§VI-D) on a
+// Serena-like or Queen_4147-like synthetic SPD matrix, comparing native and
+// UNICONN implementations (and optionally the no-Allgatherv ablation that
+// isolates the MPI collective bottleneck).
+//
+// Usage:
+//
+//	uniconn-cg                                    # Serena-like, 8 GPUs
+//	uniconn-cg -matrix queen -machine LUMI
+//	uniconn-cg -scale 1.0 -iters 10000            # paper sizing (slow)
+//	uniconn-cg -no-allgatherv                     # the §VI-D ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/solver/cg"
+	"repro/internal/sparse"
+)
+
+func main() {
+	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	matrixName := flag.String("matrix", "serena", "serena|queen|laplace")
+	gpus := flag.Int("gpus", 8, "GPU count")
+	scale := flag.Float64("scale", 0.05, "matrix scale factor (1.0 = paper size)")
+	iters := flag.Int("iters", 100, "CG iterations")
+	noAg := flag.Bool("no-allgatherv", false, "disable the SpMV exchange (ablation)")
+	flag.Parse()
+
+	m := machine.ByName(*machineName)
+	if m == nil {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+	var mat *sparse.CSR
+	switch *matrixName {
+	case "serena":
+		mat = sparse.Serena().Generate(*scale)
+	case "queen":
+		mat = sparse.Queen4147().Generate(*scale)
+	case "laplace":
+		mat = sparse.Laplace3D(64, 64, 64)
+	default:
+		log.Fatalf("unknown matrix %q", *matrixName)
+	}
+
+	type vrt struct {
+		label   string
+		variant cg.Variant
+		backend core.BackendID
+		mode    core.LaunchMode
+	}
+	variants := []vrt{
+		{"MPI:Native", cg.NativeMPI, 0, 0},
+		{"MPI:Uniconn", cg.Uniconn, core.MPIBackend, core.PureHost},
+		{"GPUCCL:Native", cg.NativeGPUCCL, 0, 0},
+		{"GPUCCL:Uniconn", cg.Uniconn, core.GpucclBackend, core.PureHost},
+	}
+	if m.HasGPUSHMEM {
+		variants = append(variants,
+			vrt{"SHMEM-H:Native", cg.NativeGPUSHMEMHost, 0, 0},
+			vrt{"SHMEM-H:Uniconn", cg.Uniconn, core.GpushmemBackend, core.PureHost},
+			vrt{"SHMEM-D:Native", cg.NativeGPUSHMEMDevice, 0, 0},
+			vrt{"SHMEM-D:Uniconn", cg.Uniconn, core.GpushmemBackend, core.PureDevice},
+		)
+	}
+
+	fmt.Printf("CG on %s: %d rows, %d nnz, %d GPUs, %d iterations (no-allgatherv=%v)\n",
+		m.Name, mat.Rows, mat.NNZ(), *gpus, *iters, *noAg)
+	fmt.Printf("%-18s %14s %14s\n", "variant", "total (ms)", "per-iter (us)")
+	for _, v := range variants {
+		res, err := cg.Run(cg.Config{
+			Model: m, NGPUs: *gpus, Matrix: mat, Iters: *iters,
+			Compute: false, DisableAllgatherv: *noAg,
+			Variant: v.variant, Backend: v.backend, Mode: v.mode,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %14.3f %14.2f\n", v.label,
+			float64(res.Total)/float64(sim.Millisecond), res.PerIter.Micros())
+	}
+}

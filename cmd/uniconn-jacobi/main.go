@@ -1,0 +1,110 @@
+// uniconn-jacobi runs the paper's Jacobi 2D scaling experiment (§VI-C) for
+// one machine, comparing the native and UNICONN implementations of every
+// supported backend at a given GPU count, or sweeping GPU counts.
+//
+// Usage:
+//
+//	uniconn-jacobi                                # 8 GPUs on Perlmutter
+//	uniconn-jacobi -machine LUMI -gpus 64 -ny 16384 -iters 1000
+//	uniconn-jacobi -sweep                         # 4..64 GPUs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/solver/jacobi"
+	"repro/internal/trace"
+)
+
+func main() {
+	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	gpus := flag.Int("gpus", 8, "GPU count")
+	nx := flag.Int("nx", 1<<12, "grid width")
+	ny := flag.Int("ny", 1<<12, "grid height")
+	iters := flag.Int("iters", 100, "timed iterations")
+	warmup := flag.Int("warmup", 10, "warm-up iterations")
+	compute := flag.Bool("compute", false, "execute the functional payload (verifiable, slower)")
+	sweep := flag.Bool("sweep", false, "sweep GPU counts 4..64 (Fig. 5)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the LAST run to this file")
+	flag.Parse()
+
+	m := machine.ByName(*machineName)
+	if m == nil {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+
+	type vrt struct {
+		label   string
+		variant jacobi.Variant
+		backend core.BackendID
+		mode    core.LaunchMode
+	}
+	variants := []vrt{
+		{"MPI:Native", jacobi.NativeMPI, 0, 0},
+		{"MPI:Uniconn", jacobi.Uniconn, core.MPIBackend, core.PureHost},
+		{"GPUCCL:Native", jacobi.NativeGPUCCL, 0, 0},
+		{"GPUCCL:Uniconn", jacobi.Uniconn, core.GpucclBackend, core.PureHost},
+	}
+	if m.HasGPUSHMEM {
+		variants = append(variants,
+			vrt{"SHMEM-H:Native", jacobi.NativeGPUSHMEMHost, 0, 0},
+			vrt{"SHMEM-H:Uniconn", jacobi.Uniconn, core.GpushmemBackend, core.PureHost},
+			vrt{"SHMEM-P:Uniconn", jacobi.Uniconn, core.GpushmemBackend, core.PartialDevice},
+			vrt{"SHMEM-D:Native", jacobi.NativeGPUSHMEMDevice, 0, 0},
+			vrt{"SHMEM-D:Uniconn", jacobi.Uniconn, core.GpushmemBackend, core.PureDevice},
+		)
+	}
+
+	counts := []int{*gpus}
+	if *sweep {
+		counts = []int{4, 8, 16, 32, 64}
+	}
+	fmt.Printf("Jacobi 2D %dx%d on %s, %d iterations (+%d warm-up), per-iteration time (us)\n",
+		*nx, *ny, m.Name, *iters, *warmup)
+	fmt.Printf("%-6s", "GPUs")
+	for _, v := range variants {
+		fmt.Printf("%18s", v.label)
+	}
+	fmt.Println()
+	var lastTrace *trace.Log
+	for _, n := range counts {
+		fmt.Printf("%-6d", n)
+		for _, v := range variants {
+			var tl *trace.Log
+			if *tracePath != "" {
+				tl = trace.New()
+			}
+			res, err := jacobi.Run(jacobi.Config{
+				Model: m, NGPUs: n, NX: *nx, NY: *ny,
+				Iters: *iters, Warmup: *warmup, Compute: *compute,
+				Variant: v.variant, Backend: v.backend, Mode: v.mode,
+				Trace: tl,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%18.2f", res.PerIter.Micros())
+			if tl != nil {
+				lastTrace = tl
+			}
+		}
+		fmt.Println()
+	}
+	if lastTrace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := lastTrace.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d spans to %s (open with chrome://tracing)\n", lastTrace.Len(), *tracePath)
+		fmt.Println(lastTrace.Summarize().Render())
+	}
+}

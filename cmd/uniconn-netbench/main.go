@@ -1,0 +1,89 @@
+// uniconn-netbench runs the OSU-derived latency/bandwidth microbenchmarks
+// (paper §VI-B) for one machine and prints a sweep table comparing native
+// and UNICONN implementations of every supported (library, API) pair.
+//
+// Usage:
+//
+//	uniconn-netbench                              # Perlmutter, intra-node
+//	uniconn-netbench -machine LUMI -inter
+//	uniconn-netbench -min 8 -max 16777216 -bw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func main() {
+	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	inter := flag.Bool("inter", false, "benchmark across two nodes")
+	minSize := flag.Int64("min", 8, "smallest message (bytes)")
+	maxSize := flag.Int64("max", 4<<20, "largest message (bytes)")
+	bw := flag.Bool("bw", false, "measure bandwidth instead of latency")
+	flag.Parse()
+
+	m := machine.ByName(*machineName)
+	if m == nil {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+
+	type col struct {
+		label   string
+		backend core.BackendID
+		api     machine.API
+		native  bool
+	}
+	var cols []col
+	add := func(label string, b core.BackendID, api machine.API) {
+		cols = append(cols,
+			col{label + ":Native", b, api, true},
+			col{label + ":Uniconn", b, api, false})
+	}
+	add("MPI", core.MPIBackend, machine.APIHost)
+	add("GPUCCL", core.GpucclBackend, machine.APIHost)
+	if m.HasGPUSHMEM {
+		add("SHMEM-H", core.GpushmemBackend, machine.APIHost)
+		add("SHMEM-D", core.GpushmemBackend, machine.APIDevice)
+	}
+
+	kind, unit := "one-way latency", "us"
+	if *bw {
+		kind, unit = "bandwidth", "GB/s"
+	}
+	where := "intra-node"
+	if *inter {
+		where = "inter-node"
+	}
+	fmt.Printf("%s on %s (%s), %s\n", kind, m.Name, where, unit)
+	fmt.Printf("%-12s", "bytes")
+	for _, c := range cols {
+		fmt.Printf("%16s", c.label)
+	}
+	fmt.Println()
+	for size := *minSize; size <= *maxSize; size *= 2 {
+		fmt.Printf("%-12d", size)
+		for _, c := range cols {
+			cfg := bench.NetConfig{Model: m, Backend: c.backend, API: c.api,
+				Native: c.native, Inter: *inter, Bytes: size}
+			if *bw {
+				v, err := bench.Bandwidth(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%16.2f", v/1e9)
+			} else {
+				v, err := bench.Latency(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%16.2f", v.Micros())
+			}
+		}
+		fmt.Println()
+	}
+}

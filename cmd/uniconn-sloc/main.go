@@ -1,0 +1,43 @@
+// uniconn-sloc recomputes the paper's Table II (source lines of code per
+// experiment per library) from this repository's own benchmark and solver
+// sources, or counts arbitrary Go files.
+//
+// Usage:
+//
+//	uniconn-sloc                      # Table II from the repository root
+//	uniconn-sloc -root /path/to/repo
+//	uniconn-sloc file1.go file2.go    # plain per-file counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/sloc"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		total := 0
+		for _, path := range flag.Args() {
+			n, err := sloc.CountFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8d %s\n", n, path)
+			total += n
+		}
+		fmt.Printf("%8d total\n", total)
+		return
+	}
+	s, err := bench.Table2(*root)
+	if err != nil {
+		log.Fatalf("run from the repository root (or pass -root): %v", err)
+	}
+	fmt.Println(s)
+}

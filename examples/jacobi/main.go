@@ -1,0 +1,213 @@
+// Jacobi runs the paper's 2D Jacobi halo-exchange solver (Listing 4)
+// through the public UNICONN API, demonstrating the Coordinator's
+// launch-mode switching: the same program runs PureHost on any backend and
+// PartialDevice / PureDevice on GPUSHMEM, with only flags changing.
+//
+// Run:
+//
+//	go run ./examples/jacobi
+//	go run ./examples/jacobi -backend mpi -gpus 8
+//	go run ./examples/jacobi -backend gpushmem -mode puredevice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	uniconn "repro"
+)
+
+func main() {
+	backendName := flag.String("backend", "gpuccl", "mpi|gpuccl|gpushmem")
+	modeName := flag.String("mode", "purehost", "purehost|partialdevice|puredevice")
+	nGPUs := flag.Int("gpus", 4, "simulated GPUs")
+	nx := flag.Int("nx", 512, "grid width")
+	ny := flag.Int("ny", 512, "grid height")
+	iters := flag.Int("iters", 200, "iterations")
+	flag.Parse()
+
+	var backend uniconn.BackendID
+	switch strings.ToLower(*backendName) {
+	case "mpi":
+		backend = uniconn.MPIBackend
+	case "gpuccl":
+		backend = uniconn.GpucclBackend
+	case "gpushmem":
+		backend = uniconn.GpushmemBackend
+	default:
+		log.Fatalf("unknown backend %q", *backendName)
+	}
+	var mode uniconn.LaunchMode
+	switch strings.ToLower(*modeName) {
+	case "purehost":
+		mode = uniconn.PureHost
+	case "partialdevice":
+		mode = uniconn.PartialDevice
+	case "puredevice":
+		mode = uniconn.PureDevice
+	default:
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+
+	cfg := uniconn.Config{Model: uniconn.Perlmutter(), NGPUs: *nGPUs, Backend: backend}
+	sums := make([]float64, *nGPUs)
+	perIter := make([]uniconn.Duration, *nGPUs)
+
+	_, err := uniconn.Launch(cfg, func(env *uniconn.Env) {
+		me := env.WorldRank()
+		env.SetDevice(env.NodeRank())
+		comm := uniconn.NewCommunicator(env)
+		stream := env.NewStream("jacobi")
+		coord := uniconn.NewCoordinator(env, mode, stream)
+
+		// Row decomposition along y (paper §VI-C).
+		chunk := (*ny + *nGPUs - 1) / *nGPUs
+		lo := me * chunk
+		if lo+chunk > *ny {
+			chunk = *ny - lo
+		}
+		rows := chunk + 2
+		width := *nx
+		top, bottom := me-1, me+1
+
+		grid := [2]*uniconn.Mem[float32]{
+			uniconn.Alloc[float32](env, rows*width),
+			uniconn.Alloc[float32](env, rows*width),
+		}
+		sendBuf := [2]*uniconn.Mem[float32]{
+			uniconn.Alloc[float32](env, 2*width),
+			uniconn.Alloc[float32](env, 2*width),
+		}
+		recvBuf := [2]*uniconn.Mem[float32]{
+			uniconn.Alloc[float32](env, 2*width),
+			uniconn.Alloc[float32](env, 2*width),
+		}
+		sync := uniconn.Alloc[uint64](env, 4)
+
+		// Dirichlet boundaries: global edges held at 1.
+		for k := 0; k < 2; k++ {
+			a := grid[k].Data()
+			for r := 0; r < rows; r++ {
+				a[r*width] = 1
+				a[r*width+width-1] = 1
+			}
+			if top < 0 {
+				for c := 0; c < width; c++ {
+					a[c] = 1
+				}
+			}
+			if bottom >= *nGPUs {
+				for c := 0; c < width; c++ {
+					a[(rows-1)*width+c] = 1
+				}
+			}
+		}
+
+		sweep := func(cur, next int) {
+			a, anew := grid[cur].Data(), grid[next].Data()
+			if top >= 0 {
+				copy(a[:width], recvBuf[cur].Data()[:width])
+			}
+			if bottom < *nGPUs {
+				copy(a[(rows-1)*width:], recvBuf[cur].Data()[width:2*width])
+			}
+			for r := 1; r <= chunk; r++ {
+				for c := 1; c < width-1; c++ {
+					anew[r*width+c] = 0.25 * (a[(r-1)*width+c] + a[(r+1)*width+c] +
+						a[r*width+c-1] + a[r*width+c+1])
+				}
+			}
+			copy(sendBuf[next].Data()[:width], anew[width:2*width])
+			copy(sendBuf[next].Data()[width:2*width], anew[chunk*width:(chunk+1)*width])
+		}
+
+		dc := comm.ToDevice()
+		start, stop := uniconn.NewEvent("start"), uniconn.NewEvent("stop")
+		cur := 0
+		comm.Barrier(stream)
+		env.StreamSynchronize(stream)
+		start.Record(stream)
+		for iter := 1; iter <= *iters; iter++ {
+			next := 1 - cur
+			val := uint64(iter)
+			c, n := cur, next
+
+			kernel := &uniconn.Kernel{Name: "sweep", Body: func(kc *uniconn.KernelCtx) {
+				kc.ComputeBytes(int64(chunk) * int64(width) * 8)
+				sweep(c, n)
+				if mode == uniconn.PureHost {
+					return
+				}
+				var sig0, sig1 uniconn.Signal
+				if mode == uniconn.PureDevice {
+					sig0, sig1 = uniconn.Sig(sync, 0), uniconn.Sig(sync, 1)
+				}
+				if top >= 0 {
+					uniconn.DevPost(kc, uniconn.Block, sendBuf[n].At(0),
+						recvBuf[n].At(width), width, sig1, val, top, dc)
+				}
+				if bottom < env.WorldSize() {
+					uniconn.DevPost(kc, uniconn.Block, sendBuf[n].At(width),
+						recvBuf[n].At(0), width, sig0, val, bottom, dc)
+				}
+				if mode == uniconn.PureDevice {
+					if top >= 0 {
+						uniconn.DevAcknowledge(kc, uniconn.Sig(sync, 0), val, dc)
+					}
+					if bottom < env.WorldSize() {
+						uniconn.DevAcknowledge(kc, uniconn.Sig(sync, 1), val, dc)
+					}
+				}
+			}}
+			coord.BindKernel(mode, kernel, nil)
+			coord.LaunchKernel()
+
+			if mode != uniconn.PureDevice {
+				coord.CommStart()
+				if top >= 0 {
+					uniconn.Post(coord, sendBuf[next].At(0), recvBuf[next].At(width),
+						width, uniconn.Sig(sync, 1), val, top, comm)
+				}
+				if bottom < env.WorldSize() {
+					uniconn.Post(coord, sendBuf[next].At(width), recvBuf[next].At(0),
+						width, uniconn.Sig(sync, 0), val, bottom, comm)
+				}
+				if top >= 0 {
+					uniconn.Acknowledge(coord, recvBuf[next].At(0), width,
+						uniconn.Sig(sync, 0), val, top, comm)
+				}
+				if bottom < env.WorldSize() {
+					uniconn.Acknowledge(coord, recvBuf[next].At(width), width,
+						uniconn.Sig(sync, 1), val, bottom, comm)
+				}
+				coord.CommEnd()
+			}
+			cur = next
+		}
+		stop.Record(stream)
+		comm.Barrier(stream)
+		env.StreamSynchronize(stream)
+
+		sum := 0.0
+		for r := 1; r <= chunk; r++ {
+			for c := 0; c < width; c++ {
+				sum += float64(grid[cur].Data()[r*width+c])
+			}
+		}
+		sums[me] = sum
+		perIter[me] = uniconn.Elapsed(start, stop) / uniconn.Duration(*iters)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	fmt.Printf("jacobi %dx%d on %d GPUs, backend=%v mode=%v\n", *nx, *ny, *nGPUs, backend, mode)
+	fmt.Printf("interior checksum: %.6f\n", total)
+	fmt.Printf("time per iteration (virtual): %v\n", perIter[0])
+}

@@ -1,0 +1,106 @@
+// Pingpong sweeps OSU-style latency and bandwidth between two simulated
+// GPUs through the public UNICONN API — the network microbenchmark of paper
+// §VI-B — and prints one row per message size for every backend the chosen
+// machine supports, intra- or inter-node.
+//
+// Run:
+//
+//	go run ./examples/pingpong
+//	go run ./examples/pingpong -machine LUMI -inter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	uniconn "repro"
+)
+
+// onewayLatency measures a Post/Acknowledge ping-pong and returns the
+// one-way latency for the given size, using the UNICONN host API.
+func onewayLatency(m *uniconn.Machine, backend uniconn.BackendID, inter bool, bytes int64) uniconn.Duration {
+	const iters, warmup = 200, 20
+	model := m
+	if inter {
+		mm := *m
+		mm.GPUsPerNode, mm.NICsPerNode = 1, 1
+		model = &mm
+	}
+	var total uniconn.Duration
+	_, err := uniconn.Launch(uniconn.Config{Model: model, NGPUs: 2, Backend: backend},
+		func(env *uniconn.Env) {
+			comm := uniconn.NewCommunicator(env)
+			stream := env.NewStream("net")
+			coord := uniconn.NewCoordinator(env, uniconn.PureHost, stream)
+			n := int(bytes / 8)
+			data := uniconn.Alloc[float64](env, n)
+			sync := uniconn.Alloc[uint64](env, 2)
+			me, peer := env.WorldRank(), 1-env.WorldRank()
+
+			var start uniconn.Time
+			for it := 1; it <= warmup+iters; it++ {
+				if it == warmup+1 {
+					env.StreamSynchronize(stream)
+					comm.HostBarrier()
+					start = env.Proc().Now()
+				}
+				v := uint64(it)
+				if me == 0 {
+					uniconn.Post(coord, data.Base(), data.Base(), n, uniconn.Sig(sync, 0), v, peer, comm)
+					uniconn.Acknowledge(coord, data.Base(), n, uniconn.Sig(sync, 1), v, peer, comm)
+				} else {
+					uniconn.Acknowledge(coord, data.Base(), n, uniconn.Sig(sync, 0), v, peer, comm)
+					uniconn.Post(coord, data.Base(), data.Base(), n, uniconn.Sig(sync, 1), v, peer, comm)
+				}
+				env.StreamSynchronize(stream)
+			}
+			if me == 0 {
+				total = env.Proc().Now().Sub(start)
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return total / (2 * iters)
+}
+
+func main() {
+	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	inter := flag.Bool("inter", false, "place the two GPUs on different nodes")
+	maxSize := flag.Int64("max", 4<<20, "largest message size in bytes")
+	flag.Parse()
+
+	var model *uniconn.Machine
+	for _, m := range uniconn.Machines() {
+		if m.Name == *machineName {
+			model = m
+		}
+	}
+	if model == nil {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+
+	backends := []uniconn.BackendID{uniconn.MPIBackend, uniconn.GpucclBackend}
+	if model.HasGPUSHMEM {
+		backends = append(backends, uniconn.GpushmemBackend)
+	}
+	where := "intra-node"
+	if *inter {
+		where = "inter-node"
+	}
+	fmt.Printf("UNICONN host-API one-way latency on %s (%s)\n", model.Name, where)
+	fmt.Printf("%-12s", "bytes")
+	for _, b := range backends {
+		fmt.Printf("%14v", b)
+	}
+	fmt.Println()
+	for size := int64(8); size <= *maxSize; size *= 4 {
+		fmt.Printf("%-12d", size)
+		for _, b := range backends {
+			lat := onewayLatency(model, b, *inter, size)
+			fmt.Printf("%12.2fus", lat.Micros())
+		}
+		fmt.Println()
+	}
+}

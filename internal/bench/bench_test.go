@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []sim.Duration{100, 1, 50, 60, 1000}
+	if got := TrimmedMean(xs); got != (100+50+60)/3 {
+		t.Fatalf("trimmed mean = %v", got)
+	}
+	if got := TrimmedMean([]sim.Duration{5, 7}); got != 6 {
+		t.Fatalf("two-sample mean = %v", got)
+	}
+	if TrimmedMean(nil) != 0 {
+		t.Fatal("empty mean not zero")
+	}
+}
+
+func TestPercentDiff(t *testing.T) {
+	if got := PercentDiff(102, 100); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("diff = %v", got)
+	}
+	if PercentDiff(5, 0) != 0 {
+		t.Fatal("zero ref not handled")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	s := Sizes(8, 64)
+	want := []int64{8, 16, 32, 64}
+	if len(s) != len(want) {
+		t.Fatalf("sizes = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sizes = %v", s)
+		}
+	}
+}
+
+// allNetConfigs enumerates every runnable benchmark configuration on a
+// machine.
+func allNetConfigs(m *machine.Model, bytes int64) []NetConfig {
+	var out []NetConfig
+	for _, lib := range libsOf(m, true) {
+		for _, native := range []bool{true, false} {
+			for _, inter := range []bool{false, true} {
+				out = append(out, NetConfig{
+					Model: m, Backend: lib.backend, API: lib.api,
+					Native: native, Inter: inter, Bytes: bytes,
+					Iters: 20, Warmup: 2, Window: 8,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func TestLatencyAllConfigsPositive(t *testing.T) {
+	for _, m := range machine.All() {
+		for _, cfg := range allNetConfigs(m, 64) {
+			l, err := Latency(cfg)
+			if err != nil {
+				t.Fatalf("%s %v/%v native=%v inter=%v: %v",
+					m.Name, cfg.Backend, cfg.API, cfg.Native, cfg.Inter, err)
+			}
+			if l <= 0 || l > sim.Second {
+				t.Fatalf("%s %v/%v: latency %v out of range", m.Name, cfg.Backend, cfg.API, l)
+			}
+		}
+	}
+}
+
+func TestBandwidthAllConfigsPositive(t *testing.T) {
+	for _, m := range machine.All() {
+		for _, cfg := range allNetConfigs(m, 1<<20) {
+			bw, err := Bandwidth(cfg)
+			if err != nil {
+				t.Fatalf("%s %v/%v: %v", m.Name, cfg.Backend, cfg.API, err)
+			}
+			wire := m.IntraWireBW
+			if cfg.Inter {
+				wire = m.NICWireBW
+			}
+			if bw <= 0 || bw > wire {
+				t.Fatalf("%s %v/%v inter=%v: bandwidth %.2f GB/s vs wire %.2f",
+					m.Name, cfg.Backend, cfg.API, cfg.Inter, bw/1e9, wire/1e9)
+			}
+		}
+	}
+}
+
+func TestPaperShapeSmallMessageLatencyOrdering(t *testing.T) {
+	// §II-C / Fig. 2: at small sizes, MPI beats GPUCCL (kernel launch) on
+	// the host side, and GPUSHMEM device-initiated beats both.
+	m := machine.Perlmutter()
+	lat := func(b core.BackendID, api machine.API) sim.Duration {
+		l, err := Latency(NetConfig{Model: m, Backend: b, API: api, Native: true,
+			Bytes: 64, Iters: 50, Warmup: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	mpiL := lat(core.MPIBackend, machine.APIHost)
+	cclL := lat(core.GpucclBackend, machine.APIHost)
+	devL := lat(core.GpushmemBackend, machine.APIDevice)
+	if !(devL < mpiL && mpiL < cclL) {
+		t.Fatalf("expected device < MPI < GPUCCL, got dev=%v mpi=%v ccl=%v", devL, mpiL, cclL)
+	}
+}
+
+func TestPaperShapeLargeMessageBandwidthOrdering(t *testing.T) {
+	// Fig. 2: at large sizes intra-node, GPUCCL achieves the highest
+	// bandwidth.
+	m := machine.Perlmutter()
+	bw := func(b core.BackendID, api machine.API) float64 {
+		v, err := Bandwidth(NetConfig{Model: m, Backend: b, API: api, Native: true,
+			Bytes: 4 << 20, Iters: 5, Warmup: 1, Window: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	mpiB := bw(core.MPIBackend, machine.APIHost)
+	cclB := bw(core.GpucclBackend, machine.APIHost)
+	if cclB <= mpiB {
+		t.Fatalf("expected GPUCCL bandwidth above MPI at 4MiB: ccl=%.1f mpi=%.1f GB/s",
+			cclB/1e9, mpiB/1e9)
+	}
+}
+
+func TestUniconnNetOverheadBounds(t *testing.T) {
+	// §VI-B: host-API overhead bounded (~7% worst intra, small messages);
+	// device-API overhead near zero.
+	m := machine.Perlmutter()
+	for _, lib := range libsOf(m, true) {
+		for _, bytes := range []int64{64, 1 << 20} {
+			cfg := NetConfig{Model: m, Backend: lib.backend, API: lib.api,
+				Bytes: bytes, Iters: 50, Warmup: 5}
+			cfg.Native = true
+			nat, err := Latency(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Native = false
+			uc, err := Latency(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			over := PercentDiff(uc, nat)
+			limit := 10.0
+			if lib.api == machine.APIDevice {
+				limit = 0.5
+			}
+			if over > limit || over < -limit {
+				t.Errorf("%s %dB: UNICONN latency overhead %.2f%% (limit %.1f%%)",
+					lib.label, bytes, over, limit)
+			}
+		}
+	}
+}
+
+func TestEagerKneeVisible(t *testing.T) {
+	// The MPI latency curve must show the eager→rendezvous protocol switch
+	// at 8 KiB (ablation A3).
+	m := machine.Perlmutter()
+	lat := func(bytes int64) sim.Duration {
+		l, err := Latency(NetConfig{Model: m, Backend: core.MPIBackend, API: machine.APIHost,
+			Native: true, Bytes: bytes, Iters: 50, Warmup: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	below := lat(8 << 10)
+	above := lat(16 << 10)
+	jump := float64(above-below) / float64(below)
+	if jump < 0.3 {
+		t.Fatalf("no visible rendezvous knee: 8KiB=%v 16KiB=%v (jump %.2f)", below, above, jump)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"Perlmutter", "LUMI", "MareNostrum5", "A100", "MI250X", "H100"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2CountsThisRepo(t *testing.T) {
+	s, err := Table2("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MPI", "GPUCCL", "GPUSHMEM_Host", "GPUSHMEM_Device", "Uniconn"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table2 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{ID: "FigX", Title: "demo", XLabel: "bytes", YLabel: "us",
+		Series: []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{3, 4}}},
+		Notes:  []string{"hello"}}
+	out := f.Render()
+	for _, want := range []string{"FigX", "demo", "bytes", "hello", "3", "4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/sloc"
+	"repro/internal/solver/cg"
+	"repro/internal/solver/jacobi"
+	"repro/internal/sparse"
+)
+
+// Experiment runners regenerating every figure and table of the paper's
+// evaluation (§VI). Each returns a Figure with one series per line of the
+// original plot plus summary notes carrying the headline numbers the text
+// reports (average overheads, who wins where).
+
+// Scale selects the experiment sizing. Quick keeps runs in seconds;
+// Paper uses the publication sizes (2^14×2^14 Jacobi grids, full-scale
+// Serena/Queen-like matrices, full sweeps) and can take many minutes.
+type Scale int
+
+// The two sizing profiles.
+const (
+	Quick Scale = iota
+	Paper
+)
+
+// Figure is one reproduced plot.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Series is one line of a plot.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Render formats the figure as an aligned text table (x down, one column
+// per series).
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) > 0 {
+		fmt.Fprintf(&b, "%-12s", f.XLabel)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "%22s", s.Label)
+		}
+		b.WriteString("\n")
+		for i := range f.Series[0].X {
+			fmt.Fprintf(&b, "%-12g", f.Series[0].X[i])
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(&b, "%22.4g", s.Y[i])
+				} else {
+					fmt.Fprintf(&b, "%22s", "-")
+				}
+			}
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "(y: %s)\n", f.YLabel)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// netSizes returns the sweep sizes for the network figures.
+func netSizes(sc Scale) []int64 {
+	if sc == Paper {
+		return Sizes(8, 64<<20)
+	}
+	return Sizes(8, 4<<20)
+}
+
+// libConfigs enumerates the (backend, api) combinations available on a
+// machine, in the paper's plotting order.
+type libConfig struct {
+	label   string
+	backend core.BackendID
+	api     machine.API
+}
+
+func libsOf(m *machine.Model, includeHostShmem bool) []libConfig {
+	libs := []libConfig{
+		{"MPI", core.MPIBackend, machine.APIHost},
+		{"GPUCCL", core.GpucclBackend, machine.APIHost},
+	}
+	if m.HasGPUSHMEM {
+		if includeHostShmem {
+			libs = append(libs, libConfig{"GPUSHMEM-Host", core.GpushmemBackend, machine.APIHost})
+		}
+		libs = append(libs, libConfig{"GPUSHMEM-Device", core.GpushmemBackend, machine.APIDevice})
+	}
+	return libs
+}
+
+// RunFig2 reproduces the motivation benchmark (Fig. 2): native-library
+// latency and bandwidth, intra- and inter-node, on Perlmutter and LUMI.
+func RunFig2(sc Scale) ([]Figure, error) {
+	var figs []Figure
+	for _, m := range []*machine.Model{machine.Perlmutter(), machine.LUMI()} {
+		for _, inter := range []bool{false, true} {
+			where := map[bool]string{false: "intra-node", true: "inter-node"}[inter]
+			lat := Figure{
+				ID:     "Fig2", // panels a-d
+				Title:  fmt.Sprintf("Native latency, %s, %s", m.Name, where),
+				XLabel: "bytes", YLabel: "one-way latency (us)",
+			}
+			bw := Figure{
+				ID:     "Fig2",
+				Title:  fmt.Sprintf("Native bandwidth, %s, %s", m.Name, where),
+				XLabel: "bytes", YLabel: "bandwidth (GB/s)",
+			}
+			for _, lib := range libsOf(m, false) {
+				var lx, ly, bx, by []float64
+				for _, size := range netSizes(sc) {
+					cfg := NetConfig{Model: m, Backend: lib.backend, API: lib.api,
+						Native: true, Inter: inter, Bytes: size}
+					l, err := Latency(cfg)
+					if err != nil {
+						return nil, err
+					}
+					b, err := Bandwidth(cfg)
+					if err != nil {
+						return nil, err
+					}
+					lx, ly = append(lx, float64(size)), append(ly, l.Micros())
+					bx, by = append(bx, float64(size)), append(by, b/1e9)
+				}
+				lat.Series = append(lat.Series, Series{Label: lib.label, X: lx, Y: ly})
+				bw.Series = append(bw.Series, Series{Label: lib.label, X: bx, Y: by})
+			}
+			lat.Notes = append(lat.Notes, crossoverNote(lat))
+			figs = append(figs, lat, bw)
+		}
+	}
+	return figs, nil
+}
+
+// crossoverNote summarises which library wins at the smallest and largest
+// sizes (the "no single library wins" observation of §II-C).
+func crossoverNote(f Figure) string {
+	if len(f.Series) < 2 || len(f.Series[0].Y) == 0 {
+		return ""
+	}
+	bestAt := func(i int) string {
+		best, lbl := f.Series[0].Y[i], f.Series[0].Label
+		for _, s := range f.Series[1:] {
+			if s.Y[i] < best {
+				best, lbl = s.Y[i], s.Label
+			}
+		}
+		return lbl
+	}
+	last := len(f.Series[0].Y) - 1
+	return fmt.Sprintf("lowest latency at %gB: %s; at %gB: %s",
+		f.Series[0].X[0], bestAt(0), f.Series[0].X[last], bestAt(last))
+}
+
+// RunFig34 reproduces Figs. 3 (intra-node) and 4 (inter-node): native vs
+// UNICONN for every library on every machine, with the percent-difference
+// summaries the embedded plots show.
+func RunFig34(sc Scale, inter bool) ([]Figure, error) {
+	id := "Fig3"
+	if inter {
+		id = "Fig4"
+	}
+	where := map[bool]string{false: "intra-node", true: "inter-node"}[inter]
+	var figs []Figure
+	for _, m := range machine.All() {
+		lat := Figure{ID: id, Title: fmt.Sprintf("Latency native vs UNICONN, %s, %s", m.Name, where),
+			XLabel: "bytes", YLabel: "one-way latency (us)"}
+		bw := Figure{ID: id, Title: fmt.Sprintf("Bandwidth native vs UNICONN, %s, %s", m.Name, where),
+			XLabel: "bytes", YLabel: "bandwidth (GB/s)"}
+		for _, lib := range libsOf(m, true) {
+			var natL, ucL, natB, ucB Series
+			natL.Label, ucL.Label = lib.label+":Native", lib.label+":Uniconn"
+			natB.Label, ucB.Label = natL.Label, ucL.Label
+			var sumLat, sumBw float64
+			var cnt int
+			for _, size := range netSizes(sc) {
+				cfg := NetConfig{Model: m, Backend: lib.backend, API: lib.api,
+					Inter: inter, Bytes: size}
+				cfg.Native = true
+				ln, err := Latency(cfg)
+				if err != nil {
+					return nil, err
+				}
+				bn, err := Bandwidth(cfg)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Native = false
+				lu, err := Latency(cfg)
+				if err != nil {
+					return nil, err
+				}
+				bu, err := Bandwidth(cfg)
+				if err != nil {
+					return nil, err
+				}
+				x := float64(size)
+				natL.X, natL.Y = append(natL.X, x), append(natL.Y, ln.Micros())
+				ucL.X, ucL.Y = append(ucL.X, x), append(ucL.Y, lu.Micros())
+				natB.X, natB.Y = append(natB.X, x), append(natB.Y, bn/1e9)
+				ucB.X, ucB.Y = append(ucB.X, x), append(ucB.Y, bu/1e9)
+				sumLat += PercentDiff(lu, ln)
+				sumBw += (bn - bu) / bn * 100
+				cnt++
+			}
+			lat.Series = append(lat.Series, natL, ucL)
+			bw.Series = append(bw.Series, natB, ucB)
+			lat.Notes = append(lat.Notes, fmt.Sprintf("%s avg UNICONN latency overhead: %.2f%%",
+				lib.label, sumLat/float64(cnt)))
+			bw.Notes = append(bw.Notes, fmt.Sprintf("%s avg UNICONN bandwidth loss: %.2f%%",
+				lib.label, sumBw/float64(cnt)))
+		}
+		figs = append(figs, lat, bw)
+	}
+	return figs, nil
+}
+
+// RunFig5 reproduces the Jacobi scaling study (Fig. 5): per-iteration time
+// for 4..64 GPUs on all three machines, native vs UNICONN per backend.
+func RunFig5(sc Scale) ([]Figure, error) {
+	ny := 1 << 12
+	iters, warmup := 60, 10
+	if sc == Paper {
+		ny = 1 << 14
+		iters, warmup = 1000, 100
+	}
+	gpuCounts := []int{4, 8, 16, 32, 64}
+	var figs []Figure
+	for _, m := range machine.All() {
+		fig := Figure{ID: "Fig5", Title: fmt.Sprintf("Jacobi 2D, %s (grid %d x %d)", m.Name, ny, ny),
+			XLabel: "GPUs", YLabel: "time per iteration (us)"}
+		type vrt struct {
+			label string
+			cfg   jacobi.Config
+		}
+		base := jacobi.Config{Model: m, NX: ny, NY: ny, Iters: iters, Warmup: warmup, Compute: false}
+		mk := func(label string, v jacobi.Variant, b core.BackendID, mode core.LaunchMode) vrt {
+			c := base
+			c.Variant, c.Backend, c.Mode = v, b, mode
+			return vrt{label, c}
+		}
+		variants := []vrt{
+			mk("MPI:Native", jacobi.NativeMPI, 0, 0),
+			mk("MPI:Uniconn", jacobi.Uniconn, core.MPIBackend, core.PureHost),
+			mk("GPUCCL:Native", jacobi.NativeGPUCCL, 0, 0),
+			mk("GPUCCL:Uniconn", jacobi.Uniconn, core.GpucclBackend, core.PureHost),
+		}
+		if m.HasGPUSHMEM {
+			variants = append(variants,
+				mk("GPUSHMEM-H:Native", jacobi.NativeGPUSHMEMHost, 0, 0),
+				mk("GPUSHMEM-H:Uniconn", jacobi.Uniconn, core.GpushmemBackend, core.PureHost),
+				mk("GPUSHMEM-D:Native", jacobi.NativeGPUSHMEMDevice, 0, 0),
+				mk("GPUSHMEM-D:Uniconn", jacobi.Uniconn, core.GpushmemBackend, core.PureDevice),
+			)
+		}
+		perVariant := map[string][]float64{}
+		for _, n := range gpuCounts {
+			for _, v := range variants {
+				cfg := v.cfg
+				cfg.NGPUs = n
+				res, err := jacobi.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				perVariant[v.label] = append(perVariant[v.label], res.PerIter.Micros())
+			}
+		}
+		xs := make([]float64, len(gpuCounts))
+		for i, n := range gpuCounts {
+			xs[i] = float64(n)
+		}
+		for _, v := range variants {
+			fig.Series = append(fig.Series, Series{Label: v.label, X: xs, Y: perVariant[v.label]})
+		}
+		// Average native-vs-UNICONN difference per backend (§VI-C: <1%).
+		for i := 0; i+1 < len(variants); i += 2 {
+			nat, uc := perVariant[variants[i].label], perVariant[variants[i+1].label]
+			sum := 0.0
+			for j := range nat {
+				sum += (uc[j] - nat[j]) / nat[j] * 100
+			}
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s avg UNICONN diff: %.2f%%",
+				strings.Split(variants[i].label, ":")[0], sum/float64(len(nat))))
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// RunFig6 reproduces the CG study (Fig. 6): total runtime on 8 GPUs / 2
+// nodes on Perlmutter and LUMI for the Serena-like and Queen-like matrices,
+// plus the no-Allgatherv ablation isolating the MPI collective bottleneck.
+func RunFig6(sc Scale) ([]Figure, error) {
+	scale := 0.05
+	iters := 30
+	if sc == Paper {
+		scale = 1.0
+		iters = 10000
+	}
+	specs := []sparse.SyntheticSPDSpec{sparse.Serena(), sparse.Queen4147()}
+	var figs []Figure
+	for _, m := range []*machine.Model{machine.Perlmutter(), machine.LUMI()} {
+		for _, spec := range specs {
+			mat := spec.Generate(scale)
+			fig := Figure{
+				ID: "Fig6",
+				Title: fmt.Sprintf("CG on 8 GPUs, %s, %s (%d rows, %d nnz)",
+					m.Name, spec.Name, mat.Rows, mat.NNZ()),
+				XLabel: "variant", YLabel: "total time (ms)",
+			}
+			base := cg.Config{Model: m, NGPUs: 8, Matrix: mat, Iters: iters, Compute: false}
+			type vrt struct {
+				label string
+				cfg   cg.Config
+			}
+			mk := func(label string, v cg.Variant, b core.BackendID, mode core.LaunchMode, noAg bool) vrt {
+				c := base
+				c.Variant, c.Backend, c.Mode, c.DisableAllgatherv = v, b, mode, noAg
+				return vrt{label, c}
+			}
+			variants := []vrt{
+				mk("MPI:Native", cg.NativeMPI, 0, 0, false),
+				mk("MPI:Uniconn", cg.Uniconn, core.MPIBackend, core.PureHost, false),
+				mk("GPUCCL:Native", cg.NativeGPUCCL, 0, 0, false),
+				mk("GPUCCL:Uniconn", cg.Uniconn, core.GpucclBackend, core.PureHost, false),
+				mk("MPI:Native:no-allgatherv", cg.NativeMPI, 0, 0, true),
+				mk("GPUCCL:Native:no-allgatherv", cg.NativeGPUCCL, 0, 0, true),
+			}
+			if m.HasGPUSHMEM {
+				variants = append(variants,
+					mk("GPUSHMEM-H:Native", cg.NativeGPUSHMEMHost, 0, 0, false),
+					mk("GPUSHMEM-H:Uniconn", cg.Uniconn, core.GpushmemBackend, core.PureHost, false),
+					mk("GPUSHMEM-D:Native", cg.NativeGPUSHMEMDevice, 0, 0, false),
+					mk("GPUSHMEM-D:Uniconn", cg.Uniconn, core.GpushmemBackend, core.PureDevice, false),
+				)
+			}
+			results := map[string]sim.Duration{}
+			for i, v := range variants {
+				res, err := cg.Run(v.cfg)
+				if err != nil {
+					return nil, err
+				}
+				results[v.label] = res.Total
+				fig.Series = append(fig.Series, Series{
+					Label: v.label, X: []float64{float64(i)},
+					Y: []float64{float64(res.Total) / float64(sim.Millisecond)},
+				})
+			}
+			// Headline notes: UNICONN-vs-native diffs and the MPI anomaly.
+			for _, bk := range []string{"MPI", "GPUCCL", "GPUSHMEM-H", "GPUSHMEM-D"} {
+				nat, okN := results[bk+":Native"]
+				uc, okU := results[bk+":Uniconn"]
+				if okN && okU {
+					fig.Notes = append(fig.Notes, fmt.Sprintf("%s UNICONN diff: %.2f%%",
+						bk, PercentDiff(uc, nat)))
+				}
+			}
+			fig.Notes = append(fig.Notes, fmt.Sprintf(
+				"MPI/GPUCCL runtime ratio: %.2fx with Allgatherv, %.2fx without",
+				float64(results["MPI:Native"])/float64(results["GPUCCL:Native"]),
+				float64(results["MPI:Native:no-allgatherv"])/float64(results["GPUCCL:Native:no-allgatherv"])))
+			figs = append(figs, fig)
+		}
+	}
+	return figs, nil
+}
+
+// Table1 renders the machine models (Table I).
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Table I: simulated system characteristics ==\n")
+	fmt.Fprintf(&b, "%-14s %-14s %5s %5s %14s %14s %10s %9s\n",
+		"System", "GPU", "GPU/N", "NIC/N", "IntraBW(GB/s)", "NICBW(GB/s)", "MemBW(TB/s)", "GPUSHMEM")
+	for _, m := range machine.All() {
+		fmt.Fprintf(&b, "%-14s %-14s %5d %5d %14.0f %14.0f %10.2f %9v\n",
+			m.Name, m.GPU.Name, m.GPUsPerNode, m.NICsPerNode,
+			m.IntraWireBW/1e9, m.NICWireBW/1e9, m.GPU.MemBW/1e12, m.HasGPUSHMEM)
+	}
+	return b.String()
+}
+
+// Table2 recomputes the SLOC comparison (Table II) from this repository's
+// own benchmark and solver sources. root is the repository root.
+func Table2(root string) (string, error) {
+	j := func(parts ...string) string { return filepath.Join(append([]string{root}, parts...)...) }
+	type cell func() (int, error)
+	funcs := func(path string, names ...string) cell {
+		return func() (int, error) { return sloc.CountFuncs(path, names...) }
+	}
+	files := func(paths ...string) cell {
+		return func() (int, error) { return sloc.CountFiles(paths...) }
+	}
+	bench := j("internal", "bench")
+	jac := j("internal", "solver", "jacobi")
+	cgd := j("internal", "solver", "cg")
+	rows := []struct {
+		name  string
+		cells [4]cell // latency, bandwidth, jacobi, cg
+	}{
+		{"MPI", [4]cell{
+			funcs(filepath.Join(bench, "net_mpi.go"), "latencyNativeMPI"),
+			funcs(filepath.Join(bench, "net_mpi.go"), "bandwidthNativeMPI"),
+			files(filepath.Join(jac, "native_mpi.go")),
+			files(filepath.Join(cgd, "native_mpi.go")),
+		}},
+		{"GPUCCL", [4]cell{
+			funcs(filepath.Join(bench, "net_gpuccl.go"), "latencyNativeCCL"),
+			funcs(filepath.Join(bench, "net_gpuccl.go"), "bandwidthNativeCCL"),
+			files(filepath.Join(jac, "native_gpuccl.go")),
+			files(filepath.Join(cgd, "native_gpuccl.go")),
+		}},
+		{"GPUSHMEM_Host", [4]cell{
+			funcs(filepath.Join(bench, "net_gpushmem.go"), "latencyNativeShmemHost"),
+			funcs(filepath.Join(bench, "net_gpushmem.go"), "bandwidthNativeShmemHost"),
+			funcs(filepath.Join(jac, "native_gpushmem.go"), "runNativeShmemHost"),
+			funcs(filepath.Join(cgd, "native_gpushmem.go"), "runNativeShmemHost"),
+		}},
+		{"GPUSHMEM_Device", [4]cell{
+			funcs(filepath.Join(bench, "net_gpushmem.go"), "latencyNativeShmemDevice"),
+			funcs(filepath.Join(bench, "net_gpushmem.go"), "bandwidthNativeShmemDevice"),
+			funcs(filepath.Join(jac, "native_gpushmem.go"), "runNativeShmemDevice"),
+			funcs(filepath.Join(cgd, "native_gpushmem.go"), "runNativeShmemDevice"),
+		}},
+		{"Uniconn", [4]cell{
+			funcs(filepath.Join(bench, "net_uniconn.go"), "latencyUniconnHost", "latencyUniconnDevice"),
+			funcs(filepath.Join(bench, "net_uniconn.go"), "bandwidthUniconnHost", "bandwidthUniconnDevice"),
+			files(filepath.Join(jac, "uniconn.go")),
+			files(filepath.Join(cgd, "uniconn.go")),
+		}},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Table II: SLOC per experiment (this repository) ==\n")
+	fmt.Fprintf(&b, "%-16s %9s %10s %9s %6s\n", "Library", "Latency", "Bandwidth", "Jacobi2D", "CG")
+	for _, r := range rows {
+		vals := make([]string, 4)
+		for i, c := range r.cells {
+			n, err := c()
+			if err != nil {
+				return "", err
+			}
+			vals[i] = fmt.Sprint(n)
+		}
+		fmt.Fprintf(&b, "%-16s %9s %10s %9s %6s\n", r.name, vals[0], vals[1], vals[2], vals[3])
+	}
+	b.WriteString("(Uniconn rows include both host and device API variants in one codebase,\n" +
+		" mirroring the paper's observation that its SLOC is slightly higher.)\n")
+	return b.String(), nil
+}
+
+// SortFigures orders figures by ID then title, for stable reports.
+func SortFigures(figs []Figure) {
+	sort.Slice(figs, func(i, j int) bool {
+		if figs[i].ID != figs[j].ID {
+			return figs[i].ID < figs[j].ID
+		}
+		return figs[i].Title < figs[j].Title
+	})
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Network microbenchmarks adapted from the OSU suite (paper §VI-B):
+// ping-pong latency and windowed one-way bandwidth between two GPUs, either
+// within a node or across two nodes, for every (library, API) combination,
+// in both native and UNICONN form.
+
+// NetConfig selects one microbenchmark configuration.
+type NetConfig struct {
+	Model   *machine.Model
+	Backend core.BackendID
+	// API selects host- or device-initiated communication. Device
+	// requires the GPUSHMEM backend.
+	API machine.API
+	// Native selects the library's own API; false selects UNICONN with
+	// that backend.
+	Native bool
+	// Inter selects two GPUs on different nodes (otherwise same node).
+	Inter bool
+	// Bytes is the message size.
+	Bytes int64
+
+	// Iters/Warmup override the defaults (paper §VI-B counts, scaled for
+	// the deterministic simulator where more repetitions add no
+	// information). Zero selects the defaults.
+	Iters, Warmup int
+	// Window is the number of in-flight messages of the bandwidth test
+	// (default 64, as in the paper).
+	Window int
+}
+
+// Validate reports configuration errors.
+func (cfg NetConfig) Validate() error {
+	if cfg.Model == nil {
+		return fmt.Errorf("bench: nil model")
+	}
+	if cfg.API == machine.APIDevice && cfg.Backend != core.GpushmemBackend {
+		return fmt.Errorf("bench: device API requires the GPUSHMEM backend")
+	}
+	if cfg.Backend == core.GpushmemBackend && !cfg.Model.HasGPUSHMEM {
+		return fmt.Errorf("bench: %s has no GPUSHMEM", cfg.Model.Name)
+	}
+	if cfg.Bytes < 8 || cfg.Bytes%8 != 0 {
+		return fmt.Errorf("bench: message size must be a positive multiple of 8 (got %d)", cfg.Bytes)
+	}
+	return nil
+}
+
+// counts resolves iteration counts: the paper uses 100K/10K below 8 KiB and
+// 10K/1K above for latency (1000/100 and 200/20 for bandwidth); the
+// simulator is deterministic, so the defaults are scaled down 100× and can
+// be raised with Iters/Warmup for paper-exact counts.
+func (cfg NetConfig) counts(bandwidth bool) (iters, warmup, window int) {
+	iters, warmup = cfg.Iters, cfg.Warmup
+	if iters == 0 {
+		if bandwidth {
+			if cfg.Bytes < 8<<10 {
+				iters, warmup = 100, 10
+			} else {
+				iters, warmup = 20, 2
+			}
+		} else {
+			if cfg.Bytes < 8<<10 {
+				iters, warmup = 1000, 100
+			} else {
+				iters, warmup = 100, 10
+			}
+		}
+	}
+	window = cfg.Window
+	if window == 0 {
+		window = 64
+	}
+	return iters, warmup, window
+}
+
+// model returns the machine to launch on: inter-node runs use a one-GPU-
+// per-node view of the same machine so the two ranks land on two nodes.
+func (cfg NetConfig) model() *machine.Model {
+	if !cfg.Inter {
+		return cfg.Model
+	}
+	m := *cfg.Model
+	m.GPUsPerNode = 1
+	m.NICsPerNode = 1
+	return &m
+}
+
+// Latency runs the ping-pong benchmark and returns the one-way latency.
+func Latency(cfg NetConfig) (sim.Duration, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	iters, warmup, _ := cfg.counts(false)
+	var rt sim.Duration
+	_, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend},
+		func(env *core.Env) {
+			d := cfg.latencyRank(env, iters, warmup)
+			if env.WorldRank() == 0 {
+				rt = d
+			}
+		})
+	if err != nil {
+		return 0, err
+	}
+	return rt / sim.Duration(2*iters), nil
+}
+
+// Bandwidth runs the windowed one-way benchmark and returns bytes/second.
+func Bandwidth(cfg NetConfig) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	iters, warmup, window := cfg.counts(true)
+	var total sim.Duration
+	_, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend},
+		func(env *core.Env) {
+			d := cfg.bandwidthRank(env, iters, warmup, window)
+			if env.WorldRank() == 0 {
+				total = d
+			}
+		})
+	if err != nil {
+		return 0, err
+	}
+	bytes := float64(iters) * float64(window) * float64(cfg.Bytes)
+	return bytes / total.Seconds(), nil
+}
+
+// latencyRank dispatches to the per-variant rank body and returns the timed
+// loop duration (valid on rank 0).
+func (cfg NetConfig) latencyRank(env *core.Env, iters, warmup int) sim.Duration {
+	switch {
+	case cfg.Native && cfg.Backend == core.MPIBackend:
+		return latencyNativeMPI(cfg, env, iters, warmup)
+	case cfg.Native && cfg.Backend == core.GpucclBackend:
+		return latencyNativeCCL(cfg, env, iters, warmup)
+	case cfg.Native && cfg.API == machine.APIDevice:
+		return latencyNativeShmemDevice(cfg, env, iters, warmup)
+	case cfg.Native:
+		return latencyNativeShmemHost(cfg, env, iters, warmup)
+	case cfg.API == machine.APIDevice:
+		return latencyUniconnDevice(cfg, env, iters, warmup)
+	default:
+		return latencyUniconnHost(cfg, env, iters, warmup)
+	}
+}
+
+func (cfg NetConfig) bandwidthRank(env *core.Env, iters, warmup, window int) sim.Duration {
+	switch {
+	case cfg.Native && cfg.Backend == core.MPIBackend:
+		return bandwidthNativeMPI(cfg, env, iters, warmup, window)
+	case cfg.Native && cfg.Backend == core.GpucclBackend:
+		return bandwidthNativeCCL(cfg, env, iters, warmup, window)
+	case cfg.Native && cfg.API == machine.APIDevice:
+		return bandwidthNativeShmemDevice(cfg, env, iters, warmup, window)
+	case cfg.Native:
+		return bandwidthNativeShmemHost(cfg, env, iters, warmup, window)
+	case cfg.API == machine.APIDevice:
+		return bandwidthUniconnDevice(cfg, env, iters, warmup, window)
+	default:
+		return bandwidthUniconnHost(cfg, env, iters, warmup, window)
+	}
+}

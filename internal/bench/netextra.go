@@ -1,0 +1,142 @@
+package bench
+
+// Additional OSU-suite benchmarks beyond the two the paper uses:
+// bidirectional bandwidth and collective (AllReduce) latency. They extend
+// the evaluation in the same style and feed the backend advisor's future
+// extensions; results are not compared against the paper (which does not
+// report them) but follow the same methodology.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// BiBandwidth measures simultaneous two-way streaming between two GPUs
+// (OSU osu_bibw): both ranks drive a window of messages at once. Returns
+// the aggregate bytes/second.
+func BiBandwidth(cfg NetConfig) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if cfg.API == machine.APIDevice {
+		return 0, fmt.Errorf("bench: BiBandwidth covers host APIs")
+	}
+	iters, warmup, window := cfg.counts(true)
+	var total sim.Duration
+	_, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend},
+		func(env *core.Env) {
+			d := biBandwidthRank(cfg, env, iters, warmup, window)
+			if env.WorldRank() == 0 {
+				total = d
+			}
+		})
+	if err != nil {
+		return 0, err
+	}
+	bytes := 2 * float64(iters) * float64(window) * float64(cfg.Bytes)
+	return bytes / total.Seconds(), nil
+}
+
+func biBandwidthRank(cfg NetConfig, env *core.Env, iters, warmup, window int) sim.Duration {
+	p := env.Proc()
+	peer := 1 - env.WorldRank()
+	n := int(cfg.Bytes / 8)
+	switch cfg.Backend {
+	case core.GpucclBackend:
+		ccl := env.CCLComm()
+		s := env.DefaultStream()
+		bufs := make([]*gpu.Buffer[float64], 2*window)
+		for i := range bufs {
+			bufs[i] = gpu.AllocBuffer[float64](env.Device(), n)
+		}
+		var start sim.Time
+		for it := 0; it < warmup+iters; it++ {
+			if it == warmup {
+				s.Synchronize(p)
+				env.MPIComm().Barrier(p)
+				start = p.Now()
+			}
+			ccl.GroupStart()
+			for w := 0; w < window; w++ {
+				ccl.Send(p, s, bufs[w].Whole(), peer)
+				ccl.Recv(p, s, bufs[window+w].Whole(), peer)
+			}
+			ccl.GroupEnd(p, s)
+			s.Synchronize(p)
+		}
+		return p.Now().Sub(start)
+	default: // MPI and GPUSHMEM host both go through the MPI-style harness
+		comm := env.MPIComm()
+		send := make([]*gpu.Buffer[float64], window)
+		recv := make([]*gpu.Buffer[float64], window)
+		for i := 0; i < window; i++ {
+			send[i] = gpu.AllocBuffer[float64](env.Device(), n)
+			recv[i] = gpu.AllocBuffer[float64](env.Device(), n)
+		}
+		var start sim.Time
+		for it := 0; it < warmup+iters; it++ {
+			if it == warmup {
+				comm.Barrier(p)
+				start = p.Now()
+			}
+			reqs := make([]*mpi.Request, 0, 2*window)
+			for w := 0; w < window; w++ {
+				reqs = append(reqs, comm.Irecv(p, recv[w].Whole(), peer, 9))
+			}
+			for w := 0; w < window; w++ {
+				reqs = append(reqs, comm.Isend(p, send[w].Whole(), peer, 9))
+			}
+			for _, r := range reqs {
+				r.Wait(p)
+			}
+		}
+		return p.Now().Sub(start)
+	}
+}
+
+// AllReduceLatency measures the completion time of one AllReduce of the
+// given payload across nGPUs ranks, through the UNICONN API on the chosen
+// backend (OSU osu_allreduce).
+func AllReduceLatency(cfg NetConfig, nGPUs int) (sim.Duration, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	iters, warmup, _ := cfg.counts(false)
+	// Collective sweeps are heavier; cap the repetition counts.
+	if iters > 200 {
+		iters, warmup = 200, 20
+	}
+	model := cfg.model()
+	var total sim.Duration
+	_, err := core.Launch(core.Config{Model: model, NGPUs: nGPUs, Backend: cfg.Backend},
+		func(env *core.Env) {
+			comm := core.NewCommunicator(env)
+			stream := env.NewStream("coll")
+			coord := core.NewCoordinator(env, core.PureHost, stream)
+			p := env.Proc()
+			n := int(cfg.Bytes / 8)
+			buf := core.Alloc[float64](env, n)
+			var start sim.Time
+			for it := 0; it < warmup+iters; it++ {
+				if it == warmup {
+					env.StreamSynchronize(stream)
+					comm.HostBarrier()
+					start = p.Now()
+				}
+				core.AllReduceInPlace(coord, gpu.ReduceSum, buf.Base(), n, comm)
+				env.StreamSynchronize(stream)
+			}
+			if env.WorldRank() == 0 {
+				total = p.Now().Sub(start)
+			}
+		})
+	if err != nil {
+		return 0, err
+	}
+	return total / sim.Duration(iters), nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func TestBiBandwidthExceedsOneWay(t *testing.T) {
+	// Bidirectional aggregate must exceed the one-way rate (the ports are
+	// full duplex) but stay at or below twice the one-way rate.
+	for _, backend := range []core.BackendID{core.MPIBackend, core.GpucclBackend} {
+		cfg := NetConfig{
+			Model: machine.Perlmutter(), Backend: backend, API: machine.APIHost,
+			Native: true, Bytes: 1 << 20, Iters: 10, Warmup: 2, Window: 8,
+		}
+		one, err := Bandwidth(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := BiBandwidth(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bi <= one {
+			t.Errorf("%v: bidirectional %.1f GB/s not above one-way %.1f",
+				backend, bi/1e9, one/1e9)
+		}
+		if bi > 2.2*one {
+			t.Errorf("%v: bidirectional %.1f GB/s implausibly above 2x one-way %.1f",
+				backend, bi/1e9, one/1e9)
+		}
+	}
+}
+
+func TestBiBandwidthRejectsDeviceAPI(t *testing.T) {
+	_, err := BiBandwidth(NetConfig{
+		Model: machine.Perlmutter(), Backend: core.GpushmemBackend,
+		API: machine.APIDevice, Bytes: 1 << 10,
+	})
+	if err == nil {
+		t.Fatal("device API accepted")
+	}
+}
+
+func TestAllReduceLatencyGrowsWithRanksAndSize(t *testing.T) {
+	base := NetConfig{
+		Model: machine.Perlmutter(), Backend: core.GpucclBackend,
+		API: machine.APIHost, Bytes: 8, Iters: 20, Warmup: 2,
+	}
+	l2, err := AllReduceLatency(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, err := AllReduceLatency(base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l8 <= l2 {
+		t.Fatalf("allreduce latency did not grow with ranks: 2=%v 8=%v", l2, l8)
+	}
+	big := base
+	big.Bytes = 4 << 20
+	lbig, err := AllReduceLatency(big, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbig <= l8 {
+		t.Fatalf("allreduce latency did not grow with size: 8B=%v 4MiB=%v", l8, lbig)
+	}
+}
+
+func TestAllReduceLatencyAcrossBackends(t *testing.T) {
+	m := machine.Perlmutter()
+	for _, backend := range []core.BackendID{core.MPIBackend, core.GpucclBackend, core.GpushmemBackend} {
+		cfg := NetConfig{Model: m, Backend: backend, API: machine.APIHost,
+			Bytes: 1 << 10, Iters: 10, Warmup: 2}
+		l, err := AllReduceLatency(cfg, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		if l <= 0 {
+			t.Fatalf("%v: latency %v", backend, l)
+		}
+	}
+}

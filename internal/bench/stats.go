@@ -1,0 +1,65 @@
+// Package bench implements the paper's measurement methodology and the
+// experiment harness that regenerates every figure and table: OSU-derived
+// latency/bandwidth microbenchmarks (Figs. 2-4), the Jacobi scaling study
+// (Fig. 5), the CG study (Fig. 6), and the configuration/SLOC tables
+// (Tables I-II).
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// TrimmedMean implements §VI-A2: repeat the measurement, drop the lowest
+// and highest samples, and average the rest. With fewer than three samples
+// it averages all of them.
+func TrimmedMean(xs []sim.Duration) sim.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]sim.Duration{}, xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if len(s) > 2 {
+		s = s[1 : len(s)-1]
+	}
+	var sum sim.Duration
+	for _, v := range s {
+		sum += v
+	}
+	return sum / sim.Duration(len(s))
+}
+
+// PercentDiff reports (x-ref)/ref in percent — the quantity of the
+// embedded overhead plots in Figs. 3-4.
+func PercentDiff(x, ref sim.Duration) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return (float64(x) - float64(ref)) / float64(ref) * 100
+}
+
+// Sizes returns the power-of-two message sizes of an OSU sweep,
+// inclusive of both bounds.
+func Sizes(minBytes, maxBytes int64) []int64 {
+	var out []int64
+	for s := minBytes; s <= maxBytes; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// HumanBytes formats a byte count with binary units.
+func HumanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%dGiB", b>>30)
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMiB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKiB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/gpuccl"
+	"repro/internal/gpushmem"
+	"repro/internal/mpi"
+)
+
+// Communicator encapsulates the process group (paper §IV-C), analogous to
+// an MPI communicator or an OpenSHMEM team. It exposes rank/size queries,
+// host- and stream-side barriers, Split, and a device-side handle.
+type Communicator struct {
+	env *Env
+
+	mpic *mpi.Comm
+	cclc *gpuccl.Comm
+	pe   *gpushmem.PE
+	team *gpushmem.Team // world team by default on the GPUSHMEM backend
+}
+
+// NewCommunicator creates the world communicator for this rank
+// (Communicator<Backend> comm in the paper's Listing 4).
+func NewCommunicator(env *Env) *Communicator {
+	env.dispatch()
+	c := &Communicator{env: env}
+	c.mpic = env.job.mpiWorld.CommWorld(env.rank)
+	switch env.Backend() {
+	case GpucclBackend:
+		c.cclc = env.job.cclWorld.Comm(env.rank)
+	case GpushmemBackend:
+		c.pe = env.job.shmemWorld.PE(env.rank)
+		c.team = c.pe.WorldTeam()
+	}
+	return c
+}
+
+// GlobalRank reports this process's rank within the communicator.
+func (c *Communicator) GlobalRank() int {
+	switch {
+	case c.cclc != nil:
+		return c.cclc.Rank()
+	case c.team != nil:
+		return c.team.Rank()
+	default:
+		return c.mpic.Rank()
+	}
+}
+
+// GlobalSize reports the communicator size.
+func (c *Communicator) GlobalSize() int {
+	switch {
+	case c.cclc != nil:
+		return c.cclc.Size()
+	case c.team != nil:
+		return c.team.Size()
+	default:
+		return c.mpic.Size()
+	}
+}
+
+// worldOf translates a communicator rank to a world rank (identity on MPI,
+// whose communicator translates internally).
+func (c *Communicator) worldOf(r int) int {
+	if c.team != nil {
+		return c.team.World(r)
+	}
+	return r
+}
+
+// Env reports the owning environment.
+func (c *Communicator) Env() *Env { return c.env }
+
+// Split partitions the communicator by color, ordered by key, like
+// MPI_Comm_split / ncclCommSplit / shmem_team_split. Every member must call
+// it; a negative color returns nil. The CPU-side (MPI) communicator is
+// split alongside the GPU one, as real applications do for bootstrap.
+func (c *Communicator) Split(color, key int) *Communicator {
+	env := c.env
+	env.dispatch()
+	msub := c.mpic.Split(env.p, color, key)
+	sub := &Communicator{env: env, mpic: msub, pe: c.pe}
+	switch env.Backend() {
+	case GpucclBackend:
+		sub.cclc = c.cclc.Split(env.p, color, key)
+		if sub.cclc == nil {
+			return nil
+		}
+	case GpushmemBackend:
+		sub.team = c.team.TeamSplit(env.p, color, key)
+		if sub.team == nil {
+			return nil
+		}
+	default:
+		if msub == nil {
+			return nil
+		}
+	}
+	return sub
+}
+
+// Barrier synchronizes all ranks of the communicator with respect to the
+// given stream (paper §IV-C: barriers on both host and device sides). The
+// backend determines the mechanism:
+//
+//   - MPI: drain the stream, then a host barrier;
+//   - GPUCCL: a zero-element AllReduce enqueued on the stream (the library
+//     has no native barrier);
+//   - GPUSHMEM: nvshmemx_barrier_all_on_stream.
+func (c *Communicator) Barrier(s *gpu.Stream) {
+	env := c.env
+	env.dispatch()
+	switch env.Backend() {
+	case GpucclBackend:
+		b := gpu.AllocBuffer[uint64](env.dev, 1)
+		c.cclc.AllReduce(env.p, s, b.Whole(), b.Whole(), gpu.ReduceMax)
+	case GpushmemBackend:
+		c.team.BarrierOnStream(env.p, s)
+	default:
+		s.Synchronize(env.p)
+		c.mpic.Barrier(env.p)
+	}
+}
+
+// HostBarrier synchronizes all ranks on the host side only (no stream
+// involvement); all backends bootstrap it over the CPU library.
+func (c *Communicator) HostBarrier() {
+	c.env.dispatch()
+	c.mpic.Barrier(c.env.p)
+}
+
+// DeviceComm is the GPU-resident communicator handle returned by ToDevice,
+// usable inside kernels for the device-side API (comm.toDevice() in the
+// paper's Listing 4).
+type DeviceComm struct {
+	c *Communicator
+}
+
+// ToDevice returns a handle valid for use within GPU kernels. It requires a
+// backend with device-side support.
+func (c *Communicator) ToDevice() *DeviceComm {
+	c.env.dispatch()
+	return &DeviceComm{c: c}
+}
+
+// GlobalRank reports the rank from device code.
+func (d *DeviceComm) GlobalRank() int { return d.c.GlobalRank() }
+
+// GlobalSize reports the size from device code.
+func (d *DeviceComm) GlobalSize() int { return d.c.GlobalSize() }

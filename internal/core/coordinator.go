@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/gpushmem"
+	"repro/internal/mpi"
+)
+
+// LaunchMode controls a Coordinator's behaviour (paper §IV-E1): which bound
+// kernel LaunchKernel starts and which API flavour the communication
+// primitives use.
+type LaunchMode int
+
+// The three launch modes.
+const (
+	// PureHost uses host-side communication APIs; kernels are
+	// computation-only. Available on every backend.
+	PureHost LaunchMode = iota
+	// PartialDevice sends point-to-point payloads from inside the GPU
+	// kernel (non-blocking, unsignalled) and synchronizes later through
+	// host-side Post/Acknowledge. Collectives behave as in PureHost.
+	// GPUSHMEM only.
+	PartialDevice
+	// PureDevice performs both communication and synchronization inside
+	// the GPU kernel. GPUSHMEM only.
+	PureDevice
+)
+
+func (m LaunchMode) String() string {
+	switch m {
+	case PureHost:
+		return "PureHost"
+	case PartialDevice:
+		return "PartialDevice"
+	case PureDevice:
+		return "PureDevice"
+	default:
+		return fmt.Sprintf("LaunchMode(%d)", int(m))
+	}
+}
+
+// ThreadGroup selects device-side execution granularity (paper §IV-F4).
+type ThreadGroup = gpushmem.ThreadGroup
+
+// Device-side thread granularities.
+const (
+	Thread = gpushmem.Thread
+	Warp   = gpushmem.Warp
+	Block  = gpushmem.Block
+)
+
+// boundKernel stores one BindKernel registration.
+type boundKernel struct {
+	k    *gpu.Kernel
+	args any
+}
+
+// Coordinator manages the coordination between GPU computation and
+// communication (paper §IV-E): kernel binding and launching under a
+// LaunchMode, operation grouping, and the uniform communication operations.
+// Its constructor takes the GPU stream all its operations target.
+type Coordinator struct {
+	env    *Env
+	comm   *Communicator // default communicator for device-side ops
+	stream *gpu.Stream
+	mode   LaunchMode
+
+	kernels map[LaunchMode]boundKernel
+
+	grouping bool
+	mpiReqs  []*mpi.Request
+	deferred []func() // acknowledgements deferred to CommEnd on MPI
+	// pdQuietDone dedupes the stream-ordered Quiet that PartialDevice
+	// Posts need before signalling: within one CommStart/CommEnd group a
+	// single Quiet covers every kernel-issued transfer.
+	pdQuietDone bool
+}
+
+// NewCoordinator constructs a Coordinator bound to a stream with the given
+// launch mode (Coordinator<Backend, LaunchMode::X> step(stream)).
+func NewCoordinator(env *Env, mode LaunchMode, s *gpu.Stream) *Coordinator {
+	env.dispatch()
+	if mode != PureHost && env.Backend() != GpushmemBackend {
+		panic(fmt.Sprintf("core: %v requires the GPUSHMEM backend (got %v)", mode, env.Backend()))
+	}
+	return &Coordinator{
+		env:     env,
+		stream:  s,
+		mode:    mode,
+		kernels: map[LaunchMode]boundKernel{},
+	}
+}
+
+// Mode reports the coordinator's launch mode.
+func (c *Coordinator) Mode() LaunchMode { return c.mode }
+
+// Stream reports the coordinator's stream.
+func (c *Coordinator) Stream() *gpu.Stream { return c.stream }
+
+// Env reports the owning environment.
+func (c *Coordinator) Env() *Env { return c.env }
+
+// BindKernel registers the kernel to use when the coordinator's LaunchMode
+// equals mode; other registrations are retained but inactive, which is what
+// lets an application carry PureHost, PartialDevice, and PureDevice kernels
+// side by side and switch with one parameter (paper Listing 4, lines 20-27).
+func (c *Coordinator) BindKernel(mode LaunchMode, k *gpu.Kernel, args any) {
+	c.env.dispatch()
+	c.kernels[mode] = boundKernel{k: k, args: args}
+}
+
+// LaunchKernel launches the kernel bound to the active mode. PureHost and
+// PartialDevice kernels launch normally; PureDevice kernels launch through
+// the backend's collective-launch mechanism, as GPUSHMEM device-side
+// synchronization requires.
+func (c *Coordinator) LaunchKernel() {
+	c.env.dispatch()
+	bk, ok := c.kernels[c.mode]
+	if !ok {
+		panic(fmt.Sprintf("core: no kernel bound for %v", c.mode))
+	}
+	if c.mode == PureDevice {
+		pe := c.env.job.shmemWorld.PE(c.env.rank)
+		pe.CollectiveLaunch(c.env.p, c.stream, bk.k, bk.args)
+		return
+	}
+	c.stream.Launch(c.env.p, bk.k, bk.args)
+}
+
+// CommStart prepares the coordinator for non-blocking execution of the
+// communication operations registered until CommEnd (paper §IV-G).
+func (c *Coordinator) CommStart() {
+	c.env.dispatch()
+	if c.grouping {
+		panic("core: nested CommStart")
+	}
+	c.grouping = true
+	c.pdQuietDone = false
+	switch c.env.Backend() {
+	case GpucclBackend:
+		c.env.job.cclWorld.Comm(c.env.rank).GroupStart()
+	case MPIBackend:
+		// MPI has no stream notion: the decision logic checks the stream
+		// for pending work so host communication does not overtake the
+		// kernel (one source of the paper's measured overhead).
+		c.mpiStreamGuard()
+	}
+}
+
+// CommEnd completes all operations registered since CommStart before any
+// subsequent work on the coordinator's stream (paper §IV-G).
+func (c *Coordinator) CommEnd() {
+	c.env.dispatch()
+	if !c.grouping {
+		panic("core: CommEnd without CommStart")
+	}
+	c.grouping = false
+	switch c.env.Backend() {
+	case GpucclBackend:
+		c.env.job.cclWorld.Comm(c.env.rank).GroupEnd(c.env.p, c.stream)
+	case MPIBackend:
+		for _, fn := range c.deferred {
+			fn()
+		}
+		c.deferred = nil
+		mpi.WaitAll(c.env.p, c.mpiReqs...)
+		c.mpiReqs = nil
+	default:
+		// GPUSHMEM: nothing to complete here. Signalled puts are
+		// confirmed by the Acknowledge signal waits, and PartialDevice's
+		// host-side Post already quiets the kernel-issued NBI transfers
+		// before delivering its signal.
+	}
+}
+
+// mpiStreamGuard models UNICONN's stream query before blocking MPI calls:
+// it charges the query and drains the stream if work is pending, so device
+// buffers are ready for host communication.
+func (c *Coordinator) mpiStreamGuard() {
+	if !c.stream.Query(c.env.p) {
+		c.stream.Synchronize(c.env.p)
+	}
+}

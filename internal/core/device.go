@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/gpushmem"
+)
+
+// Device-side API (paper §IV-F4 and Listings 5-6): the same primitives,
+// callable from inside GPU kernels with an explicit ThreadGroup execution
+// granularity. These wrappers are "inlined": their only cost beyond the
+// backend call is the near-zero DeviceInline charge, which is how the paper
+// explains the ≤0.08% device-API overhead (§VI-B).
+//
+// Device-side operations require the GPUSHMEM backend; the coordinator's
+// LaunchMode decides which flavour a kernel uses:
+//
+//   - PureDevice:    DevPost carries the payload and the signal
+//     (put_signal_nbi), DevAcknowledge waits the signal — Listing 5.
+//   - PartialDevice: DevPost carries only the payload (put_nbi, nil
+//     signal); synchronization happens later through the host-side
+//     Post/Acknowledge — Listing 6.
+
+// devCharge applies the inlined-wrapper cost.
+func devCharge(kc *gpu.KernelCtx, dc *DeviceComm) {
+	kc.P.Advance(dc.c.env.uniconn().DeviceInline)
+}
+
+// DevPost sends count elements at send into peer's recv (device-side Post).
+// Pass the zero Signal for the PartialDevice pattern (payload now, signal
+// later from the host).
+func DevPost[T gpu.Elem](kc *gpu.KernelCtx, g ThreadGroup, send, recv Ptr[T], count int, sig Signal, sigVal uint64, peer int, dc *DeviceComm) {
+	devCharge(kc, dc)
+	pe := dc.c.pe
+	target := dc.c.worldOf(peer)
+	if sig.M == nil {
+		pe.DevPutNBI(kc, g, recv.symRef(count), send.View(count), count, target)
+		return
+	}
+	pe.DevPutSignalNBI(kc, g, recv.symRef(count), send.View(count), count,
+		sig.sigRef(), sigVal, gpushmem.SignalSet, target)
+}
+
+// DevAcknowledge waits until the local signal reaches sigVal (device-side
+// Acknowledge; nvshmem_signal_wait_until in Listing 5).
+func DevAcknowledge(kc *gpu.KernelCtx, sig Signal, sigVal uint64, dc *DeviceComm) {
+	devCharge(kc, dc)
+	dc.c.pe.DevSignalWaitUntil(kc, sig.sigRef(), gpushmem.CmpGE, sigVal)
+}
+
+// DevQuiet completes all device-initiated non-blocking operations issued by
+// this rank.
+func DevQuiet(kc *gpu.KernelCtx, dc *DeviceComm) {
+	devCharge(kc, dc)
+	dc.c.pe.DevQuiet(kc)
+}
+
+// DevBarrier synchronizes all ranks from device code (requires a PureDevice
+// collective launch).
+func DevBarrier(kc *gpu.KernelCtx, dc *DeviceComm) {
+	devCharge(kc, dc)
+	dc.c.pe.DevBarrierAll(kc)
+}
+
+// DevAllReduce reduces count elements across all ranks from device code.
+func DevAllReduce[T gpu.Elem](kc *gpu.KernelCtx, op gpu.ReduceOp, send, recv Ptr[T], count int, dc *DeviceComm) {
+	devCharge(kc, dc)
+	dc.c.pe.DevAllReduce(kc, send.View(count), recv.View(count), op)
+}
+
+// DevBroadcast broadcasts count elements from root from device code.
+func DevBroadcast[T gpu.Elem](kc *gpu.KernelCtx, buf Ptr[T], count int, root int, dc *DeviceComm) {
+	devCharge(kc, dc)
+	dc.c.pe.DevBroadcast(kc, buf.View(count), root)
+}
+
+// DevAllGatherv performs the variable-size allgather from device code (the
+// PureDevice CG solver's SpMV exchange).
+func DevAllGatherv[T gpu.Elem](kc *gpu.KernelCtx, send, recv Ptr[T], counts, displs []int, dc *DeviceComm) {
+	devCharge(kc, dc)
+	me := dc.GlobalRank()
+	n := dc.GlobalSize()
+	total := displs[n-1] + counts[n-1]
+	dc.c.pe.DevAllGatherv(kc, send.View(counts[me]), recv.View(total), counts, displs)
+}

@@ -1,0 +1,199 @@
+// Package fabric models the communication hardware of a multi-GPU cluster:
+// intra-node GPU-to-GPU links (NVLink, Infinity Fabric) and the inter-node
+// network reached through per-GPU NIC ports (Slingshot, InfiniBand).
+//
+// The fabric is deliberately library-agnostic: it moves bytes between GPU
+// ports with a caller-supplied latency/bandwidth cost, and it provides the
+// contention model (FCFS port occupancy via sim.Timeline). Which latency and
+// effective bandwidth apply for a given communication library, API flavour,
+// and message size is decided by the machine model (internal/machine).
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Path classifies the route between two GPUs.
+type Path int
+
+const (
+	// PathSelf is a device-local copy (same GPU).
+	PathSelf Path = iota
+	// PathIntra crosses the intra-node interconnect (NVLink / xGMI).
+	PathIntra
+	// PathInter crosses NICs and the system network.
+	PathInter
+)
+
+func (p Path) String() string {
+	switch p {
+	case PathSelf:
+		return "self"
+	case PathIntra:
+		return "intra"
+	case PathInter:
+		return "inter"
+	default:
+		return fmt.Sprintf("Path(%d)", int(p))
+	}
+}
+
+// LinkCost is the resolved cost of moving one message across a path.
+type LinkCost struct {
+	// Latency is the end-to-end per-message latency (software stack plus
+	// wire). It delays delivery but does not occupy the ports.
+	Latency sim.Duration
+	// BytesPerSec is the effective streaming bandwidth for this message.
+	BytesPerSec float64
+}
+
+// Duration returns the port-occupancy time for a message of the given size.
+func (c LinkCost) Duration(bytes int64) sim.Duration {
+	if bytes <= 0 || c.BytesPerSec <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(bytes) / c.BytesPerSec * float64(sim.Second))
+}
+
+// Config describes the shape of the cluster.
+type Config struct {
+	Nodes       int
+	GPUsPerNode int
+	// NICsPerNode is the number of network ports per node. GPUs map to
+	// NICs by index (GPU local id * NICs / GPUsPerNode), so when NICs are
+	// scarcer than GPUs, neighbours share a port and contend.
+	NICsPerNode int
+}
+
+// Fabric is the instantiated interconnect of one simulated cluster.
+type Fabric struct {
+	cfg Config
+
+	// Per-GPU intra-node ports, indexed by global GPU id.
+	egress  []*sim.Timeline
+	ingress []*sim.Timeline
+	// Per-NIC ports, indexed by node*NICsPerNode + nic.
+	nicOut []*sim.Timeline
+	nicIn  []*sim.Timeline
+
+	// Trace, when non-nil, records every transfer as a span.
+	Trace *trace.Log
+}
+
+// New builds the fabric for a cluster configuration.
+func New(cfg Config) *Fabric {
+	if cfg.Nodes < 1 || cfg.GPUsPerNode < 1 {
+		panic("fabric: invalid config")
+	}
+	if cfg.NICsPerNode < 1 {
+		cfg.NICsPerNode = cfg.GPUsPerNode
+	}
+	nGPU := cfg.Nodes * cfg.GPUsPerNode
+	nNIC := cfg.Nodes * cfg.NICsPerNode
+	f := &Fabric{cfg: cfg}
+	for i := 0; i < nGPU; i++ {
+		f.egress = append(f.egress, sim.NewTimeline(fmt.Sprintf("gpu%d.egress", i)))
+		f.ingress = append(f.ingress, sim.NewTimeline(fmt.Sprintf("gpu%d.ingress", i)))
+	}
+	for i := 0; i < nNIC; i++ {
+		f.nicOut = append(f.nicOut, sim.NewTimeline(fmt.Sprintf("nic%d.out", i)))
+		f.nicIn = append(f.nicIn, sim.NewTimeline(fmt.Sprintf("nic%d.in", i)))
+	}
+	return f
+}
+
+// Config returns the cluster shape.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// NumGPUs reports the total GPU count.
+func (f *Fabric) NumGPUs() int { return f.cfg.Nodes * f.cfg.GPUsPerNode }
+
+// Node reports the node housing a global GPU id.
+func (f *Fabric) Node(gpu int) int { return gpu / f.cfg.GPUsPerNode }
+
+// Local reports the node-local index of a global GPU id.
+func (f *Fabric) Local(gpu int) int { return gpu % f.cfg.GPUsPerNode }
+
+// GlobalID composes a global GPU id from node and local indices.
+func (f *Fabric) GlobalID(node, local int) int { return node*f.cfg.GPUsPerNode + local }
+
+// nic returns the NIC port index serving a GPU.
+func (f *Fabric) nic(gpu int) int {
+	node, local := f.Node(gpu), f.Local(gpu)
+	return node*f.cfg.NICsPerNode + local*f.cfg.NICsPerNode/f.cfg.GPUsPerNode
+}
+
+// PathBetween classifies the route between two global GPU ids.
+func (f *Fabric) PathBetween(src, dst int) Path {
+	if src == dst {
+		return PathSelf
+	}
+	if f.Node(src) == f.Node(dst) {
+		return PathIntra
+	}
+	return PathInter
+}
+
+// Transfer books a message of the given size from src to dst starting no
+// earlier than at, and returns the virtual time at which the last byte
+// arrives at dst. The caller is responsible for scheduling any completion
+// event (typically sim.Engine.After or a Gate fired at the returned time).
+//
+// Port occupancy: intra-node messages hold the source's egress port and the
+// destination's ingress port; inter-node messages hold both NIC ports. The
+// latency component delays arrival but does not occupy ports, which models
+// pipelining of back-to-back messages.
+func (f *Fabric) Transfer(at sim.Time, src, dst int, bytes int64, cost LinkCost) sim.Time {
+	dur := cost.Duration(bytes)
+	path := f.PathBetween(src, dst)
+	var start, end sim.Time
+	switch path {
+	case PathSelf:
+		// Device-local copy: occupy the GPU's own ports so concurrent
+		// local copies serialize, as on a real copy engine.
+		start, end = sim.ReserveMulti(at, dur, f.egress[src])
+	case PathIntra:
+		start, end = sim.ReserveMulti(at, dur, f.egress[src], f.ingress[dst])
+	default:
+		start, end = sim.ReserveMulti(at, dur,
+			f.nicOut[f.nic(src)], f.nicIn[f.nic(dst)])
+	}
+	arrive := end.Add(cost.Latency)
+	f.Trace.Add(trace.Span{
+		Kind:  trace.KindTransfer,
+		Label: fmt.Sprintf("gpu%d->gpu%d", src, dst),
+		Track: path.String(),
+		Start: start, End: arrive, Bytes: bytes,
+	})
+	return arrive
+}
+
+// PortStats summarises cumulative port occupancy, for utilization reporting
+// and contention-sanity tests.
+type PortStats struct {
+	GPUEgressBusy  []sim.Duration
+	GPUIngressBusy []sim.Duration
+	NICOutBusy     []sim.Duration
+	NICInBusy      []sim.Duration
+}
+
+// Stats snapshots cumulative busy time on every port.
+func (f *Fabric) Stats() PortStats {
+	s := PortStats{}
+	for _, tl := range f.egress {
+		s.GPUEgressBusy = append(s.GPUEgressBusy, tl.BusySum())
+	}
+	for _, tl := range f.ingress {
+		s.GPUIngressBusy = append(s.GPUIngressBusy, tl.BusySum())
+	}
+	for _, tl := range f.nicOut {
+		s.NICOutBusy = append(s.NICOutBusy, tl.BusySum())
+	}
+	for _, tl := range f.nicIn {
+		s.NICInBusy = append(s.NICInBusy, tl.BusySum())
+	}
+	return s
+}

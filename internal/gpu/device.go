@@ -1,0 +1,234 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Cluster is the full set of simulated devices of one job, sharing an
+// engine, a machine model, and a fabric.
+type Cluster struct {
+	Eng     *sim.Engine
+	Model   *machine.Model
+	Fabric  *fabric.Fabric
+	Devices []*Device
+
+	// Trace, when non-nil, records kernel and stream-operation spans
+	// (set it with SetTrace so the fabric is instrumented too).
+	Trace *trace.Log
+}
+
+// SetTrace installs a span log on the cluster and its fabric.
+func (c *Cluster) SetTrace(l *trace.Log) {
+	c.Trace = l
+	c.Fabric.Trace = l
+}
+
+// NewCluster creates nGPUs devices packed onto nodes per the machine model.
+func NewCluster(eng *sim.Engine, model *machine.Model, nGPUs int) *Cluster {
+	nodes := model.NodesFor(nGPUs)
+	fab := fabric.New(model.FabricConfig(nodes))
+	c := &Cluster{Eng: eng, Model: model, Fabric: fab}
+	for i := 0; i < nGPUs; i++ {
+		d := &Device{
+			ID:      i,
+			Node:    fab.Node(i),
+			Local:   fab.Local(i),
+			cluster: c,
+		}
+		d.defaultStream = d.NewStream("default")
+		c.Devices = append(c.Devices, d)
+	}
+	return c
+}
+
+// Device is one simulated GPU (or GCD).
+type Device struct {
+	ID    int // global id
+	Node  int
+	Local int
+
+	cluster       *Cluster
+	streams       []*Stream
+	defaultStream *Stream
+}
+
+// Cluster reports the owning cluster.
+func (d *Device) Cluster() *Cluster { return d.cluster }
+
+// Model reports the machine model.
+func (d *Device) Model() *machine.Model { return d.cluster.Model }
+
+// DefaultStream returns the device's stream 0.
+func (d *Device) DefaultStream() *Stream { return d.defaultStream }
+
+// NewStream creates an independent in-order execution queue on the device.
+func (d *Device) NewStream(name string) *Stream {
+	s := &Stream{
+		dev:       d,
+		name:      fmt.Sprintf("gpu%d.%s", d.ID, name),
+		enqueued:  0,
+		completed: sim.NewCounter(fmt.Sprintf("gpu%d.%s.done", d.ID, name), 0),
+	}
+	s.ops = sim.NewMailbox[streamOp](s.name + ".ops")
+	s.proc = d.cluster.Eng.SpawnDaemon(s.name, s.run)
+	d.streams = append(d.streams, s)
+	return s
+}
+
+// streamOp is one enqueued stream operation.
+type streamOp struct {
+	label string
+	run   func(p *sim.Proc)
+}
+
+// Stream is an in-order execution queue, served by a daemon process.
+// Operations run one at a time in enqueue order; the host synchronizes via
+// Synchronize or events.
+type Stream struct {
+	dev  *Device
+	name string
+	ops  *sim.Mailbox[streamOp]
+	proc *sim.Proc
+
+	enqueued  uint64
+	completed *sim.Counter
+}
+
+// Device reports the owning device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// Name reports the stream's diagnostic name.
+func (s *Stream) Name() string { return s.name }
+
+func (s *Stream) run(p *sim.Proc) {
+	for {
+		op := s.ops.Get(p)
+		start := p.Now()
+		op.run(p)
+		s.dev.cluster.Trace.Add(trace.Span{
+			Kind: trace.KindStreamOp, Label: op.label, Track: s.name,
+			Start: start, End: p.Now(),
+		})
+		s.completed.Add(p.Engine(), 1)
+	}
+}
+
+// Enqueue places an operation on the stream without host-side cost. The
+// operation runs on the stream process after all previously enqueued work.
+func (s *Stream) Enqueue(label string, run func(p *sim.Proc)) {
+	s.enqueued++
+	s.ops.Put(s.dev.cluster.Eng, streamOp{label: label, run: run})
+}
+
+// Pending reports the number of enqueued-but-incomplete operations.
+func (s *Stream) Pending() uint64 { return s.enqueued - s.completed.Value() }
+
+// Synchronize blocks the host process until all work enqueued so far has
+// completed, mirroring cudaStreamSynchronize.
+func (s *Stream) Synchronize(host *sim.Proc) {
+	s.completed.WaitGE(host, s.enqueued)
+}
+
+// Query reports whether the stream has pending work, mirroring
+// cudaStreamQuery; the caller pays the query's host-side cost.
+func (s *Stream) Query(host *sim.Proc) bool {
+	host.Advance(s.dev.Model().Uniconn.StreamQuery)
+	return s.Pending() == 0
+}
+
+// Event is a CUDA/HIP-style timing and synchronization event.
+type Event struct {
+	name string
+	gate *sim.Gate
+	at   sim.Time
+}
+
+// NewEvent creates an unrecorded event.
+func NewEvent(name string) *Event {
+	return &Event{name: name, gate: sim.NewGate("event " + name)}
+}
+
+// Record enqueues the event on the stream: it fires (capturing the virtual
+// time) when the stream reaches it. Re-recording resets the event.
+func (e *Event) Record(s *Stream) {
+	if e.gate.Fired() {
+		e.gate = sim.NewGate("event " + e.name)
+	}
+	g := e.gate
+	s.Enqueue("event "+e.name, func(p *sim.Proc) {
+		e.at = p.Now()
+		g.Fire(p.Engine())
+	})
+}
+
+// Synchronize blocks the host until the event has fired.
+func (e *Event) Synchronize(host *sim.Proc) { e.gate.Wait(host) }
+
+// At reports the virtual time captured by the last completed Record.
+func (e *Event) At() sim.Time { return e.at }
+
+// Elapsed reports end.At() - start.At(), mirroring cudaEventElapsedTime.
+func Elapsed(start, end *Event) sim.Duration { return end.at.Sub(start.at) }
+
+// Kernel describes a launchable GPU kernel. Body is the functional payload
+// executed on the stream process (it may perform device-initiated
+// communication through the KernelCtx); Time is the modeled compute
+// duration, applied in addition to any time the body itself consumes.
+// Either may be omitted.
+type Kernel struct {
+	Name string
+	// Blocks and ThreadsPerBlock describe the launch configuration; they
+	// are used by device-side collectives for cost modelling.
+	Blocks          int
+	ThreadsPerBlock int
+	Time            func(d *Device) sim.Duration
+	Body            func(k *KernelCtx)
+}
+
+// KernelCtx is the device-side execution context handed to kernel bodies.
+type KernelCtx struct {
+	P      *sim.Proc
+	Dev    *Device
+	Stream *Stream
+	Kern   *Kernel
+	// Args carries launch arguments bound by the caller (UNICONN's
+	// BindKernel stores them here).
+	Args any
+}
+
+// ComputeBytes advances virtual time by the machine's memory-bound kernel
+// model for the given traffic.
+func (k *KernelCtx) ComputeBytes(bytes int64) {
+	k.P.Advance(k.Dev.Model().StencilKernelTime(bytes))
+}
+
+// Launch enqueues the kernel on the stream, charging the host the kernel
+// launch overhead. It returns immediately (asynchronous, like CUDA).
+func (s *Stream) Launch(host *sim.Proc, k *Kernel, args any) {
+	host.Advance(s.dev.Model().GPU.KernelLaunch)
+	s.Enqueue("kernel "+k.Name, func(p *sim.Proc) {
+		ctx := &KernelCtx{P: p, Dev: s.dev, Stream: s, Kern: k, Args: args}
+		if k.Body != nil {
+			k.Body(ctx)
+		}
+		if k.Time != nil {
+			p.Advance(k.Time(s.dev))
+		}
+	})
+}
+
+// MemcpyAsync enqueues a device-local copy of n elements on the stream.
+func (s *Stream) MemcpyAsync(host *sim.Proc, dst, src View, n int) {
+	host.Advance(s.dev.Model().HostOp)
+	s.Enqueue("memcpy", func(p *sim.Proc) {
+		cost := s.dev.Model().Cost(machine.LibMPI, machine.APIHost, fabric.PathSelf, dst.Slice(0, n).Bytes())
+		end := s.dev.cluster.Fabric.Transfer(p.Now(), s.dev.ID, s.dev.ID, int64(n)*int64(dst.ElemSize()), cost)
+		Copy(dst, src, n)
+		p.AdvanceTo(end)
+	})
+}

@@ -1,0 +1,235 @@
+// Package gpu implements the simulated GPU runtime: devices, typed device
+// memory, in-order streams, events, and kernels. It plays the role of the
+// CUDA/HIP runtime that UNICONN's vendor-agnostic macros expand to.
+//
+// Streams are simulated processes executing enqueued operations in order in
+// virtual time; kernels carry both a functional payload (real Go code, so
+// solvers compute genuine numerics) and a cost model (so virtual time is
+// meaningful at full problem scale even when the payload is elided).
+package gpu
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Elem constrains the element types usable in device buffers, mirroring the
+// native datatypes UNICONN's type templates cover.
+type Elem interface {
+	~int32 | ~int64 | ~uint32 | ~uint64 | ~float32 | ~float64
+}
+
+// ReduceOp is a reduction operator for collectives.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceProd
+	ReduceMin
+	ReduceMax
+)
+
+func (o ReduceOp) String() string {
+	switch o {
+	case ReduceSum:
+		return "sum"
+	case ReduceProd:
+		return "prod"
+	case ReduceMin:
+		return "min"
+	case ReduceMax:
+		return "max"
+	default:
+		return fmt.Sprintf("ReduceOp(%d)", int(o))
+	}
+}
+
+// mem is the type-erased face of a typed device buffer. Communication layers
+// move data through mem without knowing element types.
+type mem interface {
+	elemSize() int
+	length() int
+	deviceID() int
+	copyFrom(src mem, dstOff, srcOff, n int)
+	reduceFrom(src mem, dstOff, srcOff, n int, op ReduceOp)
+	clone(off, n int) mem
+}
+
+// Buffer is a typed allocation in one device's memory.
+type Buffer[T Elem] struct {
+	dev  *Device
+	data []T
+}
+
+// AllocBuffer allocates n elements on the device.
+func AllocBuffer[T Elem](dev *Device, n int) *Buffer[T] {
+	return &Buffer[T]{dev: dev, data: make([]T, n)}
+}
+
+// Data exposes the underlying storage (host-mapped view; in the simulation
+// host and device share an address space).
+func (b *Buffer[T]) Data() []T { return b.data }
+
+// Len reports the element count.
+func (b *Buffer[T]) Len() int { return len(b.data) }
+
+// Device reports the owning device.
+func (b *Buffer[T]) Device() *Device { return b.dev }
+
+// View selects [off, off+n) of the buffer for a communication operation.
+func (b *Buffer[T]) View(off, n int) View {
+	if off < 0 || n < 0 || off+n > len(b.data) {
+		panic(fmt.Sprintf("gpu: view [%d,%d) out of buffer of %d", off, off+n, len(b.data)))
+	}
+	return View{m: b, off: off, n: n}
+}
+
+// Whole views the entire buffer.
+func (b *Buffer[T]) Whole() View { return b.View(0, len(b.data)) }
+
+func (b *Buffer[T]) elemSize() int { var z T; return int(sizeOf(z)) }
+func (b *Buffer[T]) length() int   { return len(b.data) }
+func (b *Buffer[T]) deviceID() int {
+	if b.dev == nil {
+		return -1
+	}
+	return b.dev.ID
+}
+
+func (b *Buffer[T]) copyFrom(src mem, dstOff, srcOff, n int) {
+	s, ok := src.(*Buffer[T])
+	if !ok {
+		panic(fmt.Sprintf("gpu: copy between mismatched element types (%T vs %T)", b, src))
+	}
+	copy(b.data[dstOff:dstOff+n], s.data[srcOff:srcOff+n])
+}
+
+func (b *Buffer[T]) clone(off, n int) mem {
+	c := &Buffer[T]{dev: b.dev, data: make([]T, n)}
+	copy(c.data, b.data[off:off+n])
+	return c
+}
+
+func (b *Buffer[T]) reduceFrom(src mem, dstOff, srcOff, n int, op ReduceOp) {
+	s, ok := src.(*Buffer[T])
+	if !ok {
+		panic(fmt.Sprintf("gpu: reduce between mismatched element types (%T vs %T)", b, src))
+	}
+	d, v := b.data[dstOff:dstOff+n], s.data[srcOff:srcOff+n]
+	switch op {
+	case ReduceSum:
+		for i := range d {
+			d[i] += v[i]
+		}
+	case ReduceProd:
+		for i := range d {
+			d[i] *= v[i]
+		}
+	case ReduceMin:
+		for i := range d {
+			if v[i] < d[i] {
+				d[i] = v[i]
+			}
+		}
+	case ReduceMax:
+		for i := range d {
+			if v[i] > d[i] {
+				d[i] = v[i]
+			}
+		}
+	default:
+		panic("gpu: unknown reduce op")
+	}
+}
+
+// sizeOf reports the byte size of an element (covers named types with
+// underlying kinds permitted by Elem).
+func sizeOf(v any) int { return int(reflect.TypeOf(v).Size()) }
+
+// View is a type-erased window [off, off+n) into a typed device buffer.
+// The zero View is "nil" and valid only where documented (e.g. signal-less
+// Post on two-sided backends).
+type View struct {
+	m   mem
+	off int
+	n   int
+}
+
+// IsZero reports whether the view references no buffer.
+func (v View) IsZero() bool { return v.m == nil }
+
+// Len reports the element count of the view.
+func (v View) Len() int { return v.n }
+
+// ElemSize reports the element byte size (0 for the zero view).
+func (v View) ElemSize() int {
+	if v.m == nil {
+		return 0
+	}
+	return v.m.elemSize()
+}
+
+// Bytes reports the total byte size of the view (0 for the zero view).
+func (v View) Bytes() int64 {
+	if v.m == nil {
+		return 0
+	}
+	return int64(v.n) * int64(v.m.elemSize())
+}
+
+// DeviceID reports the owning device of the underlying buffer (-1 for the
+// zero view).
+func (v View) DeviceID() int {
+	if v.m == nil {
+		return -1
+	}
+	return v.m.deviceID()
+}
+
+// Clone copies the viewed elements into a detached buffer of the same
+// element type (used e.g. to stage eager-protocol messages). Cloning the
+// zero view returns the zero view.
+func (v View) Clone() View {
+	if v.m == nil {
+		return View{}
+	}
+	return View{m: v.m.clone(v.off, v.n), off: 0, n: v.n}
+}
+
+// Offset reports the view's element offset within its buffer.
+func (v View) Offset() int { return v.off }
+
+// Slice narrows the view to [off, off+n) relative to the view start.
+func (v View) Slice(off, n int) View {
+	if off < 0 || n < 0 || off+n > v.n {
+		panic(fmt.Sprintf("gpu: subview [%d,%d) out of view of %d", off, off+n, v.n))
+	}
+	return View{m: v.m, off: v.off + off, n: n}
+}
+
+// SameBuffer reports whether two views alias the same underlying buffer.
+func (v View) SameBuffer(o View) bool { return v.m == o.m }
+
+// Copy copies n elements from src to dst (dst[i] = src[i]). Views must have
+// the same element type.
+func Copy(dst, src View, n int) {
+	if n == 0 {
+		return
+	}
+	if n > dst.n || n > src.n {
+		panic(fmt.Sprintf("gpu: copy of %d elements exceeds views (%d, %d)", n, dst.n, src.n))
+	}
+	dst.m.copyFrom(src.m, dst.off, src.off, n)
+}
+
+// Reduce applies dst[i] = op(dst[i], src[i]) elementwise for n elements.
+func Reduce(dst, src View, n int, op ReduceOp) {
+	if n == 0 {
+		return
+	}
+	if n > dst.n || n > src.n {
+		panic(fmt.Sprintf("gpu: reduce of %d elements exceeds views (%d, %d)", n, dst.n, src.n))
+	}
+	dst.m.reduceFrom(src.m, dst.off, src.off, n, op)
+}

@@ -1,0 +1,356 @@
+// Package gpuccl implements a GPU collective communication library in the
+// mold of NCCL/RCCL: stream-ordered collectives and point-to-point
+// operations that execute as GPU kernels, group semantics that fuse multiple
+// operations into a single kernel launch, and ring algorithms whose steps
+// move across the simulated fabric.
+//
+// Key behaviours reproduced from the real library family:
+//
+//   - Every operation (or group of operations) is one kernel on the caller's
+//     stream; it pays a fixed launch overhead, which dominates small-message
+//     latency (the reason GPUCCL loses to MPI/GPUSHMEM at small sizes).
+//   - A collective kernel cannot make progress until the matching kernel of
+//     every peer is running; ranks then proceed in lockstep through the ring
+//     steps, so the slowest link paces everyone.
+//   - GroupStart/GroupEnd aggregate point-to-point operations (and
+//     collectives) into one launch, amortizing the overhead — the mechanism
+//     UNICONN leans on for halo exchanges and emulated collectives.
+package gpuccl
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// World is one GPUCCL job: a clique of communicators over all devices.
+type World struct {
+	cluster *gpu.Cluster
+	shared  *shared
+	comms   []*Comm
+	// groups holds each rank's group-aggregation context. Like real NCCL,
+	// ncclGroupStart/End scope is per thread (here: per rank), not per
+	// communicator handle, so operations on sub-communicators fuse into
+	// the same group.
+	groups []*groupCtx
+}
+
+// groupCtx is one rank's group-aggregation state.
+type groupCtx struct {
+	depth   int
+	pending []pendingOp
+}
+
+// pendingOp is an aggregated operation together with the stream it targets.
+type pendingOp struct {
+	o op
+	s *gpu.Stream
+}
+
+// shared is cross-rank matching state.
+type shared struct {
+	insts      map[instKey]*instance
+	pairs      map[pairKey]*pairFIFO
+	splits     map[instKey]*splitInst
+	nextCommID uint64
+}
+
+type instKey struct {
+	comm uint64 // communicator identity (0 = world)
+	seq  uint64 // per-rank operation sequence (identical across ranks)
+	kind string
+}
+
+// pairKey scopes point-to-point matching to one communicator; src/dst are
+// communicator-local ranks.
+type pairKey struct {
+	comm     uint64
+	src, dst int
+}
+
+// NewWorld bootstraps communicators on every device of the cluster
+// (the paper's applications bootstrap NCCL over MPI; the setup cost is
+// charged by the UNICONN Environment).
+func NewWorld(cluster *gpu.Cluster) *World {
+	w := &World{
+		cluster: cluster,
+		shared: &shared{
+			insts:  map[instKey]*instance{},
+			pairs:  map[pairKey]*pairFIFO{},
+			splits: map[instKey]*splitInst{},
+		},
+	}
+	for i, dev := range cluster.Devices {
+		w.comms = append(w.comms, &Comm{w: w, rank: i, dev: dev})
+		w.groups = append(w.groups, &groupCtx{})
+	}
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.comms) }
+
+// Comm returns rank r's communicator handle.
+func (w *World) Comm(r int) *Comm { return w.comms[r] }
+
+// Comm is one rank's communicator handle (an ncclComm_t). Sub-communicators
+// created by Split carry a member table translating communicator-local
+// ranks to world (device) ids.
+type Comm struct {
+	w      *World
+	rank   int // communicator-local rank
+	dev    *gpu.Device
+	commID uint64
+	// members maps communicator rank -> world rank; nil for the world
+	// communicator, where the mapping is the identity.
+	members []int
+
+	opSeq    uint64
+	splitSeq uint64
+}
+
+// Rank reports the calling rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the communicator size.
+func (c *Comm) Size() int {
+	if c.members != nil {
+		return len(c.members)
+	}
+	return len(c.w.comms)
+}
+
+// worldOf translates a communicator rank to a world (device) id.
+func (c *Comm) worldOf(r int) int {
+	if c.members != nil {
+		return c.members[r]
+	}
+	return r
+}
+
+// myWorld is the calling rank's world id.
+func (c *Comm) myWorld() int { return c.worldOf(c.rank) }
+
+// Device reports the owning device.
+func (c *Comm) Device() *gpu.Device { return c.dev }
+
+func (c *Comm) model() *machine.Model { return c.w.cluster.Model }
+
+func (c *Comm) profile() machine.LibProfile {
+	return c.model().Profile(machine.LibGPUCCL, machine.APIHost)
+}
+
+// op is one queued operation; run executes it on the stream process inside
+// the (possibly fused) kernel.
+type op struct {
+	label string
+	run   func(p *sim.Proc)
+}
+
+// group returns the calling rank's aggregation context (group scope is per
+// rank, like NCCL's per-thread ncclGroupStart/End — operations on any
+// communicator of this rank join the open group).
+func (c *Comm) group() *groupCtx { return c.w.groups[c.myWorld()] }
+
+// GroupStart begins operation aggregation for this rank, mirroring
+// ncclGroupStart. Groups may be nested; only the outermost GroupEnd
+// launches.
+func (c *Comm) GroupStart() { c.group().depth++ }
+
+// GroupEnd launches all aggregated operations, mirroring ncclGroupEnd:
+// one fused kernel per target stream.
+func (c *Comm) GroupEnd(p *sim.Proc, s *gpu.Stream) {
+	g := c.group()
+	if g.depth == 0 {
+		panic("gpuccl: GroupEnd without GroupStart")
+	}
+	g.depth--
+	if g.depth > 0 {
+		return
+	}
+	pend := g.pending
+	g.pending = nil
+	// Fuse per stream, preserving submission order.
+	for len(pend) > 0 {
+		stream := pend[0].s
+		var ops []op
+		var rest []pendingOp
+		for _, po := range pend {
+			if po.s == stream {
+				ops = append(ops, po.o)
+			} else {
+				rest = append(rest, po)
+			}
+		}
+		c.launch(p, stream, ops)
+		pend = rest
+	}
+}
+
+// submit runs one op immediately (implicit group of one) or defers it to
+// GroupEnd.
+func (c *Comm) submit(p *sim.Proc, s *gpu.Stream, o op) {
+	p.Advance(c.profile().CallOverhead)
+	if g := c.group(); g.depth > 0 {
+		g.pending = append(g.pending, pendingOp{o: o, s: s})
+		return
+	}
+	c.launch(p, s, []op{o})
+}
+
+// launch enqueues one fused communication kernel executing ops. The
+// individual ops run concurrently: each op gets its own sub-process and the
+// kernel completes when all have finished, mirroring how a fused NCCL
+// kernel drives all its channels in parallel.
+func (c *Comm) launch(p *sim.Proc, s *gpu.Stream, ops []op) {
+	if len(ops) == 0 {
+		return
+	}
+	prof := c.profile()
+	s.Enqueue(fmt.Sprintf("ccl-kernel[%d]", len(ops)), func(sp *sim.Proc) {
+		sp.Advance(prof.LaunchOverhead)
+		if len(ops) == 1 {
+			ops[0].run(sp)
+			return
+		}
+		eng := sp.Engine()
+		done := sim.NewCounter("ccl-fused", 0)
+		for _, o := range ops {
+			o := o
+			eng.Spawn(fmt.Sprintf("%s.%s", s.Name(), o.label), func(op *sim.Proc) {
+				o.run(op)
+				done.Add(eng, 1)
+			})
+		}
+		done.WaitGE(sp, uint64(len(ops)))
+	})
+}
+
+// nextSeq advances this rank's operation sequence; all ranks of the
+// communicator must issue the same operations in the same order (an NCCL
+// usage requirement).
+func (c *Comm) nextSeq() uint64 {
+	c.opSeq++
+	return c.opSeq
+}
+
+// opKey builds the cross-rank instance key for one collective call.
+func (c *Comm) opKey(kind string) instKey {
+	return instKey{comm: c.commID, seq: c.nextSeq(), kind: kind}
+}
+
+// instance is the cross-rank state of one collective call.
+type instance struct {
+	arrived int
+	ready   *sim.Gate
+	stepRdv *sim.Rendezvous
+	sends   []gpu.View
+	recvs   []gpu.View
+}
+
+func (c *Comm) instanceFor(key instKey) *instance {
+	inst := c.w.shared.insts[key]
+	if inst == nil {
+		n := c.Size()
+		inst = &instance{
+			ready:   sim.NewGate(fmt.Sprintf("ccl-%s-%d", key.kind, key.seq)),
+			stepRdv: sim.NewRendezvous(fmt.Sprintf("ccl-step-%s-%d", key.kind, key.seq), n),
+			sends:   make([]gpu.View, n),
+			recvs:   make([]gpu.View, n),
+		}
+		c.w.shared.insts[key] = inst
+	}
+	return inst
+}
+
+// arrive registers this rank at the instance; the last arrival fires ready
+// (and is the rank on which dataFn runs, once, with all views registered).
+func (inst *instance) arrive(p *sim.Proc, c *Comm, send, recv gpu.View, key instKey, dataFn func(inst *instance)) {
+	inst.sends[c.rank] = send
+	inst.recvs[c.rank] = recv
+	inst.arrived++
+	if inst.arrived == c.Size() {
+		if dataFn != nil {
+			dataFn(inst)
+		}
+		delete(c.w.shared.insts, key) // instance complete once all run the steps
+		inst.ready.Fire(p.Engine())
+		return
+	}
+	inst.ready.Wait(p)
+}
+
+// ringStep describes what one rank sends to its right neighbour in one
+// lockstep ring step.
+type ringStep struct {
+	send  bool
+	bytes int64
+}
+
+// runRing executes a per-rank plan of lockstep ring steps. Every rank
+// participates in every step's rendezvous so the slowest transfer paces the
+// ring, as in a real bandwidth-bound NCCL ring.
+func (c *Comm) runRing(p *sim.Proc, inst *instance, plan []ringStep) {
+	n := c.Size()
+	me := c.myWorld()
+	right := c.worldOf((c.rank + 1) % n)
+	fab := c.w.cluster.Fabric
+	m := c.model()
+	for _, st := range plan {
+		inst.stepRdv.Arrive(p)
+		if st.send && st.bytes > 0 {
+			path := fab.PathBetween(me, right)
+			cost := m.Cost(machine.LibGPUCCL, machine.APIHost, path, st.bytes)
+			end := fab.Transfer(p.Now(), me, right, st.bytes, cost)
+			p.AdvanceTo(end)
+		}
+	}
+	// Final rendezvous so no rank exits before the last step completes.
+	inst.stepRdv.Arrive(p)
+}
+
+// chunkSizes splits count elements into n contiguous chunks (standard ring
+// partition, chunk i covers [starts[i], starts[i+1])).
+func chunkSizes(count, n int) []int {
+	starts := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		starts[i] = i * count / n
+	}
+	return starts
+}
+
+// runExchange executes lockstep rounds where each rank sends to a derived
+// peer — the timing skeleton of the tree/recursive-doubling algorithms the
+// library uses for latency-bound (small) collectives.
+func (c *Comm) runExchange(p *sim.Proc, inst *instance, rounds int, peerOf func(r int) int, bytes int64) {
+	fab := c.w.cluster.Fabric
+	m := c.model()
+	me := c.myWorld()
+	for r := 0; r < rounds; r++ {
+		inst.stepRdv.Arrive(p)
+		peer := peerOf(r)
+		if peer >= 0 && peer != c.rank && peer < c.Size() {
+			dst := c.worldOf(peer)
+			path := fab.PathBetween(me, dst)
+			cost := m.Cost(machine.LibGPUCCL, machine.APIHost, path, bytes)
+			end := fab.Transfer(p.Now(), me, dst, bytes, cost)
+			p.AdvanceTo(end)
+		}
+	}
+	inst.stepRdv.Arrive(p)
+}
+
+// allReduceTreeMax is the byte size up to which AllReduce uses the
+// low-latency recursive-doubling exchange instead of the bandwidth-optimal
+// ring (mirroring NCCL's LL/tree protocols for small messages).
+const allReduceTreeMax = 64 << 10
+
+func log2Ceil(n int) int {
+	r := 0
+	for v := 1; v < n; v <<= 1 {
+		r++
+	}
+	return r
+}

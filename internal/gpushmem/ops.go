@@ -1,0 +1,180 @@
+package gpushmem
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// One-sided data movement. Device-side entry points (DevXxx) are called
+// from kernel bodies with the kernel's context; host-side entry points
+// (XxxOnStream) enqueue the operation on a stream, like the nvshmemx
+// *_on_stream API. Both funnel into the same transfer core.
+
+// transfer moves the payload of one put (issuer pe, data pe→target) and
+// applies the optional signal at delivery. It returns the delivery gate.
+func (pe *PE) transfer(eng *sim.Engine, at sim.Time, dst gpu.View, src gpu.View, n int,
+	target int, api machine.API, gran ThreadGroup, sig *SigRef, sigOp SignalOp, sigVal uint64) *sim.Gate {
+	return pe.transferRaw(eng, at, dst, src, n, pe.rank, target, target, api, gran, sig, sigOp, sigVal)
+}
+
+// transferRaw is the data-movement core: n elements flow srcRank→dstRank,
+// the signal (if any) fires on sigRank, and completion is charged to the
+// issuing PE's NBI accounting.
+func (pe *PE) transferRaw(eng *sim.Engine, at sim.Time, dst gpu.View, src gpu.View, n int,
+	srcRank, dstRank, sigRank int, api machine.API, gran ThreadGroup,
+	sig *SigRef, sigOp SignalOp, sigVal uint64) *sim.Gate {
+
+	fab := pe.w.cluster.Fabric
+	bytes := int64(n) * int64(src.ElemSize())
+	path := fab.PathBetween(srcRank, dstRank)
+	cost := pe.model().Cost(machine.LibGPUSHMEM, api, path, bytes)
+	if api == machine.APIDevice {
+		cost.BytesPerSec *= gran.granEff()
+	}
+	arrive := fab.Transfer(at, srcRank, dstRank, bytes, cost)
+	done := sim.NewGate(fmt.Sprintf("put pe%d->pe%d", srcRank, dstRank))
+	pe.issued.Add(eng, 1)
+	eng.After(arrive.Sub(eng.Now()), func() {
+		gpu.Copy(dst, src, n)
+		if sig != nil {
+			sig.apply(eng, sigRank, sigOp, sigVal)
+		}
+		pe.completed.Add(eng, 1)
+		done.Fire(eng)
+	})
+	return done
+}
+
+// callCost charges the per-call overhead of the API flavour.
+func (pe *PE) callCost(p *sim.Proc, api machine.API) {
+	p.Advance(pe.model().Profile(machine.LibGPUSHMEM, api).CallOverhead)
+}
+
+// --- Device-side API (call from kernel bodies) ---
+
+// DevPutNBI is nvshmem_put_nbi: non-blocking one-sided write of n elements
+// of src into dest on the target PE.
+func (pe *PE) DevPutNBI(k *gpu.KernelCtx, g ThreadGroup, dest SymRef, src gpu.View, n, target int) {
+	pe.callCost(k.P, machine.APIDevice)
+	pe.transfer(k.P.Engine(), k.P.Now(), dest.On(target).Slice(0, n), src, n,
+		target, machine.APIDevice, g, nil, SignalSet, 0)
+}
+
+// DevPutSignalNBI is nvshmemx_put_signal_nbi: like DevPutNBI but updates the
+// signal word on the target after the payload is delivered.
+func (pe *PE) DevPutSignalNBI(k *gpu.KernelCtx, g ThreadGroup, dest SymRef, src gpu.View, n int,
+	sig SigRef, sigVal uint64, sigOp SignalOp, target int) {
+	pe.callCost(k.P, machine.APIDevice)
+	pe.transfer(k.P.Engine(), k.P.Now(), dest.On(target).Slice(0, n), src, n,
+		target, machine.APIDevice, g, &sig, sigOp, sigVal)
+}
+
+// DevPut is the blocking variant: it returns when the payload is delivered.
+func (pe *PE) DevPut(k *gpu.KernelCtx, g ThreadGroup, dest SymRef, src gpu.View, n, target int) {
+	pe.callCost(k.P, machine.APIDevice)
+	done := pe.transfer(k.P.Engine(), k.P.Now(), dest.On(target).Slice(0, n), src, n,
+		target, machine.APIDevice, g, nil, SignalSet, 0)
+	done.Wait(k.P)
+}
+
+// DevGet is a blocking one-sided read of n elements of src on the target PE
+// into the local dst. The request adds one extra path latency before data
+// flows back.
+func (pe *PE) DevGet(k *gpu.KernelCtx, g ThreadGroup, dst gpu.View, src SymRef, n, target int) {
+	pe.callCost(k.P, machine.APIDevice)
+	path := pe.w.cluster.Fabric.PathBetween(pe.rank, target)
+	req := pe.model().Cost(machine.LibGPUSHMEM, machine.APIDevice, path, 0).Latency
+	k.P.Advance(req) // request flight
+	done := pe.transferRaw(k.P.Engine(), k.P.Now(), dst, src.On(target).Slice(0, n), n,
+		target, pe.rank, pe.rank, machine.APIDevice, g, nil, SignalSet, 0)
+	done.Wait(k.P)
+}
+
+// DevSignalWaitUntil is nvshmem_signal_wait_until on the local PE.
+func (pe *PE) DevSignalWaitUntil(k *gpu.KernelCtx, sig SigRef, cmp Cmp, val uint64) {
+	pe.callCost(k.P, machine.APIDevice)
+	sig.counter(pe.rank).WaitUntil(k.P, func(v uint64) bool { return cmp.match(v, val) })
+}
+
+// DevQuiet is nvshmem_quiet: waits for completion of all NBI operations
+// issued by this PE.
+func (pe *PE) DevQuiet(k *gpu.KernelCtx) {
+	pe.callCost(k.P, machine.APIDevice)
+	target := pe.issued.Value()
+	pe.completed.WaitGE(k.P, target)
+}
+
+// DevFence is nvshmem_fence: ordering between puts to the same PE. The
+// simulated fabric delivers same-pair messages in issue order, so the fence
+// costs only its instruction overhead.
+func (pe *PE) DevFence(k *gpu.KernelCtx) { pe.callCost(k.P, machine.APIDevice) }
+
+// --- Host-side stream-ordered API (nvshmemx *_on_stream) ---
+
+// PutSignalOnStream enqueues a put-with-signal on the stream.
+func (pe *PE) PutSignalOnStream(p *sim.Proc, s *gpu.Stream, dest SymRef, src gpu.View, n int,
+	sig SigRef, sigVal uint64, sigOp SignalOp, target int) {
+	pe.hostEnqueue(p, s, fmt.Sprintf("put-signal->%d", target), func(sp *sim.Proc) {
+		done := pe.transfer(sp.Engine(), sp.Now(), dest.On(target).Slice(0, n), src, n,
+			target, machine.APIHost, Block, &sig, sigOp, sigVal)
+		done.Wait(sp)
+	})
+}
+
+// PutOnStream enqueues a put on the stream.
+func (pe *PE) PutOnStream(p *sim.Proc, s *gpu.Stream, dest SymRef, src gpu.View, n, target int) {
+	pe.hostEnqueue(p, s, fmt.Sprintf("put->%d", target), func(sp *sim.Proc) {
+		done := pe.transfer(sp.Engine(), sp.Now(), dest.On(target).Slice(0, n), src, n,
+			target, machine.APIHost, Block, nil, SignalSet, 0)
+		done.Wait(sp)
+	})
+}
+
+// SignalWaitOnStream enqueues a signal wait: subsequent stream work does not
+// run until the local signal word satisfies the comparison.
+func (pe *PE) SignalWaitOnStream(p *sim.Proc, s *gpu.Stream, sig SigRef, cmp Cmp, val uint64) {
+	pe.hostEnqueue(p, s, "signal-wait", func(sp *sim.Proc) {
+		sig.counter(pe.rank).WaitUntil(sp, func(v uint64) bool { return cmp.match(v, val) })
+	})
+}
+
+// QuietOnStream enqueues a quiet on the stream.
+func (pe *PE) QuietOnStream(p *sim.Proc, s *gpu.Stream) {
+	pe.hostEnqueue(p, s, "quiet", func(sp *sim.Proc) {
+		target := pe.issued.Value()
+		pe.completed.WaitGE(sp, target)
+	})
+}
+
+// hostEnqueue places one host-API operation on the stream, paying the
+// host-side call and stream-launch overheads.
+func (pe *PE) hostEnqueue(p *sim.Proc, s *gpu.Stream, label string, run func(sp *sim.Proc)) {
+	prof := pe.model().Profile(machine.LibGPUSHMEM, machine.APIHost)
+	p.Advance(prof.CallOverhead)
+	s.Enqueue(label, func(sp *sim.Proc) {
+		sp.Advance(prof.LaunchOverhead)
+		run(sp)
+	})
+}
+
+// CollectiveLaunch launches a kernel that may use device-side collective
+// operations (nvshmemx_collective_launch). All PEs must call it; the
+// kernels start together once every PE's launch reaches the GPU, mirroring
+// the grid-wide cooperative-launch requirement.
+func (pe *PE) CollectiveLaunch(p *sim.Proc, s *gpu.Stream, k *gpu.Kernel, args any) {
+	pe.launchSeq++
+	key := instKey{seq: pe.launchSeq, kind: "coll-launch"}
+	inner := *k
+	body := inner.Body
+	inner.Body = func(kc *gpu.KernelCtx) {
+		inst := pe.instanceFor(key)
+		inst.arrive(kc.P, pe, gpu.View{}, gpu.View{}, key, nil)
+		if body != nil {
+			body(kc)
+		}
+	}
+	s.Launch(p, &inner, args)
+}

@@ -1,0 +1,161 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+func TestTableIShapes(t *testing.T) {
+	// The encoded models must match Table I's structural facts.
+	p, l, mn := Perlmutter(), LUMI(), MareNostrum5()
+	if p.GPUsPerNode != 4 || mn.GPUsPerNode != 4 {
+		t.Error("Perlmutter/MareNostrum5 have 4 GPUs per node")
+	}
+	if l.GPUsPerNode != 8 {
+		t.Error("LUMI exposes 8 GCDs per node (paper §VI-C)")
+	}
+	if !p.HasGPUSHMEM || l.HasGPUSHMEM || !mn.HasGPUSHMEM {
+		t.Error("GPUSHMEM availability: Perlmutter yes, LUMI no, MareNostrum5 yes")
+	}
+	for _, m := range All() {
+		if m.NICsPerNode != 4 {
+			t.Errorf("%s: all systems have 4 NICs (4x 200Gb/s)", m.Name)
+		}
+		if m.NICWireBW != 25e9 {
+			t.Errorf("%s: 200 Gb/s = 25 GB/s per NIC", m.Name)
+		}
+	}
+	// Intra-node wire ordering: NVLink4 > NVLink3 > Infinity Fabric link.
+	if !(mn.IntraWireBW > p.IntraWireBW && p.IntraWireBW > l.IntraWireBW) {
+		t.Error("intra-node wire ordering violated")
+	}
+}
+
+func TestSupportsAndProfilePanics(t *testing.T) {
+	l := LUMI()
+	if l.Supports(LibGPUSHMEM, APIHost) {
+		t.Error("LUMI should not support GPUSHMEM")
+	}
+	if !l.Supports(LibGPUCCL, APIHost) {
+		t.Error("LUMI supports RCCL")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Profile for unsupported combination should panic")
+		}
+	}()
+	l.Profile(LibGPUSHMEM, APIDevice)
+}
+
+func TestCostMonotoneInSize(t *testing.T) {
+	m := Perlmutter()
+	f := func(a, b uint32) bool {
+		sa, sb := int64(a%(1<<24))+1, int64(b%(1<<24))+1
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		for _, path := range []fabric.Path{fabric.PathIntra, fabric.PathInter} {
+			ca := m.Cost(LibMPI, APIHost, path, sa)
+			cb := m.Cost(LibMPI, APIHost, path, sb)
+			// Effective bandwidth grows with size (saturation curve).
+			if cb.BytesPerSec < ca.BytesPerSec {
+				return false
+			}
+			// Transfer time still grows with size.
+			if ca.Duration(sa) > cb.Duration(sb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveBandwidthBelowWire(t *testing.T) {
+	for _, m := range All() {
+		for lib := Lib(0); lib < numLibs; lib++ {
+			for _, api := range []API{APIHost, APIDevice} {
+				if !m.Supports(lib, api) {
+					continue
+				}
+				for _, size := range []int64{64, 1 << 20, 1 << 28} {
+					intra := m.Cost(lib, api, fabric.PathIntra, size)
+					inter := m.Cost(lib, api, fabric.PathInter, size)
+					if intra.BytesPerSec > m.IntraWireBW {
+						t.Errorf("%s %v/%v: intra eff %f above wire", m.Name, lib, api, intra.BytesPerSec)
+					}
+					if inter.BytesPerSec > m.NICWireBW {
+						t.Errorf("%s %v/%v: inter eff %f above wire", m.Name, lib, api, inter.BytesPerSec)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeviceAPILowerLatency(t *testing.T) {
+	// The defining property of device-initiated communication.
+	for _, m := range []*Model{Perlmutter(), MareNostrum5()} {
+		host := m.Profile(LibGPUSHMEM, APIHost)
+		dev := m.Profile(LibGPUSHMEM, APIDevice)
+		if dev.Intra.Alpha >= host.Intra.Alpha || dev.Inter.Alpha >= host.Inter.Alpha {
+			t.Errorf("%s: device alpha not below host", m.Name)
+		}
+		if dev.LaunchOverhead != 0 {
+			t.Errorf("%s: device API must have no launch overhead", m.Name)
+		}
+	}
+}
+
+func TestKernelTimeModels(t *testing.T) {
+	m := Perlmutter()
+	small := m.StencilKernelTime(1 << 16)
+	big := m.StencilKernelTime(1 << 30)
+	if small <= 0 || big <= small {
+		t.Fatalf("stencil times %v %v", small, big)
+	}
+	// 1 GiB at ~1.2 TB/s effective ≈ 0.9 ms.
+	if big < sim.Duration(500*sim.Microsecond) || big > sim.Duration(5*sim.Millisecond) {
+		t.Fatalf("1GiB stencil sweep = %v, outside plausible range", big)
+	}
+	if m.SpMVKernelTime(1e6) <= 0 {
+		t.Fatal("spmv time must be positive")
+	}
+}
+
+func TestNodesFor(t *testing.T) {
+	m := Perlmutter()
+	cases := map[int]int{1: 1, 4: 1, 5: 2, 8: 2, 64: 16}
+	for gpus, want := range cases {
+		if got := m.NodesFor(gpus); got != want {
+			t.Errorf("NodesFor(%d) = %d, want %d", gpus, got, want)
+		}
+	}
+	l := LUMI()
+	if l.NodesFor(64) != 8 {
+		t.Errorf("LUMI 64 GCDs = %d nodes, want 8 (paper §VI-C)", l.NodesFor(64))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Perlmutter") == nil || ByName("LUMI") == nil || ByName("MareNostrum5") == nil {
+		t.Fatal("known machines not found")
+	}
+	if ByName("Frontier") != nil {
+		t.Fatal("unknown machine resolved")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LibMPI.String() != "MPI" || LibGPUCCL.String() != "GPUCCL" || LibGPUSHMEM.String() != "GPUSHMEM" {
+		t.Fatal("lib names")
+	}
+	if APIHost.String() != "Host" || APIDevice.String() != "Device" {
+		t.Fatal("api names")
+	}
+}

@@ -1,0 +1,457 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Collective algorithms built on the point-to-point layer, following the
+// classic MPICH selection: binomial trees for short broadcast/reduce,
+// recursive doubling for short allreduce, ring algorithms for long vectors,
+// dissemination for barrier, and pairwise exchange for all-to-all.
+//
+// Every rank of a communicator must call the same collectives in the same
+// order, each from its own simulated process.
+
+// collTag returns a reserved tag for one round of one collective call.
+func (c *Comm) collTag(round int) int {
+	return maxUserTag + int(c.coll)<<8 + round
+}
+
+// stagingPenalty charges the host-bounce-buffer cost of the MPI
+// implementation's vector collectives on device buffers (down and up once
+// each at the staging bandwidth).
+func (c *Comm) stagingPenalty(p *sim.Proc, vectorBytes int64) {
+	bw := c.profile().CollStagingBW
+	if bw <= 0 || vectorBytes <= 0 {
+		return
+	}
+	p.Advance(sim.Duration(2 * float64(vectorBytes) / bw * float64(sim.Second)))
+}
+
+// enterColl advances the per-handle collective sequence and returns the
+// sequence valid for this call.
+func (c *Comm) enterColl() {
+	c.coll++
+}
+
+// Barrier blocks until every rank of the communicator has entered it
+// (dissemination algorithm: ceil(log2 n) zero-byte rounds).
+func (c *Comm) Barrier(p *sim.Proc) {
+	c.enterColl()
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.rank
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		dst := (me + dist) % n
+		src := (me - dist + n) % n
+		c.Sendrecv(p, gpu.View{}, dst, c.collTag(round), gpu.View{}, src, c.collTag(round))
+	}
+}
+
+// Bcast broadcasts root's buf to every rank (binomial tree).
+func (c *Comm) Bcast(p *sim.Proc, buf gpu.View, root int) {
+	c.enterColl()
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	// Re-index so the root is virtual rank 0.
+	vrank := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		mask <<= 1
+	}
+	// Receive once from the parent, then forward down the tree.
+	recvMask := 1
+	for vrank != 0 && vrank&recvMask == 0 {
+		recvMask <<= 1
+	}
+	if vrank != 0 {
+		parent := ((vrank &^ recvMask) + root) % n
+		c.Recv(p, buf, parent, c.collTag(0))
+	}
+	childMask := recvMask >> 1
+	if vrank == 0 {
+		childMask = mask >> 1
+	}
+	for ; childMask > 0; childMask >>= 1 {
+		child := vrank | childMask
+		if child < n && child != vrank {
+			c.Send(p, buf, (child+root)%n, c.collTag(0))
+		}
+	}
+}
+
+// Reduce combines sendBuf from all ranks into recvBuf on root (binomial
+// tree). recvBuf may be the zero view on non-root ranks. sendBuf and
+// recvBuf must not alias.
+func (c *Comm) Reduce(p *sim.Proc, sendBuf, recvBuf gpu.View, op gpu.ReduceOp, root int) {
+	c.enterColl()
+	n := c.Size()
+	count := sendBuf.Len()
+	acc := sendBuf.Clone()
+	if n > 1 {
+		vrank := (c.rank - root + n) % n
+		mask := 1
+		for mask < n {
+			if vrank&mask != 0 {
+				parent := ((vrank &^ mask) + root) % n
+				c.Send(p, acc, parent, c.collTag(bitsOf(mask)))
+				break
+			}
+			peer := vrank | mask
+			if peer < n {
+				tmp := acc.Clone()
+				c.Recv(p, tmp, (peer+root)%n, c.collTag(bitsOf(mask)))
+				gpu.Reduce(acc, tmp, count, op)
+			}
+			mask <<= 1
+		}
+	}
+	if c.rank == root {
+		gpu.Copy(recvBuf, acc, count)
+	}
+}
+
+func bitsOf(mask int) int {
+	b := 0
+	for mask > 1 {
+		mask >>= 1
+		b++
+	}
+	return b
+}
+
+// allreduceRingMin is the vector byte size above which Allreduce switches
+// from recursive doubling to the ring algorithm.
+const allreduceRingMin = 64 << 10
+
+// Allreduce combines sendBuf from all ranks elementwise into recvBuf on all
+// ranks. In-place operation is allowed (sendBuf == recvBuf).
+func (c *Comm) Allreduce(p *sim.Proc, sendBuf, recvBuf gpu.View, op gpu.ReduceOp) {
+	c.enterColl()
+	n := c.Size()
+	count := sendBuf.Len()
+	if !sendBuf.SameBuffer(recvBuf) || sendBuf.Offset() != recvBuf.Offset() {
+		gpu.Copy(recvBuf, sendBuf, count)
+	}
+	if n == 1 {
+		return
+	}
+	if sendBuf.Bytes() >= allreduceRingMin && count >= n {
+		c.allreduceRing(p, recvBuf, op)
+		return
+	}
+	c.allreduceRecursiveDoubling(p, recvBuf, op)
+}
+
+// allreduceRecursiveDoubling handles any rank count by folding the ranks
+// beyond the largest power of two into their lower partners first.
+func (c *Comm) allreduceRecursiveDoubling(p *sim.Proc, buf gpu.View, op gpu.ReduceOp) {
+	n := c.Size()
+	count := buf.Len()
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	me := c.rank
+	tmp := buf.Clone()
+
+	// Fold phase: ranks >= pof2 send to (rank - rem) and sit out.
+	newRank := -1
+	switch {
+	case me < rem*2 && me%2 != 0: // odd ranks in the doubled region send
+		c.Send(p, buf, me-1, c.collTag(200))
+	case me < rem*2: // even ranks in the doubled region absorb
+		c.Recv(p, tmp, me+1, c.collTag(200))
+		gpu.Reduce(buf, tmp, count, op)
+		newRank = me / 2
+	default:
+		newRank = me - rem
+	}
+
+	if newRank >= 0 {
+		for round, mask := 0, 1; mask < pof2; round, mask = round+1, mask*2 {
+			peerNew := newRank ^ mask
+			var peer int
+			if peerNew < rem {
+				peer = peerNew * 2
+			} else {
+				peer = peerNew + rem
+			}
+			c.Sendrecv(p, buf, peer, c.collTag(round),
+				tmp, peer, c.collTag(round))
+			gpu.Reduce(buf, tmp, count, op)
+		}
+	}
+
+	// Unfold: results back to the odd ranks that sat out.
+	if me < rem*2 {
+		if me%2 == 0 {
+			c.Send(p, buf, me+1, c.collTag(201))
+		} else {
+			c.Recv(p, buf, me-1, c.collTag(201))
+		}
+	}
+}
+
+// allreduceRing implements reduce-scatter + allgather over a ring; it needs
+// count >= n.
+func (c *Comm) allreduceRing(p *sim.Proc, buf gpu.View, op gpu.ReduceOp) {
+	n := c.Size()
+	count := buf.Len()
+	me := c.rank
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+
+	// Chunk boundaries: chunk i is [starts[i], starts[i+1]).
+	starts := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		starts[i] = i * count / n
+	}
+	chunk := func(i int) gpu.View {
+		i = (i%n + n) % n
+		return buf.Slice(starts[i], starts[i+1]-starts[i])
+	}
+	tmp := buf.Clone()
+
+	// Reduce-scatter: after n-1 steps rank r holds the full reduction of
+	// chunk (r+1) mod n.
+	for step := 0; step < n-1; step++ {
+		sendIdx := me - step
+		recvIdx := me - step - 1
+		rv := chunk(recvIdx)
+		tmpChunk := tmpSlice(tmp, buf, rv)
+		c.Sendrecv(p, chunk(sendIdx), right, c.collTag(step),
+			tmpChunk, left, c.collTag(step))
+		gpu.Reduce(rv, tmpChunk, rv.Len(), op)
+	}
+	// Allgather: circulate the finished chunks.
+	for step := 0; step < n-1; step++ {
+		sendIdx := me + 1 - step
+		recvIdx := me - step
+		c.Sendrecv(p, chunk(sendIdx), right, c.collTag(100+step),
+			chunk(recvIdx), left, c.collTag(100+step))
+	}
+}
+
+// tmpSlice returns the window of tmp that corresponds to the window rv of
+// buf (tmp is a clone of buf, so offsets align relative to the view starts).
+func tmpSlice(tmp, buf, rv gpu.View) gpu.View {
+	return tmp.Slice(rv.Offset()-buf.Offset(), rv.Len())
+}
+
+// Gather collects equal-size contributions into recvBuf on root (recvBuf
+// holds Size()*sendBuf.Len() elements there; ignored elsewhere).
+func (c *Comm) Gather(p *sim.Proc, sendBuf, recvBuf gpu.View, root int) {
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = sendBuf.Len()
+	}
+	c.Gatherv(p, sendBuf, recvBuf, counts, prefixSums(counts), root)
+}
+
+// Gatherv collects variable-size contributions into recvBuf on root at the
+// given displacements (linear algorithm, as used for moderate sizes). Like
+// Allgatherv it pays the device-buffer staging penalty at the root.
+func (c *Comm) Gatherv(p *sim.Proc, sendBuf, recvBuf gpu.View, counts, displs []int, root int) {
+	c.enterColl()
+	if c.rank == root {
+		c.stagingPenalty(p, recvBuf.Bytes())
+	}
+	n := c.Size()
+	if c.rank == root {
+		reqs := make([]*Request, 0, n-1)
+		for r := 0; r < n; r++ {
+			if r == root {
+				gpu.Copy(recvBuf.Slice(displs[r], counts[r]), sendBuf, counts[r])
+				continue
+			}
+			reqs = append(reqs, c.Irecv(p, recvBuf.Slice(displs[r], counts[r]), r, c.collTag(0)))
+		}
+		WaitAll(p, reqs...)
+		return
+	}
+	c.Send(p, sendBuf, root, c.collTag(0))
+}
+
+// Scatter distributes equal-size chunks of sendBuf (significant at root)
+// into each rank's recvBuf.
+func (c *Comm) Scatter(p *sim.Proc, sendBuf, recvBuf gpu.View, root int) {
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = recvBuf.Len()
+	}
+	c.Scatterv(p, sendBuf, recvBuf, counts, prefixSums(counts), root)
+}
+
+// Scatterv distributes variable-size chunks from root.
+func (c *Comm) Scatterv(p *sim.Proc, sendBuf, recvBuf gpu.View, counts, displs []int, root int) {
+	c.enterColl()
+	n := c.Size()
+	if c.rank == root {
+		reqs := make([]*Request, 0, n-1)
+		for r := 0; r < n; r++ {
+			if r == root {
+				gpu.Copy(recvBuf, sendBuf.Slice(displs[r], counts[r]), counts[r])
+				continue
+			}
+			reqs = append(reqs, c.Isend(p, sendBuf.Slice(displs[r], counts[r]), r, c.collTag(0)))
+		}
+		WaitAll(p, reqs...)
+		return
+	}
+	c.Recv(p, recvBuf, root, c.collTag(0))
+}
+
+// Allgather concatenates equal-size contributions on every rank.
+func (c *Comm) Allgather(p *sim.Proc, sendBuf, recvBuf gpu.View) {
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = sendBuf.Len()
+	}
+	c.Allgatherv(p, sendBuf, recvBuf, counts, prefixSums(counts))
+}
+
+// Allgatherv concatenates variable-size contributions on every rank (ring
+// algorithm: n-1 neighbour exchanges).
+//
+// Vector collectives on device buffers additionally pay the host-staging
+// cost of the MPI implementation (LibProfile.CollStagingBW): the full
+// result vector is bounced through pinned host memory. This reproduces the
+// pathology the paper isolates in §VI-D, where the Allgatherv dominated the
+// MPI CG runtime on both test systems.
+func (c *Comm) Allgatherv(p *sim.Proc, sendBuf, recvBuf gpu.View, counts, displs []int) {
+	c.enterColl()
+	c.stagingPenalty(p, recvBuf.Bytes())
+	n := c.Size()
+	me := c.rank
+	gpu.Copy(recvBuf.Slice(displs[me], counts[me]), sendBuf, counts[me])
+	if n == 1 {
+		return
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendIdx := (me - step + n) % n
+		recvIdx := (me - step - 1 + n) % n
+		c.Sendrecv(p,
+			recvBuf.Slice(displs[sendIdx], counts[sendIdx]), right, c.collTag(step),
+			recvBuf.Slice(displs[recvIdx], counts[recvIdx]), left, c.collTag(step))
+	}
+}
+
+// Alltoall exchanges equal-size chunks between every rank pair (pairwise
+// exchange, n-1 rounds).
+func (c *Comm) Alltoall(p *sim.Proc, sendBuf, recvBuf gpu.View, count int) {
+	c.enterColl()
+	n := c.Size()
+	me := c.rank
+	gpu.Copy(recvBuf.Slice(me*count, count), sendBuf.Slice(me*count, count), count)
+	for round := 1; round < n; round++ {
+		dst := (me + round) % n
+		src := (me - round + n) % n
+		c.Sendrecv(p,
+			sendBuf.Slice(dst*count, count), dst, c.collTag(round),
+			recvBuf.Slice(src*count, count), src, c.collTag(round))
+	}
+}
+
+// Alltoallv exchanges variable-size chunks between every rank pair
+// (pairwise exchange). Like the other vector collectives it pays the
+// device-buffer staging penalty.
+func (c *Comm) Alltoallv(p *sim.Proc, sendBuf, recvBuf gpu.View, sendCounts, sendDispls, recvCounts, recvDispls []int) {
+	c.enterColl()
+	c.stagingPenalty(p, recvBuf.Bytes())
+	n := c.Size()
+	me := c.rank
+	gpu.Copy(recvBuf.Slice(recvDispls[me], recvCounts[me]),
+		sendBuf.Slice(sendDispls[me], sendCounts[me]), sendCounts[me])
+	for round := 1; round < n; round++ {
+		dst := (me + round) % n
+		src := (me - round + n) % n
+		c.Sendrecv(p,
+			sendBuf.Slice(sendDispls[dst], sendCounts[dst]), dst, c.collTag(round),
+			recvBuf.Slice(recvDispls[src], recvCounts[src]), src, c.collTag(round))
+	}
+}
+
+func prefixSums(counts []int) []int {
+	d := make([]int, len(counts))
+	sum := 0
+	for i, c := range counts {
+		d[i] = sum
+		sum += c
+	}
+	return d
+}
+
+// splitEntry is exchanged during Split.
+type splitEntry struct {
+	color, key, rank int
+}
+
+// Split partitions the communicator by color, ordering each new group by
+// (key, old rank), like MPI_Comm_split. Every member must call it. A
+// negative color returns nil (the rank joins no new communicator).
+//
+// Implementation note: ranks agree on the new groups via an Allgather of
+// (color, key); the new context id is derived deterministically from the
+// parent context and the per-handle collective sequence, which is identical
+// on all ranks.
+func (c *Comm) Split(p *sim.Proc, color, key int) *Comm {
+	n := c.Size()
+	entries := make([]splitEntry, n)
+	// Exchange the (color, key) pairs through int64 buffers.
+	send := gpu.AllocBuffer[int64](c.ep.dev, 2)
+	send.Data()[0], send.Data()[1] = int64(color), int64(key)
+	recv := gpu.AllocBuffer[int64](c.ep.dev, 2*n)
+	c.Allgather(p, send.Whole(), recv.Whole())
+	for r := 0; r < n; r++ {
+		entries[r] = splitEntry{
+			color: int(recv.Data()[2*r]),
+			key:   int(recv.Data()[2*r+1]),
+			rank:  r,
+		}
+	}
+	newCtx := c.ctx*4096 + int(c.coll) + 1
+	if color < 0 {
+		return nil
+	}
+	var members []splitEntry
+	for _, e := range entries {
+		if e.color == color {
+			members = append(members, e)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].rank < members[j].rank
+	})
+	group := make([]int, len(members))
+	myNew := -1
+	for i, e := range members {
+		group[i] = c.group[e.rank]
+		if e.rank == c.rank {
+			myNew = i
+		}
+	}
+	if myNew < 0 {
+		panic(fmt.Sprintf("mpi: split lost rank %d", c.rank))
+	}
+	return &Comm{ep: c.ep, ctx: newCtx, group: group, rank: myNew}
+}
+
+// Dup duplicates the communicator with a fresh context id.
+func (c *Comm) Dup(p *sim.Proc) *Comm {
+	return c.Split(p, 0, c.rank)
+}

@@ -1,0 +1,366 @@
+// Package mpi implements a GPU-aware MPI substrate on the simulated
+// cluster: two-sided point-to-point messaging with eager and rendezvous
+// protocols, tag matching with wildcards, non-blocking operations, derived
+// communicators, and the standard collective set.
+//
+// Like real GPU-aware MPI (and unlike GPUCCL/GPUSHMEM), this library has no
+// notion of GPU streams: all calls are host-initiated and the application is
+// responsible for synchronizing streams before communicating out of device
+// buffers (the exact property UNICONN's Coordinator has to paper over).
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// maxUserTag is the upper bound (exclusive) for application tags; tags at or
+// above it are reserved for internal collective rounds.
+const maxUserTag = 1 << 20
+
+// World is the MPI job: one endpoint per rank on the simulated cluster.
+type World struct {
+	cluster *gpu.Cluster
+	eps     []*Endpoint
+	worlds  []*Comm
+	wins    *winShared
+}
+
+// NewWorld creates an MPI world with one rank per device of the cluster.
+func NewWorld(cluster *gpu.Cluster) *World {
+	w := &World{cluster: cluster}
+	group := make([]int, len(cluster.Devices))
+	for i, dev := range cluster.Devices {
+		w.eps = append(w.eps, &Endpoint{
+			world: w,
+			rank:  i,
+			dev:   dev,
+			pairs: map[pairKey]*pairState{},
+		})
+		group[i] = i
+	}
+	for i := range w.eps {
+		w.worlds = append(w.worlds, &Comm{ep: w.eps[i], ctx: 0, group: group, rank: i})
+	}
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.eps) }
+
+// Cluster reports the underlying simulated cluster.
+func (w *World) Cluster() *gpu.Cluster { return w.cluster }
+
+// CommWorld returns the world communicator handle of one rank. The handle
+// is cached: repeated calls return the same instance, so the internal
+// collective sequence advances consistently.
+func (w *World) CommWorld(rank int) *Comm { return w.worlds[rank] }
+
+// Endpoint is the per-rank library state.
+type Endpoint struct {
+	world *World
+	rank  int
+	dev   *gpu.Device
+
+	posted     []*postedRecv
+	unexpected []*header
+	pairs      map[pairKey]*pairState
+	winSeq     uint64
+}
+
+// pairKey orders headers per (source rank, context) pair so that matching
+// preserves MPI's non-overtaking guarantee.
+type pairKey struct {
+	src int
+	ctx int
+}
+
+type pairState struct {
+	nextSend uint64 // next sequence to assign (on the sender's view)
+	nextRecv uint64 // next sequence to admit into matching
+	held     map[uint64]*header
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// Request is a handle for a non-blocking operation.
+type Request struct {
+	done   *sim.Gate
+	status *Status
+}
+
+// Done reports whether the operation has completed.
+func (r *Request) Done() bool { return r.done.Fired() }
+
+// Wait blocks until the operation completes and returns the receive status
+// (zero Status for sends).
+func (r *Request) Wait(p *sim.Proc) Status {
+	r.done.Wait(p)
+	if r.status != nil {
+		return *r.status
+	}
+	return Status{}
+}
+
+// WaitAll waits for every request.
+func WaitAll(p *sim.Proc, reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait(p)
+		}
+	}
+}
+
+// header is the matching envelope of an in-flight message. For eager
+// messages the payload has been staged and travels with the envelope; for
+// rendezvous the envelope is the RTS and the payload moves after the CTS.
+type header struct {
+	src, dst int // world ranks
+	ctx, tag int
+	seq      uint64
+	count    int
+	elemSize int
+
+	eager  bool
+	staged gpu.View // eager: payload snapshot taken at send time
+	srcBuf gpu.View // rendezvous: live sender buffer
+	sGate  *sim.Gate
+}
+
+type postedRecv struct {
+	buf      gpu.View
+	count    int
+	src, tag int
+	ctx      int
+	done     *sim.Gate
+	status   *Status
+}
+
+func (pr *postedRecv) matches(h *header) bool {
+	if pr.ctx != h.ctx {
+		return false
+	}
+	if pr.src != AnySource && pr.src != h.src {
+		return false
+	}
+	if pr.tag != AnyTag && pr.tag != h.tag {
+		return false
+	}
+	return true
+}
+
+// Comm is a communicator handle owned by one rank, analogous to an
+// MPI_Comm value.
+type Comm struct {
+	ep    *Endpoint
+	ctx   int
+	group []int // world ranks of the members, ordered by comm rank
+	rank  int   // this rank within the communicator
+
+	// coll is the per-handle collective sequence number, used to build
+	// reserved tags. It requires every rank to use a single handle per
+	// communicator (CommWorld and Split hand out exactly one).
+	coll uint64
+}
+
+// Rank reports the calling rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the communicator size.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(r int) int { return c.group[r] }
+
+// Device reports the calling rank's device.
+func (c *Comm) Device() *gpu.Device { return c.ep.dev }
+
+func (c *Comm) model() *machine.Model { return c.ep.world.cluster.Model }
+
+func (c *Comm) profile() machine.LibProfile {
+	return c.model().Profile(machine.LibMPI, machine.APIHost)
+}
+
+// Isend starts a non-blocking standard-mode send of buf to dst (comm rank)
+// with the given tag.
+func (c *Comm) Isend(p *sim.Proc, buf gpu.View, dst, tag int) *Request {
+	if dst < 0 || dst >= len(c.group) {
+		panic(fmt.Sprintf("mpi: Isend to invalid rank %d (size %d)", dst, len(c.group)))
+	}
+	prof := c.profile()
+	p.Advance(prof.CallOverhead)
+
+	w := c.ep.world
+	eng := w.cluster.Eng
+	srcWorld, dstWorld := c.group[c.rank], c.group[dst]
+	dstEp := w.eps[dstWorld]
+
+	pk := pairKey{src: srcWorld, ctx: c.ctx}
+	ps := dstEp.pair(pk)
+	seq := ps.nextSend
+	ps.nextSend++
+
+	h := &header{
+		src: srcWorld, dst: dstWorld, ctx: c.ctx, tag: tag, seq: seq,
+		count: buf.Len(), elemSize: buf.ElemSize(),
+		sGate: sim.NewGate(fmt.Sprintf("send %d->%d tag %d", srcWorld, dstWorld, tag)),
+	}
+	bytes := buf.Bytes()
+	path := w.cluster.Fabric.PathBetween(srcWorld, dstWorld)
+	cost := c.model().Cost(machine.LibMPI, machine.APIHost, path, bytes)
+
+	if bytes <= prof.EagerMax {
+		// Eager: snapshot the payload, inject, and complete locally once
+		// the data has left the send buffer.
+		h.eager = true
+		h.staged = buf.Clone()
+		arrive := w.cluster.Fabric.Transfer(p.Now(), srcWorld, dstWorld, bytes, cost)
+		eng.After(arrive.Sub(eng.Now()), func() { dstEp.admit(h) })
+		h.sGate.Fire(eng) // send buffer reusable immediately after staging
+		return &Request{done: h.sGate}
+	}
+
+	// Rendezvous: ship the RTS envelope; the payload moves once the
+	// receiver matches and returns a CTS. The handshake costs the
+	// profile's rendezvous overhead split across RTS and CTS.
+	h.srcBuf = buf
+	half := prof.RendezvousOverhead / 2
+	eng.After(sim.Duration(half)+cost.Latency, func() { dstEp.admit(h) })
+	return &Request{done: h.sGate}
+}
+
+// Irecv starts a non-blocking receive into buf from src (comm rank or
+// AnySource) with the given tag (or AnyTag).
+func (c *Comm) Irecv(p *sim.Proc, buf gpu.View, src, tag int) *Request {
+	prof := c.profile()
+	p.Advance(prof.CallOverhead)
+
+	srcWorld := src
+	if src != AnySource {
+		if src < 0 || src >= len(c.group) {
+			panic(fmt.Sprintf("mpi: Irecv from invalid rank %d (size %d)", src, len(c.group)))
+		}
+		srcWorld = c.group[src]
+	}
+	pr := &postedRecv{
+		buf: buf, count: buf.Len(), src: srcWorld, tag: tag, ctx: c.ctx,
+		done:   sim.NewGate(fmt.Sprintf("recv %d<-%d tag %d", c.group[c.rank], srcWorld, tag)),
+		status: &Status{},
+	}
+	// Try the unexpected queue first (arrival order), then post.
+	ep := c.ep
+	for i, h := range ep.unexpected {
+		if pr.matches(h) {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			ep.deliver(h, pr)
+			return &Request{done: pr.done, status: pr.status}
+		}
+	}
+	ep.posted = append(ep.posted, pr)
+	return &Request{done: pr.done, status: pr.status}
+}
+
+// Send is the blocking standard-mode send.
+func (c *Comm) Send(p *sim.Proc, buf gpu.View, dst, tag int) {
+	c.Isend(p, buf, dst, tag).Wait(p)
+}
+
+// Recv is the blocking receive; it returns the matched message's status.
+func (c *Comm) Recv(p *sim.Proc, buf gpu.View, src, tag int) Status {
+	return c.Irecv(p, buf, src, tag).Wait(p)
+}
+
+// Sendrecv performs a simultaneous send and receive (deadlock-free pairwise
+// exchange).
+func (c *Comm) Sendrecv(p *sim.Proc, sendBuf gpu.View, dst, sendTag int, recvBuf gpu.View, src, recvTag int) Status {
+	rr := c.Irecv(p, recvBuf, src, recvTag)
+	sr := c.Isend(p, sendBuf, dst, sendTag)
+	st := rr.Wait(p)
+	sr.Wait(p)
+	return st
+}
+
+func (ep *Endpoint) pair(pk pairKey) *pairState {
+	ps := ep.pairs[pk]
+	if ps == nil {
+		ps = &pairState{held: map[uint64]*header{}}
+		ep.pairs[pk] = ps
+	}
+	return ps
+}
+
+// admit enforces per-pair arrival ordering: headers enter matching strictly
+// in sequence order, preserving MPI's non-overtaking guarantee even if the
+// fabric delivered them out of order.
+func (ep *Endpoint) admit(h *header) {
+	ps := ep.pair(pairKey{src: h.src, ctx: h.ctx})
+	ps.held[h.seq] = h
+	for {
+		next, ok := ps.held[ps.nextRecv]
+		if !ok {
+			return
+		}
+		delete(ps.held, ps.nextRecv)
+		ps.nextRecv++
+		ep.match(next)
+	}
+}
+
+// match pairs one admitted header against the posted-receive queue.
+func (ep *Endpoint) match(h *header) {
+	for i, pr := range ep.posted {
+		if pr.matches(h) {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			ep.deliver(h, pr)
+			return
+		}
+	}
+	ep.unexpected = append(ep.unexpected, h)
+}
+
+// deliver completes a matched (header, receive) pair.
+func (ep *Endpoint) deliver(h *header, pr *postedRecv) {
+	if h.count > pr.count {
+		panic(fmt.Sprintf("mpi: message truncation: %d elements into %d (src %d tag %d)",
+			h.count, pr.count, h.src, h.tag))
+	}
+	w := ep.world
+	eng := w.cluster.Eng
+	*pr.status = Status{Source: h.src, Tag: h.tag, Count: h.count}
+
+	if h.eager {
+		// Payload already arrived with the envelope: unpack and complete.
+		gpu.Copy(pr.buf, h.staged, h.count)
+		pr.done.Fire(eng)
+		return
+	}
+
+	// Rendezvous: CTS back to the sender, then the bulk transfer.
+	prof := w.cluster.Model.Profile(machine.LibMPI, machine.APIHost)
+	half := prof.RendezvousOverhead / 2
+	bytes := h.srcBuf.Bytes()
+	path := w.cluster.Fabric.PathBetween(h.src, h.dst)
+	cost := w.cluster.Model.Cost(machine.LibMPI, machine.APIHost, path, bytes)
+	eng.After(sim.Duration(half), func() {
+		arrive := w.cluster.Fabric.Transfer(eng.Now(), h.src, h.dst, bytes, cost)
+		eng.After(arrive.Sub(eng.Now()), func() {
+			gpu.Copy(pr.buf, h.srcBuf, h.count)
+			pr.done.Fire(eng)
+			h.sGate.Fire(eng)
+		})
+	})
+}

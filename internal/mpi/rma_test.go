@@ -1,0 +1,155 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestRMAPutWithFence(t *testing.T) {
+	runRanks(t, machine.Perlmutter(), 3, func(p *sim.Proc, c *Comm) {
+		region := gpu.AllocBuffer[float64](c.Device(), 8)
+		win := c.WinCreate(p, region.Whole())
+		win.Fence(p) // open epoch
+
+		// Every rank puts its id into slot rank of rank 0's window.
+		src := fbuf(c, float64(100+c.Rank()))
+		win.Put(p, src.Whole(), 1, 0, c.Rank())
+		// Origin buffer reusable immediately after Put returns.
+		src.Data()[0] = -1
+
+		win.Fence(p) // close epoch: all puts visible
+		if c.Rank() == 0 {
+			for r := 0; r < 3; r++ {
+				if region.Data()[r] != float64(100+r) {
+					t.Errorf("window[%d] = %v", r, region.Data()[r])
+				}
+			}
+		}
+		win.Free(p)
+	})
+}
+
+func TestRMAGet(t *testing.T) {
+	runRanks(t, machine.Perlmutter(), 2, func(p *sim.Proc, c *Comm) {
+		region := gpu.AllocBuffer[float64](c.Device(), 4)
+		if c.Rank() == 1 {
+			for i := range region.Data() {
+				region.Data()[i] = float64(i * i)
+			}
+		}
+		win := c.WinCreate(p, region.Whole())
+		win.Fence(p)
+		if c.Rank() == 0 {
+			dst := gpu.AllocBuffer[float64](c.Device(), 2)
+			win.Get(p, dst.Whole(), 2, 1, 2) // elements 2,3 of rank 1
+			win.Fence(p)
+			if dst.Data()[0] != 4 || dst.Data()[1] != 9 {
+				t.Errorf("get = %v", dst.Data())
+			}
+		} else {
+			win.Fence(p)
+		}
+		win.Free(p)
+	})
+}
+
+func TestRMAAccumulate(t *testing.T) {
+	const n = 4
+	runRanks(t, machine.Perlmutter(), n, func(p *sim.Proc, c *Comm) {
+		region := gpu.AllocBuffer[float64](c.Device(), 1)
+		region.Data()[0] = 1 // accumulation base on every rank
+		win := c.WinCreate(p, region.Whole())
+		win.Fence(p)
+		// All ranks accumulate (rank+1) into rank 0's single cell.
+		src := fbuf(c, float64(c.Rank()+1))
+		win.Accumulate(p, src.Whole(), 1, 0, 0, gpu.ReduceSum)
+		win.Fence(p)
+		if c.Rank() == 0 {
+			if got := region.Data()[0]; got != 1+10 {
+				t.Errorf("accumulate = %v, want 11", got)
+			}
+		}
+		win.Free(p)
+	})
+}
+
+func TestRMAPassiveTargetLock(t *testing.T) {
+	const n = 4
+	runRanks(t, machine.Perlmutter(), n, func(p *sim.Proc, c *Comm) {
+		region := gpu.AllocBuffer[float64](c.Device(), 2)
+		win := c.WinCreate(p, region.Whole())
+		if c.Rank() != 0 {
+			// Exclusive read-modify-write on rank 0's window: without
+			// the lock the increments would race.
+			win.Lock(p, 0)
+			tmp := gpu.AllocBuffer[float64](c.Device(), 1)
+			win.Get(p, tmp.Whole(), 1, 0, 0)
+			win.Unlock(p, 0) // get complete
+			win.Lock(p, 0)
+			tmp.Data()[0]++
+			win.Put(p, tmp.Whole(), 1, 0, 0)
+			win.Unlock(p, 0)
+		}
+		// No fence: wait for everyone via barrier and check.
+		c.Barrier(p)
+		c.Barrier(p)
+		if c.Rank() == 0 && region.Data()[0] < 1 {
+			t.Errorf("lock-protected counter = %v", region.Data()[0])
+		}
+		win.Free(p)
+	})
+}
+
+func TestRMAFenceWaitsForIncoming(t *testing.T) {
+	// A large put from rank 0 must be complete at rank 1 after the fence,
+	// even though rank 1 issued nothing.
+	const count = 1 << 16
+	runRanks(t, machine.Perlmutter(), 2, func(p *sim.Proc, c *Comm) {
+		region := gpu.AllocBuffer[float64](c.Device(), count)
+		win := c.WinCreate(p, region.Whole())
+		win.Fence(p)
+		if c.Rank() == 0 {
+			src := gpu.AllocBuffer[float64](c.Device(), count)
+			for i := range src.Data() {
+				src.Data()[i] = float64(i)
+			}
+			win.Put(p, src.Whole(), count, 1, 0)
+		}
+		win.Fence(p)
+		if c.Rank() == 1 {
+			if region.Data()[count-1] != float64(count-1) {
+				t.Errorf("tail = %v", region.Data()[count-1])
+			}
+		}
+		win.Free(p)
+	})
+}
+
+func TestRMATimingScalesWithSize(t *testing.T) {
+	elapsed := func(count int) sim.Duration {
+		var d sim.Duration
+		runRanks(t, machine.Perlmutter(), 2, func(p *sim.Proc, c *Comm) {
+			region := gpu.AllocBuffer[float64](c.Device(), count)
+			win := c.WinCreate(p, region.Whole())
+			win.Fence(p)
+			start := p.Now()
+			if c.Rank() == 0 {
+				src := gpu.AllocBuffer[float64](c.Device(), count)
+				win.Put(p, src.Whole(), count, 1, 0)
+			}
+			win.Fence(p)
+			if c.Rank() == 0 {
+				d = p.Now().Sub(start)
+			}
+			win.Free(p)
+		})
+		return d
+	}
+	small, big := elapsed(16), elapsed(1<<18)
+	if big <= small {
+		t.Fatalf("RMA time did not scale: small=%v big=%v", small, big)
+	}
+}

@@ -1,0 +1,269 @@
+package sim
+
+// Synchronization primitives for simulated processes. All primitives operate
+// in virtual time and preserve the engine's determinism: waiters are released
+// in FIFO order at the virtual instant the releasing condition occurs.
+
+// Gate is a one-shot event: processes wait until it fires. Waiting on an
+// already-fired gate returns immediately. The zero value is a valid, unfired
+// gate.
+type Gate struct {
+	fired   bool
+	at      Time
+	waiters []*Proc
+	label   string
+}
+
+// NewGate returns an unfired gate with a label used in deadlock diagnostics.
+func NewGate(label string) *Gate { return &Gate{label: label} }
+
+// Fired reports whether the gate has fired.
+func (g *Gate) Fired() bool { return g.fired }
+
+// FiredAt returns the virtual time the gate fired; valid only if Fired.
+func (g *Gate) FiredAt() Time { return g.at }
+
+// Fire releases all current and future waiters. Firing an already-fired gate
+// is a no-op. Must be called while holding the ball (from a process or an
+// engine callback).
+func (g *Gate) Fire(e *Engine) {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	g.at = e.now
+	for _, w := range g.waiters {
+		e.wake(w, e.now, "gate "+g.label)
+	}
+	g.waiters = nil
+}
+
+// Wait blocks p until the gate fires.
+func (g *Gate) Wait(p *Proc) {
+	if g.fired {
+		return
+	}
+	g.waiters = append(g.waiters, p)
+	p.park("gate " + g.label)
+}
+
+// Counter is a monotonic (or at least externally ordered) unsigned value
+// that processes can wait on. It models signal words in one-sided
+// communication: an atomic location updated by remote writers and polled by
+// a waiter.
+type Counter struct {
+	value   uint64
+	label   string
+	waiters []counterWaiter
+}
+
+type counterWaiter struct {
+	p    *Proc
+	pred func(uint64) bool
+}
+
+// NewCounter returns a counter with initial value v.
+func NewCounter(label string, v uint64) *Counter { return &Counter{value: v, label: label} }
+
+// Value reports the current value.
+func (c *Counter) Value() uint64 { return c.value }
+
+// Set assigns the value and releases any waiter whose predicate now holds.
+func (c *Counter) Set(e *Engine, v uint64) {
+	c.value = v
+	c.notify(e)
+}
+
+// Add increments the value and releases satisfied waiters.
+func (c *Counter) Add(e *Engine, delta uint64) { c.Set(e, c.value+delta) }
+
+func (c *Counter) notify(e *Engine) {
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.pred(c.value) {
+			e.wake(w.p, e.now, "counter "+c.label)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}
+
+// WaitUntil blocks p until pred(value) is true. If it is already true the
+// call returns immediately.
+func (c *Counter) WaitUntil(p *Proc, pred func(uint64) bool) {
+	if pred(c.value) {
+		return
+	}
+	c.waiters = append(c.waiters, counterWaiter{p, pred})
+	p.park("counter " + c.label)
+}
+
+// WaitGE blocks p until value >= v.
+func (c *Counter) WaitGE(p *Proc, v uint64) {
+	c.WaitUntil(p, func(x uint64) bool { return x >= v })
+}
+
+// WaitEQ blocks p until value == v.
+func (c *Counter) WaitEQ(p *Proc, v uint64) {
+	c.WaitUntil(p, func(x uint64) bool { return x == v })
+}
+
+// Mailbox is an unbounded FIFO queue of items passed between processes.
+// Put never blocks; Get blocks until an item is available. Items are
+// delivered in insertion order.
+type Mailbox[T any] struct {
+	label   string
+	items   []T
+	waiters []*Proc
+}
+
+// NewMailbox returns an empty mailbox.
+func NewMailbox[T any](label string) *Mailbox[T] { return &Mailbox[T]{label: label} }
+
+// Len reports the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Put enqueues an item, waking the longest-waiting receiver if any.
+func (m *Mailbox[T]) Put(e *Engine, item T) {
+	m.items = append(m.items, item)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		e.wake(w, e.now, "mailbox "+m.label)
+	}
+}
+
+// Get dequeues the next item, blocking until one is available.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	for len(m.items) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.park("mailbox " + m.label)
+	}
+	item := m.items[0]
+	// Shift rather than reslice forever so the backing array is reusable.
+	copy(m.items, m.items[1:])
+	m.items = m.items[:len(m.items)-1]
+	return item
+}
+
+// Semaphore is a counting semaphore in virtual time.
+type Semaphore struct {
+	label   string
+	avail   int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(label string, n int) *Semaphore { return &Semaphore{label: label, avail: n} }
+
+// Acquire takes one permit, blocking until available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.avail == 0 {
+		s.waiters = append(s.waiters, p)
+		p.park("semaphore " + s.label)
+	}
+	s.avail--
+}
+
+// Release returns one permit and wakes the longest waiter if any.
+func (s *Semaphore) Release(e *Engine) {
+	s.avail++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		e.wake(w, e.now, "semaphore "+s.label)
+	}
+}
+
+// Rendezvous is a reusable n-party barrier: the first n-1 arrivals block,
+// the n-th arrival releases everyone and resets the barrier for the next
+// round. It models the implicit synchronization of collective kernels that
+// require all participants to be running.
+type Rendezvous struct {
+	label   string
+	parties int
+	arrived []*Proc
+	round   uint64
+}
+
+// NewRendezvous returns a barrier for the given number of parties.
+func NewRendezvous(label string, parties int) *Rendezvous {
+	if parties < 1 {
+		panic("sim: rendezvous parties < 1")
+	}
+	return &Rendezvous{label: label, parties: parties}
+}
+
+// Round reports how many times the barrier has completed.
+func (r *Rendezvous) Round() uint64 { return r.round }
+
+// Arrive blocks p until all parties have arrived in this round.
+func (r *Rendezvous) Arrive(p *Proc) {
+	if len(r.arrived)+1 == r.parties {
+		for _, w := range r.arrived {
+			p.eng.wake(w, p.eng.now, "rendezvous "+r.label)
+		}
+		r.arrived = r.arrived[:0]
+		r.round++
+		return
+	}
+	r.arrived = append(r.arrived, p)
+	p.park("rendezvous " + r.label)
+}
+
+// Timeline models a serially-reusable resource (a link, a NIC, a copy
+// engine) whose occupancy is tracked as a single busy-until horizon.
+// Reservations are granted back-to-back in request order, which yields a
+// deterministic FCFS contention model.
+type Timeline struct {
+	label     string
+	busyUntil Time
+	busySum   Duration // total reserved time, for utilization reporting
+}
+
+// NewTimeline returns an idle timeline.
+func NewTimeline(label string) *Timeline { return &Timeline{label: label} }
+
+// Label reports the timeline's label.
+func (t *Timeline) Label() string { return t.label }
+
+// BusyUntil reports the time at which the resource becomes free.
+func (t *Timeline) BusyUntil() Time { return t.busyUntil }
+
+// BusySum reports the cumulative reserved duration (for utilization stats).
+func (t *Timeline) BusySum() Duration { return t.busySum }
+
+// Reserve books the resource for dur starting no earlier than at, after all
+// previously granted reservations. It returns the granted [start, end).
+func (t *Timeline) Reserve(at Time, dur Duration) (start, end Time) {
+	if dur < 0 {
+		dur = 0
+	}
+	start = at
+	if t.busyUntil > start {
+		start = t.busyUntil
+	}
+	end = start.Add(dur)
+	t.busyUntil = end
+	t.busySum += dur
+	return start, end
+}
+
+// ReserveMulti books several timelines for the same transfer (e.g. source
+// egress port and destination ingress port): the transfer starts when all
+// are free and occupies each for dur. Returns the common [start, end).
+func ReserveMulti(at Time, dur Duration, tls ...*Timeline) (start, end Time) {
+	start = at
+	for _, tl := range tls {
+		if tl.busyUntil > start {
+			start = tl.busyUntil
+		}
+	}
+	end = start.Add(dur)
+	for _, tl := range tls {
+		tl.busyUntil = end
+		tl.busySum += dur
+	}
+	return start, end
+}

@@ -1,0 +1,395 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine. It is the substrate on which the simulated GPU runtime,
+// cluster fabric, and communication backends execute.
+//
+// Every simulated activity (a rank's host program, a GPU stream, a NIC
+// progress engine) is a Proc: a goroutine that runs cooperatively under the
+// engine's scheduler. Exactly one Proc executes at any instant, and runnable
+// Procs are ordered by (virtual time, sequence number), so a simulation is
+// bit-for-bit deterministic across runs and platforms. Virtual time is kept
+// in integer nanoseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration but is kept distinct so wall-clock and virtual quantities
+// cannot be mixed accidentally.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Micros is a convenience constructor for fractional microseconds.
+func Micros(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// Nanos is a convenience constructor for fractional nanoseconds, rounding to
+// the integer grid.
+func Nanos(ns float64) Duration { return Duration(ns + 0.5) }
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros reports the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.6gs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.6gus", d.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Add offsets a time by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub reports the duration between two times.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled occurrence. Exactly one of proc/fn is set: proc
+// events resume a parked process; fn events run a callback in engine
+// context (callbacks must not block).
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event     { return h[0] }
+func (h *eventHeap) pushEv(e *event) { heap.Push(h, e) }
+func (h *eventHeap) popEv() *event   { return heap.Pop(h).(*event) }
+
+// ballMsg is how a Proc returns control to the engine.
+type ballMsg struct {
+	proc       *Proc
+	finished   bool
+	killedProc bool
+	panicked   any
+}
+
+// Engine owns the virtual clock and the event queue.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	ball    chan ballMsg
+	live    int // non-daemon procs spawned and not yet finished
+	alive   map[*Proc]bool
+	parked  map[*Proc]string
+	dead    chan struct{}
+	closed  bool
+	running bool
+	trace   func(string)
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		ball:   make(chan ballMsg),
+		alive:  map[*Proc]bool{},
+		parked: map[*Proc]string{},
+		dead:   make(chan struct{}),
+	}
+}
+
+// Close terminates all remaining process goroutines (including daemons).
+// Call it once the simulation is finished; the engine is unusable afterward.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.dead)
+	for len(e.alive) > 0 {
+		msg := <-e.ball
+		if msg.finished {
+			delete(e.alive, msg.proc)
+		}
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTrace installs a callback receiving one line per scheduler action.
+// Intended for debugging; nil disables tracing.
+func (e *Engine) SetTrace(fn func(string)) { e.trace = fn }
+
+func (e *Engine) tracef(format string, args ...any) {
+	if e.trace != nil {
+		e.trace(fmt.Sprintf("[%s] ", e.now) + fmt.Sprintf(format, args...))
+	}
+}
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// engine. All blocking methods (Advance, waits on conditions) must be called
+// from the process's own goroutine.
+type Proc struct {
+	eng         *Engine
+	name        string
+	resume      chan struct{}
+	id          uint64
+	daemon      bool
+	wakePending bool
+}
+
+// Name reports the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine reports the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process that will start running at the current virtual
+// time, after currently runnable processes with earlier sequence numbers.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.spawnAt(e.now, name, fn, false)
+}
+
+// SpawnDaemon creates a background process (e.g. a GPU stream executor or a
+// NIC progress engine). Daemons do not count toward completion: a simulation
+// finishes cleanly even while daemons are parked, and Close terminates them.
+func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawnAt(e.now, name, fn, true)
+}
+
+// SpawnAt creates a process that starts at time t (which must not be in the
+// past).
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	return e.spawnAt(t, name, fn, false)
+}
+
+// killed is the sentinel panic value used by Close to unwind daemon
+// goroutines.
+type killed struct{}
+
+func (e *Engine) spawnAt(t Time, name string, fn func(p *Proc), daemon bool) *Proc {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: SpawnAt(%v) in the past (now %v)", t, e.now))
+	}
+	p := &Proc{eng: e, name: name, resume: make(chan struct{}), id: e.seq, daemon: daemon}
+	if !daemon {
+		e.live++
+	}
+	e.alive[p] = true
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killed); isKill {
+					e.ball <- ballMsg{proc: p, finished: true, killedProc: true}
+					return
+				}
+				e.ball <- ballMsg{proc: p, finished: true, panicked: r}
+				return
+			}
+			e.ball <- ballMsg{proc: p, finished: true}
+		}()
+		select {
+		case <-p.resume:
+		case <-e.dead:
+			panic(killed{})
+		}
+		fn(p)
+	}()
+	e.schedule(t, p, nil, "spawn")
+	return p
+}
+
+// schedule enqueues an event. Exactly one of proc/fn must be non-nil.
+func (e *Engine) schedule(t Time, p *Proc, fn func(), why string) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v (%s)", t, e.now, why))
+	}
+	e.seq++
+	e.events.pushEv(&event{at: t, seq: e.seq, proc: p, fn: fn})
+}
+
+// After runs fn in engine context after delay d. fn must not block. It is
+// safe to call from engine callbacks and from process goroutines while they
+// hold the ball.
+func (e *Engine) After(d Duration, fn func()) {
+	e.schedule(e.now.Add(d), nil, fn, "after")
+}
+
+// wake schedules p to resume at time t. It panics if a wakeup is already
+// pending: a parked process must be woken exactly once.
+func (e *Engine) wake(p *Proc, t Time, why string) {
+	if p.wakePending {
+		panic(fmt.Sprintf("sim: double wake of %s (%s)", p.name, why))
+	}
+	p.wakePending = true
+	delete(e.parked, p)
+	e.schedule(t, p, nil, why)
+}
+
+// park is called from a process goroutine: it returns the ball to the engine
+// and blocks until resumed. why is reported in deadlock diagnostics.
+func (p *Proc) park(why string) {
+	p.eng.parked[p] = why
+	p.eng.ball <- ballMsg{proc: p}
+	select {
+	case <-p.resume:
+		p.wakePending = false
+		delete(p.eng.parked, p)
+	case <-p.eng.dead:
+		panic(killed{})
+	}
+}
+
+// Advance moves the process forward by d in virtual time. Negative durations
+// are clamped to zero.
+func (p *Proc) Advance(d Duration) {
+	if d <= 0 {
+		return
+	}
+	e := p.eng
+	e.wake(p, e.now.Add(d), "advance")
+	p.park("advance " + d.String())
+}
+
+// AdvanceTo moves the process forward to time t; if t is in the past it is a
+// no-op.
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.eng.now {
+		p.Advance(t.Sub(p.eng.now))
+	}
+}
+
+// Yield reschedules the process at the current time, letting other runnable
+// processes execute first.
+func (p *Proc) Yield() {
+	p.eng.wake(p, p.eng.now, "yield")
+	p.park("yield")
+}
+
+// DeadlockError is returned by Run when live processes remain but no events
+// are pending.
+type DeadlockError struct {
+	At      Time
+	Waiting []string // "name: reason" for each parked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v; %d waiting: %s",
+		d.At, len(d.Waiting), strings.Join(d.Waiting, "; "))
+}
+
+// PanicError is returned by Run when a simulated process panicked.
+type PanicError struct {
+	Proc  string
+	Value any
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", p.Proc, p.Value)
+}
+
+// runCallback executes an engine-context event callback, converting a panic
+// into a *PanicError so a failing simulated component (e.g. a message
+// delivery that detects truncation) surfaces as a simulation error instead
+// of crashing the caller.
+func (e *Engine) runCallback(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Proc: "engine-callback", Value: r}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Run executes the simulation until no events remain. It returns nil on
+// clean completion (all processes finished), a *DeadlockError if processes
+// remain blocked forever, or a *PanicError if a process (or an engine
+// callback) panicked.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("sim: Engine.Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		ev := e.events.popEv()
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			if err := e.runCallback(ev.fn); err != nil {
+				return err
+			}
+			continue
+		}
+		if !e.alive[ev.proc] {
+			continue // stale wakeup for a finished process
+		}
+		e.tracef("resume %s", ev.proc.name)
+		ev.proc.resume <- struct{}{}
+		msg := <-e.ball
+		if msg.finished {
+			if !msg.proc.daemon {
+				e.live--
+			}
+			delete(e.alive, msg.proc)
+			e.tracef("finish %s", msg.proc.name)
+		}
+		if msg.panicked != nil {
+			return &PanicError{Proc: msg.proc.name, Value: msg.panicked}
+		}
+	}
+	if e.live > 0 {
+		var waiting []string
+		for p, why := range e.parked {
+			if !p.daemon {
+				waiting = append(waiting, p.name+": "+why)
+			}
+		}
+		sort.Strings(waiting)
+		return &DeadlockError{At: e.now, Waiting: waiting}
+	}
+	return nil
+}

@@ -1,0 +1,376 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func mustRun(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	e.Close()
+}
+
+func TestAdvanceAccumulates(t *testing.T) {
+	e := NewEngine()
+	var end Time
+	e.Spawn("p", func(p *Proc) {
+		p.Advance(3 * Microsecond)
+		p.Advance(0)  // no-op
+		p.Advance(-5) // clamped
+		p.Advance(7 * Nanosecond)
+		end = p.Now()
+	})
+	mustRun(t, e)
+	if want := Time(3*Microsecond + 7); end != want {
+		t.Fatalf("end time = %v, want %v", end, want)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for k := 0; k < 3; k++ {
+					p.Advance(Duration(10 + i)) // distinct periods
+					log = append(log, fmt.Sprintf("p%d@%d", i, p.Now()))
+				}
+			})
+		}
+		mustRun(t, e)
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 10; trial++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("trial %d: length %d != %d", trial, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: event %d = %s, want %s", trial, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+func TestTieBreakBySpawnOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			p.Advance(5)
+			order = append(order, i)
+		})
+	}
+	mustRun(t, e)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	e := NewEngine()
+	g := NewGate("g")
+	var wakeTimes []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("waiter", func(p *Proc) {
+			g.Wait(p)
+			wakeTimes = append(wakeTimes, p.Now())
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Advance(100)
+		g.Fire(e)
+	})
+	e.Spawn("late", func(p *Proc) {
+		p.Advance(200)
+		g.Wait(p) // already fired: immediate
+		wakeTimes = append(wakeTimes, p.Now())
+	})
+	mustRun(t, e)
+	if len(wakeTimes) != 4 {
+		t.Fatalf("wakeTimes = %v", wakeTimes)
+	}
+	for _, w := range wakeTimes[:3] {
+		if w != 100 {
+			t.Fatalf("waiter woke at %v, want 100", w)
+		}
+	}
+	if wakeTimes[3] != 200 {
+		t.Fatalf("late waiter woke at %v, want 200", wakeTimes[3])
+	}
+	if !g.Fired() || g.FiredAt() != 100 {
+		t.Fatalf("gate state fired=%v at=%v", g.Fired(), g.FiredAt())
+	}
+}
+
+func TestCounterWaiters(t *testing.T) {
+	e := NewEngine()
+	c := NewCounter("sig", 0)
+	var got []uint64
+	e.Spawn("w1", func(p *Proc) {
+		c.WaitGE(p, 3)
+		got = append(got, c.Value())
+	})
+	e.Spawn("w2", func(p *Proc) {
+		c.WaitEQ(p, 2)
+		got = append(got, c.Value())
+	})
+	e.Spawn("setter", func(p *Proc) {
+		p.Advance(10)
+		c.Add(e, 2) // releases w2
+		p.Advance(10)
+		c.Add(e, 2) // value 4, releases w1
+	})
+	mustRun(t, e)
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("got %v, want [2 4]", got)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox[int]("m")
+	var got []int
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, m.Get(p))
+		}
+	})
+	e.Spawn("send", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Advance(7)
+			m.Put(e, i)
+		}
+	})
+	mustRun(t, e)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want [0..4]", got)
+		}
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore("s", 2)
+	inUse, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Spawn("worker", func(p *Proc) {
+			s.Acquire(p)
+			inUse++
+			if inUse > peak {
+				peak = inUse
+			}
+			p.Advance(50)
+			inUse--
+			s.Release(e)
+		})
+	}
+	mustRun(t, e)
+	if peak != 2 {
+		t.Fatalf("peak concurrency = %d, want 2", peak)
+	}
+}
+
+func TestRendezvousRounds(t *testing.T) {
+	e := NewEngine()
+	r := NewRendezvous("b", 3)
+	releases := make([]Time, 0, 6)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			for round := 0; round < 2; round++ {
+				p.Advance(Duration(10 * (i + 1) * (round + 1)))
+				r.Arrive(p)
+				releases = append(releases, p.Now())
+			}
+		})
+	}
+	mustRun(t, e)
+	if len(releases) != 6 {
+		t.Fatalf("releases = %v", releases)
+	}
+	// First round releases at the slowest arrival (30), second at 30+60=90.
+	for _, ts := range releases[:3] {
+		if ts != 30 {
+			t.Fatalf("round 1 release at %v, want 30", ts)
+		}
+	}
+	for _, ts := range releases[3:] {
+		if ts != 90 {
+			t.Fatalf("round 2 release at %v, want 90", ts)
+		}
+	}
+	if r.Round() != 2 {
+		t.Fatalf("rounds = %d, want 2", r.Round())
+	}
+}
+
+func TestTimelineReserve(t *testing.T) {
+	tl := NewTimeline("link")
+	s, e := tl.Reserve(100, 50)
+	if s != 100 || e != 150 {
+		t.Fatalf("first reserve [%v,%v)", s, e)
+	}
+	// Overlapping request queues behind.
+	s, e = tl.Reserve(120, 30)
+	if s != 150 || e != 180 {
+		t.Fatalf("second reserve [%v,%v), want [150,180)", s, e)
+	}
+	// Later request after idle gap starts on time.
+	s, e = tl.Reserve(500, 10)
+	if s != 500 || e != 510 {
+		t.Fatalf("third reserve [%v,%v), want [500,510)", s, e)
+	}
+	if tl.BusySum() != 90 {
+		t.Fatalf("busy sum = %v, want 90", tl.BusySum())
+	}
+}
+
+func TestReserveMulti(t *testing.T) {
+	a, b := NewTimeline("a"), NewTimeline("b")
+	a.Reserve(0, 100)
+	s, e := ReserveMulti(50, 20, a, b)
+	if s != 100 || e != 120 {
+		t.Fatalf("multi reserve [%v,%v), want [100,120)", s, e)
+	}
+	if a.BusyUntil() != 120 || b.BusyUntil() != 120 {
+		t.Fatalf("busyUntil a=%v b=%v", a.BusyUntil(), b.BusyUntil())
+	}
+}
+
+func TestTimelineMonotonicProperty(t *testing.T) {
+	// Property: regardless of request pattern, granted intervals never
+	// overlap and starts are monotonically non-decreasing.
+	f := func(reqs []struct {
+		At  uint16
+		Dur uint16
+	}) bool {
+		tl := NewTimeline("p")
+		prevEnd := Time(0)
+		for _, r := range reqs {
+			s, e := tl.Reserve(Time(r.At), Duration(r.Dur))
+			if s < prevEnd || e < s {
+				return false
+			}
+			prevEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	g := NewGate("never")
+	e.Spawn("stuck", func(p *Proc) { g.Wait(p) })
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Waiting) != 1 {
+		t.Fatalf("waiting = %v", de.Waiting)
+	}
+	e.Close()
+}
+
+func TestDaemonsDoNotDeadlock(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox[int]("ops")
+	e.SpawnDaemon("stream", func(p *Proc) {
+		for {
+			m.Get(p)
+		}
+	})
+	e.Spawn("host", func(p *Proc) {
+		m.Put(e, 1)
+		p.Advance(10)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	e.Close() // must terminate the daemon goroutine
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("boom", func(p *Proc) {
+		p.Advance(5)
+		panic("kablam")
+	})
+	err := e.Run()
+	pe, ok := err.(*PanicError)
+	if !ok || pe.Proc != "boom" {
+		t.Fatalf("err = %v, want PanicError from boom", err)
+	}
+	e.Close()
+}
+
+func TestAfterCallback(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		e.After(42, func() { at = e.Now() })
+		p.Advance(100)
+	})
+	mustRun(t, e)
+	if at != 42 {
+		t.Fatalf("callback at %v, want 42", at)
+	}
+}
+
+func TestSpawnAtFuture(t *testing.T) {
+	e := NewEngine()
+	var started Time
+	e.SpawnAt(77, "late", func(p *Proc) { started = p.Now() })
+	mustRun(t, e)
+	if started != 77 {
+		t.Fatalf("started at %v, want 77", started)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.5us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestMicrosNanosHelpers(t *testing.T) {
+	if Micros(1.5) != 1500 {
+		t.Fatalf("Micros(1.5) = %d", Micros(1.5))
+	}
+	if Nanos(2.6) != 3 {
+		t.Fatalf("Nanos(2.6) = %d", Nanos(2.6))
+	}
+	if got := Time(2500).Sub(Time(500)); got != 2000 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Time(100).Add(50); got != 150 {
+		t.Fatalf("Add = %v", got)
+	}
+}

@@ -1,0 +1,94 @@
+package sloc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sample = `// Package doc comment.
+package x
+
+// F does things.
+func F() int {
+	// internal comment
+	a := 1
+
+	return a
+}
+
+/* block
+   comment */
+func G() {
+	_ = 2
+}
+`
+
+func TestCountFile(t *testing.T) {
+	path := writeTemp(t, sample)
+	n, err := CountFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Code lines: package, func F{, a:=1, return a, }, func G{, _=2, } = 8.
+	if n != 8 {
+		t.Fatalf("count = %d, want 8", n)
+	}
+}
+
+func TestCountFuncs(t *testing.T) {
+	path := writeTemp(t, sample)
+	n, err := CountFuncs(path, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// func F{, a:=1, return a, } = 4 (comment and blank skipped).
+	if n != 4 {
+		t.Fatalf("F count = %d, want 4", n)
+	}
+	both, err := CountFuncs(path, "F", "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both != 7 {
+		t.Fatalf("F+G count = %d, want 7", both)
+	}
+}
+
+func TestCountFuncsMissing(t *testing.T) {
+	path := writeTemp(t, sample)
+	if _, err := CountFuncs(path, "Nope"); err == nil {
+		t.Fatal("missing function not reported")
+	}
+}
+
+func TestCountFiles(t *testing.T) {
+	p1 := writeTemp(t, sample)
+	p2 := writeTemp(t, "package y\n\nvar V = 3\n")
+	n, err := CountFiles(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8+2 {
+		t.Fatalf("total = %d, want 10", n)
+	}
+}
+
+func TestErrorsOnMissingFile(t *testing.T) {
+	if _, err := CountFile("/nonexistent/file.go"); err == nil {
+		t.Fatal("missing file not reported")
+	}
+	if _, err := CountFuncs("/nonexistent/file.go", "F"); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}

@@ -1,0 +1,377 @@
+// Package cg implements the paper's distributed Conjugate Gradient
+// experiment (§VI-D): rows of a sparse SPD matrix are split equally across
+// GPUs; each iteration performs one SpMV — whose input vector is assembled
+// with an AllGatherv across GPUs — plus two dot products, each requiring an
+// AllReduce.
+//
+// As with the Jacobi solver, five implementation variants mirror the
+// paper's Table II: native MPI, native GPUCCL, native GPUSHMEM host API,
+// native GPUSHMEM device API, and the backend-agnostic UNICONN version.
+package cg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// Variant selects one implementation.
+type Variant int
+
+// The implementation variants (Table II rows).
+const (
+	NativeMPI Variant = iota
+	NativeGPUCCL
+	NativeGPUSHMEMHost
+	NativeGPUSHMEMDevice
+	Uniconn
+)
+
+func (v Variant) String() string {
+	switch v {
+	case NativeMPI:
+		return "MPI-Native"
+	case NativeGPUCCL:
+		return "GPUCCL-Native"
+	case NativeGPUSHMEMHost:
+		return "GPUSHMEM-Host-Native"
+	case NativeGPUSHMEMDevice:
+		return "GPUSHMEM-Device-Native"
+	case Uniconn:
+		return "Uniconn"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Config describes one CG run.
+type Config struct {
+	Model  *machine.Model
+	NGPUs  int
+	Matrix *sparse.CSR
+	// Iters is the fixed iteration count (the paper runs 10K iterations
+	// with no warm-up and reports total runtime).
+	Iters int
+	// Compute selects functional execution (verifiable numerics) versus
+	// modeled-only timing.
+	Compute bool
+	// DisableAllgatherv skips the SpMV exchange, reproducing the paper's
+	// §VI-D ablation that isolated MPI's Allgatherv as the bottleneck.
+	DisableAllgatherv bool
+
+	Variant Variant
+	Backend core.BackendID
+	Mode    core.LaunchMode
+
+	// Trace, when non-nil, records the run's execution spans.
+	Trace *trace.Log
+}
+
+// Result reports one run.
+type Result struct {
+	Total    sim.Duration
+	PerIter  sim.Duration
+	Residual float64 // final squared residual norm (functional runs)
+}
+
+func (cfg Config) backendOf() core.BackendID {
+	switch cfg.Variant {
+	case NativeMPI:
+		return core.MPIBackend
+	case NativeGPUCCL:
+		return core.GpucclBackend
+	case NativeGPUSHMEMHost, NativeGPUSHMEMDevice:
+		return core.GpushmemBackend
+	default:
+		return cfg.Backend
+	}
+}
+
+// Run executes the configured variant.
+func Run(cfg Config) (Result, error) {
+	if cfg.Matrix == nil || cfg.NGPUs < 1 || cfg.Matrix.Rows < cfg.NGPUs {
+		return Result{}, fmt.Errorf("cg: invalid config")
+	}
+	if cfg.DisableAllgatherv && cfg.Compute {
+		return Result{}, fmt.Errorf("cg: the no-allgatherv ablation is timing-only (set Compute=false)")
+	}
+	perRank := make([]rankResult, cfg.NGPUs)
+	_, err := core.Launch(core.Config{
+		Model: cfg.Model, NGPUs: cfg.NGPUs, Backend: cfg.backendOf(), Trace: cfg.Trace,
+	}, func(env *core.Env) {
+		var rr rankResult
+		switch cfg.Variant {
+		case NativeMPI:
+			rr = runNativeMPI(cfg, env)
+		case NativeGPUCCL:
+			rr = runNativeGPUCCL(cfg, env)
+		case NativeGPUSHMEMHost:
+			rr = runNativeShmemHost(cfg, env)
+		case NativeGPUSHMEMDevice:
+			rr = runNativeShmemDevice(cfg, env)
+		default:
+			rr = runUniconn(cfg, env)
+		}
+		perRank[env.WorldRank()] = rr
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, rr := range perRank {
+		if rr.elapsed > res.Total {
+			res.Total = rr.elapsed
+		}
+	}
+	res.PerIter = res.Total / sim.Duration(cfg.Iters)
+	res.Residual = perRank[0].residual
+	return res, nil
+}
+
+type rankResult struct {
+	elapsed  sim.Duration
+	residual float64
+}
+
+// state is the per-rank CG storage: the local matrix block, the
+// distributed vectors, and the scalar staging buffers.
+type state struct {
+	cfg  Config
+	env  *core.Env
+	rank int
+
+	part   sparse.Partition
+	lo, hi int
+	myRows int
+	nnz    int64
+
+	x, r, p, ap *core.Mem[float64] // local blocks (myRows)
+	pFull       *core.Mem[float64] // assembled SpMV input (Rows)
+	dots        *core.Mem[float64] // [0]=pAp, [1]=rsnew scratch
+
+	rsold float64
+
+	stream      *gpu.Stream
+	start, stop *gpu.Event
+}
+
+func newState(cfg Config, env *core.Env) *state {
+	n := cfg.Matrix.Rows
+	part := sparse.PartitionRows(n, cfg.NGPUs)
+	lo, hi := part.Range(env.WorldRank())
+	st := &state{
+		cfg: cfg, env: env, rank: env.WorldRank(),
+		part: part, lo: lo, hi: hi, myRows: hi - lo,
+		nnz:    cfg.Matrix.NNZRange(lo, hi),
+		stream: env.NewStream("cg"),
+		start:  gpu.NewEvent("start"), stop: gpu.NewEvent("stop"),
+	}
+	// Symmetric allocations must agree across ranks: local blocks use the
+	// maximum block size.
+	maxRows := 0
+	for r := 0; r < cfg.NGPUs; r++ {
+		if c := part.Count(r); c > maxRows {
+			maxRows = c
+		}
+	}
+	st.x = core.Alloc[float64](env, maxRows)
+	st.r = core.Alloc[float64](env, maxRows)
+	st.p = core.Alloc[float64](env, maxRows)
+	st.ap = core.Alloc[float64](env, maxRows)
+	st.pFull = core.Alloc[float64](env, n)
+	st.dots = core.Alloc[float64](env, 2)
+
+	if cfg.Compute {
+		// b = A·1 so the exact solution is the ones vector; x0 = 0,
+		// r0 = b, p0 = r0.
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		cfg.Matrix.SpMV(st.r.Data()[:st.myRows], ones, lo, hi)
+		copy(st.p.Data()[:st.myRows], st.r.Data()[:st.myRows])
+		for i := 0; i < st.myRows; i++ {
+			st.rsold += st.r.Data()[i] * st.r.Data()[i]
+		}
+		// Global rsold: every rank computes the same full-vector value.
+		full := make([]float64, n)
+		cfg.Matrix.SpMV(full, ones, 0, n)
+		st.rsold = 0
+		for _, v := range full {
+			st.rsold += v * v
+		}
+	}
+	return st
+}
+
+// Kernel builders: durations come from the machine model; bodies execute
+// the real arithmetic when cfg.Compute.
+
+// spmvKernel computes ap = A_local · pFull.
+func (st *state) spmvKernel() *gpu.Kernel {
+	nnz := st.nnz
+	return &gpu.Kernel{
+		Name: "spmv",
+		Time: func(d *gpu.Device) sim.Duration { return d.Model().SpMVKernelTime(nnz) },
+		Body: func(kc *gpu.KernelCtx) { st.spmvBody() },
+	}
+}
+
+func (st *state) spmvBody() {
+	if !st.cfg.Compute {
+		return
+	}
+	st.cfg.Matrix.SpMV(st.ap.Data()[:st.myRows], st.pFull.Data(), st.lo, st.hi)
+}
+
+// vecBytes is the streaming traffic of one myRows-long vector pass.
+func (st *state) vecTime(streams int) func(d *gpu.Device) sim.Duration {
+	bytes := int64(st.myRows) * 8 * int64(streams)
+	return func(d *gpu.Device) sim.Duration { return d.Model().StencilKernelTime(bytes) }
+}
+
+// dotKernel computes dots[slot] = a·b over the local block.
+func (st *state) dotKernel(a, b *core.Mem[float64], slot int) *gpu.Kernel {
+	return &gpu.Kernel{
+		Name: "dot",
+		Time: st.vecTime(2),
+		Body: func(kc *gpu.KernelCtx) { st.dotBody(a, b, slot) },
+	}
+}
+
+func (st *state) dotBody(a, b *core.Mem[float64], slot int) {
+	if !st.cfg.Compute {
+		return
+	}
+	sum := 0.0
+	for i := 0; i < st.myRows; i++ {
+		sum += a.Data()[i] * b.Data()[i]
+	}
+	st.dots.Data()[slot] = sum
+}
+
+// axpyKernel performs x += alpha·p and r -= alpha·ap.
+func (st *state) axpyKernel(alpha func() float64) *gpu.Kernel {
+	return &gpu.Kernel{
+		Name: "axpy",
+		Time: st.vecTime(6),
+		Body: func(kc *gpu.KernelCtx) { st.axpyBody(alpha()) },
+	}
+}
+
+func (st *state) axpyBody(alpha float64) {
+	if !st.cfg.Compute {
+		return
+	}
+	for i := 0; i < st.myRows; i++ {
+		st.x.Data()[i] += alpha * st.p.Data()[i]
+		st.r.Data()[i] -= alpha * st.ap.Data()[i]
+	}
+}
+
+// updatePKernel performs p = r + beta·p.
+func (st *state) updatePKernel(beta func() float64) *gpu.Kernel {
+	return &gpu.Kernel{
+		Name: "update-p",
+		Time: st.vecTime(3),
+		Body: func(kc *gpu.KernelCtx) { st.updatePBody(beta()) },
+	}
+}
+
+func (st *state) updatePBody(beta float64) {
+	if !st.cfg.Compute {
+		return
+	}
+	for i := 0; i < st.myRows; i++ {
+		st.p.Data()[i] = st.r.Data()[i] + beta*st.p.Data()[i]
+	}
+}
+
+// scalarStep folds the host-side scalar logic: alpha from pAp, then after
+// the second dot, beta. In modeled-only runs the values are inert.
+func (st *state) alpha() float64 {
+	if !st.cfg.Compute {
+		return 1
+	}
+	pap := st.dots.Data()[0]
+	if pap == 0 {
+		return 0
+	}
+	return st.rsold / pap
+}
+
+func (st *state) betaAndRoll() float64 {
+	if !st.cfg.Compute {
+		return 0
+	}
+	rsnew := st.dots.Data()[1]
+	beta := 0.0
+	if st.rsold != 0 {
+		beta = rsnew / st.rsold
+	}
+	st.rsold = rsnew
+	return beta
+}
+
+// residual reports the final squared residual norm.
+func (st *state) residual() float64 {
+	if !st.cfg.Compute {
+		return 0
+	}
+	if math.IsNaN(st.rsold) {
+		panic("cg: NaN residual")
+	}
+	return st.rsold
+}
+
+// RunSerial executes the reference CG on one in-memory matrix and returns
+// the squared residual after iters iterations.
+func RunSerial(m *sparse.CSR, iters int) float64 {
+	n := m.Rows
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, n)
+	m.SpMV(b, ones, 0, n)
+	x := make([]float64, n)
+	r := append([]float64{}, b...)
+	p := append([]float64{}, b...)
+	ap := make([]float64, n)
+	rsold := 0.0
+	for _, v := range r {
+		rsold += v * v
+	}
+	for it := 0; it < iters; it++ {
+		m.SpMV(ap, p, 0, n)
+		pap := 0.0
+		for i := range p {
+			pap += p[i] * ap[i]
+		}
+		alpha := 0.0
+		if pap != 0 {
+			alpha = rsold / pap
+		}
+		rsnew := 0.0
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			rsnew += r[i] * r[i]
+		}
+		beta := 0.0
+		if rsold != 0 {
+			beta = rsnew / rsold
+		}
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rsold = rsnew
+	}
+	return rsold
+}

@@ -1,0 +1,41 @@
+package cg
+
+// Native GPU-aware MPI CG: host-blocking Allgatherv for the SpMV input and
+// host-blocking Allreduce for the dot products, with explicit stream
+// synchronization before every communication phase.
+
+import (
+	"repro/internal/core"
+	"repro/internal/gpu"
+)
+
+func runNativeMPI(cfg Config, env *core.Env) rankResult {
+	st := newState(cfg, env)
+	comm := env.MPIComm()
+	p := env.Proc()
+	counts, displs := st.part.Counts(), st.part.Displs()
+
+	st.start.Record(st.stream)
+	for it := 0; it < cfg.Iters; it++ {
+		// Assemble the SpMV input vector.
+		st.stream.Synchronize(p)
+		if !cfg.DisableAllgatherv {
+			comm.Allgatherv(p, st.p.View(0, st.myRows), st.pFull.Whole(), counts, displs)
+		}
+		st.stream.Launch(p, st.spmvKernel(), nil)
+		st.stream.Launch(p, st.dotKernel(st.p, st.ap, 0), nil)
+		st.stream.Synchronize(p)
+		comm.Allreduce(p, st.dots.View(0, 1), st.dots.View(0, 1), gpu.ReduceSum)
+		alpha := st.alpha()
+		st.stream.Launch(p, st.axpyKernel(func() float64 { return alpha }), nil)
+		st.stream.Launch(p, st.dotKernel(st.r, st.r, 1), nil)
+		st.stream.Synchronize(p)
+		comm.Allreduce(p, st.dots.View(1, 1), st.dots.View(1, 1), gpu.ReduceSum)
+		beta := st.betaAndRoll()
+		st.stream.Launch(p, st.updatePKernel(func() float64 { return beta }), nil)
+	}
+	st.stop.Record(st.stream)
+	st.stream.Synchronize(p)
+	comm.Barrier(p)
+	return rankResult{elapsed: gpu.Elapsed(st.start, st.stop), residual: st.residual()}
+}

@@ -1,0 +1,200 @@
+// Package trace records virtual-time execution spans (kernels, stream
+// operations, fabric transfers) so runs can be inspected, summarized, or
+// exported in Chrome trace-event JSON for chrome://tracing.
+//
+// The tracer is deliberately dumb and allocation-friendly: producers append
+// spans; analysis happens afterwards. A nil *Log is a valid, disabled
+// tracer, so instrumentation sites need no conditionals.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a span.
+type Kind int
+
+// Span kinds.
+const (
+	KindKernel Kind = iota
+	KindStreamOp
+	KindTransfer
+	KindHost
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindKernel:
+		return "kernel"
+	case KindStreamOp:
+		return "stream-op"
+	case KindTransfer:
+		return "transfer"
+	case KindHost:
+		return "host"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Span is one recorded interval.
+type Span struct {
+	Kind  Kind
+	Label string
+	// Track identifies the resource the span ran on (GPU id, stream
+	// name, link name); it becomes the row in timeline renderings.
+	Track string
+	Start sim.Time
+	End   sim.Time
+	// Bytes is the payload size for transfers (0 otherwise).
+	Bytes int64
+}
+
+// Dur reports the span length.
+func (s Span) Dur() sim.Duration { return s.End.Sub(s.Start) }
+
+// Log collects spans. The zero value is ready to use; a nil *Log discards
+// everything.
+type Log struct {
+	spans []Span
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Add appends one span. Safe on a nil receiver (no-op), so producers can be
+// instrumented unconditionally.
+func (l *Log) Add(s Span) {
+	if l == nil {
+		return
+	}
+	l.spans = append(l.spans, s)
+}
+
+// Spans returns the recorded spans in insertion order.
+func (l *Log) Spans() []Span {
+	if l == nil {
+		return nil
+	}
+	return l.spans
+}
+
+// Len reports the span count.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.spans)
+}
+
+// Filter returns the spans of one kind.
+func (l *Log) Filter(k Kind) []Span {
+	var out []Span
+	for _, s := range l.Spans() {
+		if s.Kind == k {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Summary aggregates busy time and counts per (kind, track).
+type Summary struct {
+	Rows []SummaryRow
+}
+
+// SummaryRow is one aggregate.
+type SummaryRow struct {
+	Kind  Kind
+	Track string
+	Count int
+	Busy  sim.Duration
+	Bytes int64
+}
+
+// Summarize aggregates the log per (kind, track), ordered by descending
+// busy time.
+func (l *Log) Summarize() Summary {
+	type key struct {
+		kind  Kind
+		track string
+	}
+	acc := map[key]*SummaryRow{}
+	for _, s := range l.Spans() {
+		k := key{s.Kind, s.Track}
+		r := acc[k]
+		if r == nil {
+			r = &SummaryRow{Kind: s.Kind, Track: s.Track}
+			acc[k] = r
+		}
+		r.Count++
+		r.Busy += s.Dur()
+		r.Bytes += s.Bytes
+	}
+	var rows []SummaryRow
+	for _, r := range acc {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Busy != rows[j].Busy {
+			return rows[i].Busy > rows[j].Busy
+		}
+		if rows[i].Track != rows[j].Track {
+			return rows[i].Track < rows[j].Track
+		}
+		return rows[i].Kind < rows[j].Kind
+	})
+	return Summary{Rows: rows}
+}
+
+// Render formats the summary as a text table.
+func (s Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-24s %8s %14s %12s\n", "kind", "track", "count", "busy", "bytes")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-10s %-24s %8d %14s %12d\n",
+			r.Kind, r.Track, r.Count, r.Busy, r.Bytes)
+	}
+	return b.String()
+}
+
+// chromeEvent is the Chrome trace-event "complete" record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  string         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the log as a Chrome trace-event JSON array
+// (open with chrome://tracing or Perfetto).
+func (l *Log) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, l.Len())
+	for _, s := range l.Spans() {
+		ev := chromeEvent{
+			Name: s.Label,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			TS:   sim.Duration(s.Start).Micros(),
+			Dur:  s.Dur().Micros(),
+			PID:  1,
+			TID:  s.Track,
+		}
+		if s.Bytes > 0 {
+			ev.Args = map[string]any{"bytes": s.Bytes}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

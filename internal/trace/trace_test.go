@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleLog() *Log {
+	l := New()
+	l.Add(Span{Kind: KindKernel, Label: "jacobi", Track: "gpu0.s", Start: 0, End: 100})
+	l.Add(Span{Kind: KindTransfer, Label: "gpu0->gpu1", Track: "intra", Start: 50, End: 150, Bytes: 4096})
+	l.Add(Span{Kind: KindTransfer, Label: "gpu1->gpu0", Track: "intra", Start: 60, End: 160, Bytes: 4096})
+	l.Add(Span{Kind: KindStreamOp, Label: "memcpy", Track: "gpu0.s", Start: 100, End: 110})
+	return l
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(Span{Kind: KindKernel})
+	if l.Len() != 0 || l.Spans() != nil {
+		t.Fatal("nil log not inert")
+	}
+	if got := l.Summarize(); len(got.Rows) != 0 {
+		t.Fatal("nil log summary not empty")
+	}
+}
+
+func TestFilterAndDur(t *testing.T) {
+	l := sampleLog()
+	tr := l.Filter(KindTransfer)
+	if len(tr) != 2 {
+		t.Fatalf("transfers = %d", len(tr))
+	}
+	if tr[0].Dur() != 100 {
+		t.Fatalf("dur = %v", tr[0].Dur())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	l := sampleLog()
+	s := l.Summarize()
+	if len(s.Rows) != 3 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	// Transfers dominate busy time: 200ns total on track "intra".
+	top := s.Rows[0]
+	if top.Kind != KindTransfer || top.Track != "intra" ||
+		top.Busy != 200 || top.Count != 2 || top.Bytes != 8192 {
+		t.Fatalf("top row = %+v", top)
+	}
+	out := s.Render()
+	for _, want := range []string{"transfer", "intra", "8192", "kernel"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+	ev := events[1]
+	if ev["name"] != "gpu0->gpu1" || ev["ph"] != "X" || ev["cat"] != "transfer" {
+		t.Fatalf("event = %v", ev)
+	}
+	if ev["dur"].(float64) != sim.Duration(100).Micros() {
+		t.Fatalf("dur = %v", ev["dur"])
+	}
+	args := ev["args"].(map[string]any)
+	if args["bytes"].(float64) != 4096 {
+		t.Fatalf("bytes = %v", args["bytes"])
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindKernel: "kernel", KindStreamOp: "stream-op",
+		KindTransfer: "transfer", KindHost: "host",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %s", int(k), k)
+		}
+	}
+}

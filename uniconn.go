@@ -1,0 +1,254 @@
+// Package uniconn is the public API of the UNICONN reproduction: a
+// uniform, high-level communication library for portable multi-GPU
+// programming (Sağbili et al., CLUSTER 2025), implemented in pure Go on top
+// of a deterministic simulated GPU cluster.
+//
+// The library re-exports the paper's four abstractions:
+//
+//   - Env (Environment): backend initialization and device selection;
+//   - Communicator: the process group, with barriers and device handles;
+//   - Mem / Alloc (Memory): backend-appropriate buffer allocation
+//     (symmetric heap on GPUSHMEM);
+//   - Coordinator: kernel management under a LaunchMode, operation
+//     grouping (CommStart/CommEnd), and the uniform communication
+//     operations — Post/Acknowledge plus the collective set of the paper's
+//     Listing 7 — over three interchangeable backends (MPIBackend,
+//     GpucclBackend, GpushmemBackend).
+//
+// A minimal program:
+//
+//	cfg := uniconn.Config{Model: machine.Perlmutter(), NGPUs: 4, Backend: uniconn.GpucclBackend}
+//	uniconn.Launch(cfg, func(env *uniconn.Env) {
+//	    env.SetDevice(env.NodeRank())
+//	    comm := uniconn.NewCommunicator(env)
+//	    stream := env.NewStream("main")
+//	    coord := uniconn.NewCoordinator(env, uniconn.PureHost, stream)
+//	    x := uniconn.Alloc[float64](env, 1)
+//	    x.Data()[0] = float64(env.WorldRank())
+//	    uniconn.AllReduceInPlace(coord, uniconn.ReduceSum, x.Base(), 1, comm)
+//	    env.StreamSynchronize(stream)
+//	})
+//
+// See examples/ for complete programs (quickstart, ping-pong, Jacobi, CG)
+// and DESIGN.md for the architecture and the simulation substitutions.
+package uniconn
+
+import (
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Core abstractions (paper §IV).
+type (
+	// Config describes one simulated UNICONN job.
+	Config = core.Config
+	// Report summarises a completed run.
+	Report = core.Report
+	// Env is the Environment abstraction.
+	Env = core.Env
+	// Communicator encapsulates the process group.
+	Communicator = core.Communicator
+	// DeviceComm is the GPU-resident communicator handle.
+	DeviceComm = core.DeviceComm
+	// Coordinator manages kernels, grouping, and communication.
+	Coordinator = core.Coordinator
+	// BackendID selects a communication backend.
+	BackendID = core.BackendID
+	// LaunchMode selects PureHost / PartialDevice / PureDevice.
+	LaunchMode = core.LaunchMode
+	// ThreadGroup selects device-side execution granularity.
+	ThreadGroup = core.ThreadGroup
+	// Signal names one element of a uint64 allocation used for
+	// completion signalling.
+	Signal = core.Signal
+	// Mem is a typed UNICONN allocation.
+	Mem[T Elem] = core.Mem[T]
+	// Ptr is a typed pointer into an allocation (buf + offset).
+	Ptr[T Elem] = core.Ptr[T]
+)
+
+// Simulated GPU runtime surface used by applications.
+type (
+	// Elem constrains buffer element types.
+	Elem = gpu.Elem
+	// ReduceOp is a reduction operator.
+	ReduceOp = gpu.ReduceOp
+	// Kernel describes a launchable GPU kernel.
+	Kernel = gpu.Kernel
+	// KernelCtx is the device-side execution context.
+	KernelCtx = gpu.KernelCtx
+	// Stream is an in-order GPU execution queue.
+	Stream = gpu.Stream
+	// Event is a CUDA-style timing/synchronization event.
+	Event = gpu.Event
+	// Machine is a simulated system model (Table I).
+	Machine = machine.Model
+	// Duration is virtual time in nanoseconds.
+	Duration = sim.Duration
+	// Time is a virtual-time instant.
+	Time = sim.Time
+)
+
+// Backend selectors.
+const (
+	MPIBackend      = core.MPIBackend
+	GpucclBackend   = core.GpucclBackend
+	GpushmemBackend = core.GpushmemBackend
+)
+
+// Launch modes.
+const (
+	PureHost      = core.PureHost
+	PartialDevice = core.PartialDevice
+	PureDevice    = core.PureDevice
+)
+
+// Thread granularities.
+const (
+	Thread = core.Thread
+	Warp   = core.Warp
+	Block  = core.Block
+)
+
+// Reduction operators.
+const (
+	ReduceSum  = gpu.ReduceSum
+	ReduceProd = gpu.ReduceProd
+	ReduceMin  = gpu.ReduceMin
+	ReduceMax  = gpu.ReduceMax
+)
+
+// Machine models of the paper's three systems (Table I).
+var (
+	Perlmutter   = machine.Perlmutter
+	LUMI         = machine.LUMI
+	MareNostrum5 = machine.MareNostrum5
+	Machines     = machine.All
+)
+
+// Launch runs main once per rank on the simulated cluster (the moral
+// equivalent of mpirun for the simulation).
+func Launch(cfg Config, main func(env *Env)) (Report, error) { return core.Launch(cfg, main) }
+
+// NewCommunicator creates the world communicator for this rank.
+func NewCommunicator(env *Env) *Communicator { return core.NewCommunicator(env) }
+
+// NewCoordinator constructs a Coordinator bound to a stream.
+func NewCoordinator(env *Env, mode LaunchMode, s *Stream) *Coordinator {
+	return core.NewCoordinator(env, mode, s)
+}
+
+// NewEvent creates an unrecorded GPU event.
+func NewEvent(name string) *Event { return gpu.NewEvent(name) }
+
+// Elapsed reports the virtual time between two recorded events.
+func Elapsed(start, end *Event) Duration { return gpu.Elapsed(start, end) }
+
+// Alloc allocates n elements through the backend (Memory::Alloc).
+func Alloc[T Elem](env *Env, n int) *Mem[T] { return core.Alloc[T](env, n) }
+
+// Sig constructs a Signal reference (the paper's sig_loc argument).
+func Sig(m *Mem[uint64], idx int) Signal { return core.Sig(m, idx) }
+
+// Post sends count elements at send to peer (host API).
+func Post[T Elem](c *Coordinator, send, recv Ptr[T], count int, sig Signal, sigVal uint64, peer int, comm *Communicator) {
+	core.Post(c, send, recv, count, sig, sigVal, peer, comm)
+}
+
+// Acknowledge completes the receive side of a Post (host API).
+func Acknowledge[T Elem](c *Coordinator, recv Ptr[T], count int, sig Signal, sigVal uint64, peer int, comm *Communicator) {
+	core.Acknowledge(c, recv, count, sig, sigVal, peer, comm)
+}
+
+// AllReduce reduces count elements elementwise across the communicator.
+func AllReduce[T Elem](c *Coordinator, op ReduceOp, send, recv Ptr[T], count int, comm *Communicator) {
+	core.AllReduce(c, op, send, recv, count, comm)
+}
+
+// AllReduceInPlace is the +In-Place AllReduce variant.
+func AllReduceInPlace[T Elem](c *Coordinator, op ReduceOp, buf Ptr[T], count int, comm *Communicator) {
+	core.AllReduceInPlace(c, op, buf, count, comm)
+}
+
+// Reduce combines count elements into recv on root.
+func Reduce[T Elem](c *Coordinator, op ReduceOp, send, recv Ptr[T], count, root int, comm *Communicator) {
+	core.Reduce(c, op, send, recv, count, root, comm)
+}
+
+// Broadcast sends root's buffer to every rank.
+func Broadcast[T Elem](c *Coordinator, buf Ptr[T], count, root int, comm *Communicator) {
+	core.Broadcast(c, buf, count, root, comm)
+}
+
+// Gather collects equal contributions on root.
+func Gather[T Elem](c *Coordinator, send, recv Ptr[T], count, root int, comm *Communicator) {
+	core.Gather(c, send, recv, count, root, comm)
+}
+
+// Gatherv is the +Vectorized gather.
+func Gatherv[T Elem](c *Coordinator, send, recv Ptr[T], counts, displs []int, root int, comm *Communicator) {
+	core.Gatherv(c, send, recv, counts, displs, root, comm)
+}
+
+// Scatter distributes root's buffer in equal chunks.
+func Scatter[T Elem](c *Coordinator, send, recv Ptr[T], count, root int, comm *Communicator) {
+	core.Scatter(c, send, recv, count, root, comm)
+}
+
+// Scatterv is the +Vectorized scatter.
+func Scatterv[T Elem](c *Coordinator, send, recv Ptr[T], counts, displs []int, root int, comm *Communicator) {
+	core.Scatterv(c, send, recv, counts, displs, root, comm)
+}
+
+// AllGather concatenates equal contributions on every rank.
+func AllGather[T Elem](c *Coordinator, send, recv Ptr[T], count int, comm *Communicator) {
+	core.AllGather(c, send, recv, count, comm)
+}
+
+// AllGatherv is the variable-size allgather (the CG solver's exchange).
+func AllGatherv[T Elem](c *Coordinator, send, recv Ptr[T], counts, displs []int, comm *Communicator) {
+	core.AllGatherv(c, send, recv, counts, displs, comm)
+}
+
+// AlltoAll exchanges equal chunks between every pair of ranks.
+func AlltoAll[T Elem](c *Coordinator, send, recv Ptr[T], count int, comm *Communicator) {
+	core.AlltoAll(c, send, recv, count, comm)
+}
+
+// AlltoAllv is the +Vectorized all-to-all.
+func AlltoAllv[T Elem](c *Coordinator, send, recv Ptr[T], sendCounts, sendDispls, recvCounts, recvDispls []int, comm *Communicator) {
+	core.AlltoAllv(c, send, recv, sendCounts, sendDispls, recvCounts, recvDispls, comm)
+}
+
+// DevPost is the device-side Post (PureDevice/PartialDevice kernels).
+func DevPost[T Elem](kc *KernelCtx, g ThreadGroup, send, recv Ptr[T], count int, sig Signal, sigVal uint64, peer int, dc *DeviceComm) {
+	core.DevPost(kc, g, send, recv, count, sig, sigVal, peer, dc)
+}
+
+// DevAcknowledge waits on a signal from device code.
+func DevAcknowledge(kc *KernelCtx, sig Signal, sigVal uint64, dc *DeviceComm) {
+	core.DevAcknowledge(kc, sig, sigVal, dc)
+}
+
+// DevQuiet completes device-initiated non-blocking operations.
+func DevQuiet(kc *KernelCtx, dc *DeviceComm) { core.DevQuiet(kc, dc) }
+
+// DevBarrier synchronizes all ranks from device code.
+func DevBarrier(kc *KernelCtx, dc *DeviceComm) { core.DevBarrier(kc, dc) }
+
+// DevAllReduce reduces across all ranks from device code.
+func DevAllReduce[T Elem](kc *KernelCtx, op ReduceOp, send, recv Ptr[T], count int, dc *DeviceComm) {
+	core.DevAllReduce(kc, op, send, recv, count, dc)
+}
+
+// DevBroadcast broadcasts from device code.
+func DevBroadcast[T Elem](kc *KernelCtx, buf Ptr[T], count, root int, dc *DeviceComm) {
+	core.DevBroadcast(kc, buf, count, root, dc)
+}
+
+// DevAllGatherv is the device-side variable-size allgather.
+func DevAllGatherv[T Elem](kc *KernelCtx, send, recv Ptr[T], counts, displs []int, dc *DeviceComm) {
+	core.DevAllGatherv(kc, send, recv, counts, displs, dc)
+}

@@ -1,0 +1,89 @@
+package uniconn_test
+
+// Facade smoke tests: the public surface (import "repro") must be able to
+// express the paper's whole programming model — the deep coverage lives in
+// the internal packages.
+
+import (
+	"testing"
+
+	uniconn "repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	for _, backend := range []uniconn.BackendID{
+		uniconn.MPIBackend, uniconn.GpucclBackend, uniconn.GpushmemBackend,
+	} {
+		backend := backend
+		t.Run(backend.String(), func(t *testing.T) {
+			cfg := uniconn.Config{Model: uniconn.Perlmutter(), NGPUs: 4, Backend: backend}
+			rep, err := uniconn.Launch(cfg, func(env *uniconn.Env) {
+				env.SetDevice(env.NodeRank())
+				comm := uniconn.NewCommunicator(env)
+				stream := env.NewStream("t")
+				coord := uniconn.NewCoordinator(env, uniconn.PureHost, stream)
+
+				x := uniconn.Alloc[float64](env, 2)
+				x.Data()[0] = float64(env.WorldRank())
+				x.Data()[1] = 1
+				uniconn.AllReduceInPlace(coord, uniconn.ReduceSum, x.Base(), 2, comm)
+
+				// P2P ring through Post/Acknowledge.
+				n := env.WorldSize()
+				right := (env.WorldRank() + 1) % n
+				left := (env.WorldRank() - 1 + n) % n
+				s := uniconn.Alloc[int64](env, 1)
+				r := uniconn.Alloc[int64](env, 1)
+				sync := uniconn.Alloc[uint64](env, 1)
+				s.Data()[0] = int64(10 + env.WorldRank())
+				coord.CommStart()
+				uniconn.Post(coord, s.Base(), r.Base(), 1, uniconn.Sig(sync, 0), 1, right, comm)
+				uniconn.Acknowledge(coord, r.Base(), 1, uniconn.Sig(sync, 0), 1, left, comm)
+				coord.CommEnd()
+
+				env.StreamSynchronize(stream)
+				comm.Barrier(stream)
+				env.StreamSynchronize(stream)
+
+				if x.Data()[0] != 6 || x.Data()[1] != 4 {
+					t.Errorf("allreduce = %v", x.Data())
+				}
+				if r.Data()[0] != int64(10+left) {
+					t.Errorf("ring got %d, want %d", r.Data()[0], 10+left)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.End <= 0 {
+				t.Fatal("no virtual time elapsed")
+			}
+		})
+	}
+}
+
+func TestFacadeSplitAndEvents(t *testing.T) {
+	cfg := uniconn.Config{Model: uniconn.MareNostrum5(), NGPUs: 4, Backend: uniconn.GpucclBackend}
+	_, err := uniconn.Launch(cfg, func(env *uniconn.Env) {
+		comm := uniconn.NewCommunicator(env)
+		stream := env.NewStream("t")
+		sub := comm.Split(env.WorldRank()/2, env.WorldRank())
+		if sub.GlobalSize() != 2 {
+			t.Errorf("sub size = %d", sub.GlobalSize())
+		}
+		start, stop := uniconn.NewEvent("a"), uniconn.NewEvent("b")
+		start.Record(stream)
+		stream.Launch(env.Proc(), &uniconn.Kernel{
+			Name: "noop",
+			Body: func(kc *uniconn.KernelCtx) { kc.P.Advance(123) },
+		}, nil)
+		stop.Record(stream)
+		env.StreamSynchronize(stream)
+		if d := uniconn.Elapsed(start, stop); d < 123 {
+			t.Errorf("elapsed = %v", d)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
