@@ -1,0 +1,115 @@
+// uniconn-chaos sweeps fault severity over the network microbenchmarks and
+// prints per-backend latency/bandwidth degradation curves. The injected
+// plans come from internal/faults: either a uniform degradation of the
+// benchmarked path (-degrade, the default) or a randomized but
+// seed-deterministic plan of link faults, NIC stall windows, and slow ranks
+// (-generate). Identical flags always print identical numbers.
+//
+// Usage:
+//
+//	uniconn-chaos                                # Perlmutter, inter-node, degrade ramp
+//	uniconn-chaos -machine LUMI -bytes 1048576
+//	uniconn-chaos -generate -seed 7 -severities 0,0.5,1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func parseSeverities(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad severity %q: %w", f, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("severity %g is negative", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	inter := flag.Bool("inter", true, "benchmark across two nodes")
+	bytes := flag.Int64("bytes", 8192, "message size (multiple of 8)")
+	sevFlag := flag.String("severities", "0,0.25,0.5,0.75,1", "comma-separated severity sweep")
+	generate := flag.Bool("generate", false,
+		"randomized seed-deterministic plans instead of uniform path degradation")
+	seed := flag.Uint64("seed", 42, "fault-plan seed (with -generate)")
+	flag.Parse()
+
+	m := machine.ByName(*machineName)
+	if m == nil {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+	severities, err := parseSeverities(*sevFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	backends := []struct {
+		label   string
+		backend core.BackendID
+	}{{"MPI", core.MPIBackend}, {"GPUCCL", core.GpucclBackend}}
+	if m.HasGPUSHMEM {
+		backends = append(backends, struct {
+			label   string
+			backend core.BackendID
+		}{"GPUSHMEM", core.GpushmemBackend})
+	}
+
+	where, mode := "intra-node", "degrade ramp"
+	if *inter {
+		where = "inter-node"
+	}
+	if *generate {
+		mode = fmt.Sprintf("generated plan (seed %d)", *seed)
+	}
+	fmt.Printf("chaos sweep on %s (%s), %d B, %s\n", m.Name, where, *bytes, mode)
+	fmt.Printf("%-10s%10s%14s%10s%14s%10s%12s\n",
+		"backend", "severity", "latency", "lat x", "bw GB/s", "bw frac", "transfers")
+
+	for _, b := range backends {
+		cfg := bench.NetConfig{Model: m, Backend: b.backend, API: machine.APIHost,
+			Native: true, Inter: *inter, Bytes: *bytes}
+		var planFor func(float64) *faults.Plan
+		if *generate {
+			fc := cfg.Model.FabricConfig(2)
+			if *inter {
+				mm := *m
+				mm.GPUsPerNode, mm.NICsPerNode = 1, 1
+				fc = mm.FabricConfig(2)
+			}
+			planFor = func(s float64) *faults.Plan {
+				return faults.Generate(*seed, s, fc, sim.Second)
+			}
+		}
+		points, err := bench.ChaosSweep(cfg, severities, planFor)
+		if err != nil {
+			log.Fatalf("%s: %v", b.label, err)
+		}
+		var baseLat sim.Duration
+		var baseBW float64
+		if len(points) > 0 {
+			baseLat, baseBW = points[0].Latency, points[0].Bandwidth
+		}
+		for _, p := range points {
+			fmt.Printf("%-10s%10.2f%14v%9.2fx%14.2f%10.2f%12d\n",
+				b.label, p.Severity, p.Latency, p.LatencyFactor(baseLat),
+				p.Bandwidth/1e9, p.BandwidthFactor(baseBW), p.Transfers)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Chaos demonstrates the fault-injection layer: the same UNICONN ping-pong
+// is run under fault plans of rising severity, and the resulting latency
+// degradation is printed per backend. Because the fault plan is part of the
+// simulation's deterministic input (seeded PRNG, virtual-time windows), any
+// run of this program with the same flags prints bit-identical numbers.
+//
+// Run:
+//
+//	go run ./examples/chaos
+//	go run ./examples/chaos -machine LUMI -bytes 65536 -seed 7 -generate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	uniconn "repro"
+)
+
+// onewayLatency measures a Post/Acknowledge ping-pong under a fault plan
+// and returns the one-way latency across two nodes.
+func onewayLatency(m *uniconn.Machine, backend uniconn.BackendID, plan *uniconn.FaultPlan, bytes int64) uniconn.Duration {
+	const iters, warmup = 100, 10
+	mm := *m
+	mm.GPUsPerNode, mm.NICsPerNode = 1, 1 // two ranks on two nodes
+	var total uniconn.Duration
+	_, err := uniconn.Launch(uniconn.Config{Model: &mm, NGPUs: 2, Backend: backend, Faults: plan},
+		func(env *uniconn.Env) {
+			comm := uniconn.NewCommunicator(env)
+			stream := env.NewStream("net")
+			coord := uniconn.NewCoordinator(env, uniconn.PureHost, stream)
+			n := int(bytes / 8)
+			data := uniconn.Alloc[float64](env, n)
+			sync := uniconn.Alloc[uint64](env, 2)
+			me, peer := env.WorldRank(), 1-env.WorldRank()
+
+			var start uniconn.Time
+			for it := 1; it <= warmup+iters; it++ {
+				if it == warmup+1 {
+					env.StreamSynchronize(stream)
+					comm.HostBarrier()
+					start = env.Proc().Now()
+				}
+				v := uint64(it)
+				if me == 0 {
+					uniconn.Post(coord, data.Base(), data.Base(), n, uniconn.Sig(sync, 0), v, peer, comm)
+					uniconn.Acknowledge(coord, data.Base(), n, uniconn.Sig(sync, 1), v, peer, comm)
+				} else {
+					uniconn.Acknowledge(coord, data.Base(), n, uniconn.Sig(sync, 0), v, peer, comm)
+					uniconn.Post(coord, data.Base(), data.Base(), n, uniconn.Sig(sync, 1), v, peer, comm)
+				}
+				env.StreamSynchronize(stream)
+			}
+			if me == 0 {
+				total = env.Proc().Now().Sub(start)
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return total / uniconn.Duration(2*iters)
+}
+
+func main() {
+	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	bytes := flag.Int64("bytes", 8192, "message size (multiple of 8)")
+	seed := flag.Uint64("seed", 42, "fault-plan seed (with -generate)")
+	generate := flag.Bool("generate", false,
+		"use randomized seed-deterministic plans instead of uniform degradation")
+	flag.Parse()
+
+	var m *uniconn.Machine
+	for _, cand := range uniconn.Machines() {
+		if cand.Name == *machineName {
+			m = cand
+		}
+	}
+	if m == nil {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+
+	backends := []struct {
+		name string
+		id   uniconn.BackendID
+	}{{"MPI", uniconn.MPIBackend}, {"GPUCCL", uniconn.GpucclBackend}}
+	if m.HasGPUSHMEM {
+		backends = append(backends, struct {
+			name string
+			id   uniconn.BackendID
+		}{"GPUSHMEM", uniconn.GpushmemBackend})
+	}
+
+	planFor := func(severity float64) *uniconn.FaultPlan {
+		if *generate {
+			mm := *m
+			mm.GPUsPerNode, mm.NICsPerNode = 1, 1
+			return uniconn.GenerateFaults(*seed, severity, mm.FabricConfig(2), uniconn.Duration(1e9))
+		}
+		return uniconn.DegradeFaults(uniconn.PathInter, severity)
+	}
+
+	fmt.Printf("inter-node ping-pong latency on %s, %d B, under fault plans\n", m.Name, *bytes)
+	fmt.Printf("%-10s%14s%16s%10s\n", "backend", "severity", "latency", "slowdown")
+	for _, b := range backends {
+		baseline := onewayLatency(m, b.id, nil, *bytes)
+		for _, sev := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			lat := onewayLatency(m, b.id, planFor(sev), *bytes)
+			fmt.Printf("%-10s%14.2f%16v%9.2fx\n",
+				b.name, sev, lat, float64(lat)/float64(baseline))
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package bench
+
+// Chaos benchmarking: severity sweeps of the network microbenchmarks under
+// a fault plan, reporting how ping-pong latency and windowed bandwidth
+// degrade per backend as the injected fault severity grows. This is the
+// measurement core of cmd/uniconn-chaos.
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ChaosPoint is one measurement of a severity sweep.
+type ChaosPoint struct {
+	Severity float64
+	// Latency is the one-way ping-pong latency under the plan.
+	Latency sim.Duration
+	// Bandwidth is the windowed one-way bandwidth (bytes/s) under the plan.
+	Bandwidth float64
+	// Transfers and TransferBytes summarize the latency run's fabric
+	// activity, from the trace log.
+	Transfers     int
+	TransferBytes int64
+}
+
+// LatencyFactor reports degradation relative to a baseline latency.
+func (p ChaosPoint) LatencyFactor(baseline sim.Duration) float64 {
+	if baseline <= 0 {
+		return 1
+	}
+	return float64(p.Latency) / float64(baseline)
+}
+
+// BandwidthFactor reports the retained fraction of a baseline bandwidth.
+func (p ChaosPoint) BandwidthFactor(baseline float64) float64 {
+	if baseline <= 0 {
+		return 1
+	}
+	return p.Bandwidth / baseline
+}
+
+// FaultedPath reports the path kind a chaos sweep of this configuration
+// stresses: the inter-node route when Inter is set, the intra-node route
+// otherwise.
+func (cfg NetConfig) FaultedPath() fabric.Path {
+	if cfg.Inter {
+		return fabric.PathInter
+	}
+	return fabric.PathIntra
+}
+
+// ChaosSweep measures the configuration once per severity, with the plan
+// produced by planFor injected into both the latency and the bandwidth run.
+// planFor(0) should return an empty plan so the first point of a [0, ...]
+// sweep is the healthy baseline. A nil planFor uses faults.Degrade on the
+// configuration's benchmarked path.
+func ChaosSweep(cfg NetConfig, severities []float64, planFor func(severity float64) *faults.Plan) ([]ChaosPoint, error) {
+	if planFor == nil {
+		path := cfg.FaultedPath()
+		planFor = func(s float64) *faults.Plan { return faults.Degrade(path, s) }
+	}
+	points := make([]ChaosPoint, 0, len(severities))
+	for _, sev := range severities {
+		run := cfg
+		run.Faults = planFor(sev)
+		run.Trace = trace.New()
+		lat, err := Latency(run)
+		if err != nil {
+			return points, fmt.Errorf("chaos severity %g: latency: %w", sev, err)
+		}
+		pt := ChaosPoint{Severity: sev, Latency: lat}
+		for _, s := range run.Trace.Filter(trace.KindTransfer) {
+			pt.Transfers++
+			pt.TransferBytes += s.Bytes
+		}
+		run.Trace = nil // bandwidth run does not need spans
+		if pt.Bandwidth, err = Bandwidth(run); err != nil {
+			return points, fmt.Errorf("chaos severity %g: bandwidth: %w", sev, err)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

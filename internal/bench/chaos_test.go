@@ -1,0 +1,127 @@
+package bench
+
+// Acceptance suite for the fault-injection layer (internal/faults): the
+// chaos sweeps must be deterministic, a zero-severity plan must be
+// indistinguishable from no plan, and rising severity must never make the
+// faulted path faster — for every backend.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// chaosBackends enumerates every backend on Perlmutter (the only seed
+// machine with GPUSHMEM, so all three are runnable).
+var chaosBackends = []struct {
+	name    string
+	backend core.BackendID
+}{
+	{"mpi", core.MPIBackend},
+	{"gpuccl", core.GpucclBackend},
+	{"gpushmem", core.GpushmemBackend},
+}
+
+func chaosConfig(backend core.BackendID) NetConfig {
+	return NetConfig{
+		Model: machine.Perlmutter(), Backend: backend,
+		API: machine.APIHost, Native: true, Inter: true,
+		Bytes: 8 << 10, Iters: 20, Warmup: 2, Window: 8,
+	}
+}
+
+func TestChaosIdenticalSeedIsBitIdentical(t *testing.T) {
+	for _, b := range chaosBackends {
+		t.Run(b.name, func(t *testing.T) {
+			cfg := chaosConfig(b.backend)
+			run := func() sim.Duration {
+				c := cfg
+				c.Faults = faults.Generate(42, 0.5, cfg.model().FabricConfig(2), sim.Second)
+				lat, err := Latency(c)
+				if err != nil {
+					t.Fatalf("Latency: %v", err)
+				}
+				return lat
+			}
+			if a, bb := run(), run(); a != bb {
+				t.Fatalf("same seed+plan diverged: %v vs %v", a, bb)
+			}
+		})
+	}
+}
+
+func TestChaosZeroSeverityMatchesBaseline(t *testing.T) {
+	for _, b := range chaosBackends {
+		t.Run(b.name, func(t *testing.T) {
+			cfg := chaosConfig(b.backend)
+			base, err := Latency(cfg)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			cfg.Faults = faults.Generate(42, 0, cfg.model().FabricConfig(2), sim.Second)
+			faulted, err := Latency(cfg)
+			if err != nil {
+				t.Fatalf("zero-severity: %v", err)
+			}
+			if faulted != base {
+				t.Fatalf("zero-severity plan changed latency: %v vs baseline %v", faulted, base)
+			}
+		})
+	}
+}
+
+func TestChaosSeverityRampIsMonotone(t *testing.T) {
+	severities := []float64{0, 0.25, 0.5, 0.75, 1}
+	for _, b := range chaosBackends {
+		t.Run(b.name, func(t *testing.T) {
+			cfg := chaosConfig(b.backend)
+			points, err := ChaosSweep(cfg, severities, nil)
+			if err != nil {
+				t.Fatalf("ChaosSweep: %v", err)
+			}
+			if len(points) != len(severities) {
+				t.Fatalf("got %d points, want %d", len(points), len(severities))
+			}
+			for i := 1; i < len(points); i++ {
+				if points[i].Latency < points[i-1].Latency {
+					t.Fatalf("latency decreased with severity: %v at %g, then %v at %g",
+						points[i-1].Latency, points[i-1].Severity,
+						points[i].Latency, points[i].Severity)
+				}
+				if points[i].Bandwidth > points[i-1].Bandwidth {
+					t.Fatalf("bandwidth rose with severity: %.3g at %g, then %.3g at %g",
+						points[i-1].Bandwidth, points[i-1].Severity,
+						points[i].Bandwidth, points[i].Severity)
+				}
+			}
+			if points[len(points)-1].Latency <= points[0].Latency {
+				t.Fatalf("full-severity latency %v not above baseline %v",
+					points[len(points)-1].Latency, points[0].Latency)
+			}
+			if points[0].Transfers == 0 || points[0].TransferBytes == 0 {
+				t.Fatalf("trace recorded no transfers: %+v", points[0])
+			}
+		})
+	}
+}
+
+func TestChaosWatchdogConvertsStallToTimeout(t *testing.T) {
+	// A plan whose NIC never recovers must surface as a structured
+	// TimeoutError through the watchdog rather than hanging the run.
+	cfg := chaosConfig(core.MPIBackend)
+	cfg.Faults = &faults.Plan{
+		Stalls:   []faults.PortStall{{Node: faults.Any, NIC: faults.Any, Window: faults.Always}},
+		Watchdog: sim.Second,
+	}
+	_, err := Latency(cfg)
+	terr, ok := err.(*sim.TimeoutError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *sim.TimeoutError", err, err)
+	}
+	if len(terr.Waiting) == 0 {
+		t.Fatalf("timeout carries no parked-proc diagnostics: %+v", terr)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Network microbenchmarks adapted from the OSU suite (paper §VI-B):
@@ -35,6 +37,12 @@ type NetConfig struct {
 	// Window is the number of in-flight messages of the bandwidth test
 	// (default 64, as in the paper).
 	Window int
+
+	// Faults, when non-nil, injects a fault plan into the run (chaos
+	// benchmarking; see internal/faults).
+	Faults *faults.Plan
+	// Trace, when non-nil, records the run's spans.
+	Trace *trace.Log
 }
 
 // Validate reports configuration errors.
@@ -101,7 +109,8 @@ func Latency(cfg NetConfig) (sim.Duration, error) {
 	}
 	iters, warmup, _ := cfg.counts(false)
 	var rt sim.Duration
-	_, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend},
+	_, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend,
+		Faults: cfg.Faults, Trace: cfg.Trace},
 		func(env *core.Env) {
 			d := cfg.latencyRank(env, iters, warmup)
 			if env.WorldRank() == 0 {
@@ -121,7 +130,8 @@ func Bandwidth(cfg NetConfig) (float64, error) {
 	}
 	iters, warmup, window := cfg.counts(true)
 	var total sim.Duration
-	_, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend},
+	_, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend,
+		Faults: cfg.Faults, Trace: cfg.Trace},
 		func(env *core.Env) {
 			d := cfg.bandwidthRank(env, iters, warmup, window)
 			if env.WorldRank() == 0 {

@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/gpuccl"
 	"repro/internal/gpushmem"
@@ -83,6 +84,11 @@ type Config struct {
 	// Trace, when non-nil, records kernel, stream-operation, and fabric
 	// transfer spans for the whole run (see internal/trace).
 	Trace *trace.Log
+	// Faults, when non-nil, injects the plan's link degradation, NIC port
+	// stalls, slow ranks, and virtual-time watchdog into the run (see
+	// internal/faults). A run that exceeds the plan's watchdog returns a
+	// *sim.TimeoutError.
+	Faults *faults.Plan
 }
 
 // Validate reports whether the configuration is runnable.
@@ -129,6 +135,14 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 	job := &Job{cfg: cfg, eng: eng, cluster: gpu.NewCluster(eng, cfg.Model, cfg.NGPUs)}
 	if cfg.Trace != nil {
 		job.cluster.SetTrace(cfg.Trace)
+	}
+	if f := cfg.Faults; f != nil {
+		job.cluster.Fabric.LinkFault = f.LinkCostAt
+		f.ApplyStalls(job.cluster.Fabric)
+		job.cluster.ComputeFault = f.ComputeFactor
+		if f.Watchdog > 0 {
+			eng.SetWatchdog(sim.Time(f.Watchdog))
+		}
 	}
 	// MPI is always available: the paper's GPUCCL and GPUSHMEM setups
 	// bootstrap over a CPU communication library (§IV-B).

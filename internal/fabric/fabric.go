@@ -68,6 +68,12 @@ type Config struct {
 	NICsPerNode int
 }
 
+// LinkFaultFn rewrites the resolved cost of one transfer at booking time.
+// The fault-injection layer (internal/faults) installs one to apply per-path
+// latency/bandwidth degradation over virtual-time windows; the identity
+// function (or nil) leaves the fabric healthy.
+type LinkFaultFn func(at sim.Time, src, dst int, path Path, cost LinkCost) LinkCost
+
 // Fabric is the instantiated interconnect of one simulated cluster.
 type Fabric struct {
 	cfg Config
@@ -81,6 +87,10 @@ type Fabric struct {
 
 	// Trace, when non-nil, records every transfer as a span.
 	Trace *trace.Log
+
+	// LinkFault, when non-nil, rewrites each transfer's link cost before
+	// booking (fault injection; see internal/faults).
+	LinkFault LinkFaultFn
 }
 
 // New builds the fabric for a cluster configuration.
@@ -137,30 +147,41 @@ func (f *Fabric) PathBetween(src, dst int) Path {
 	return PathInter
 }
 
+// routePorts returns the timelines a transfer on the given route occupies.
+func (f *Fabric) routePorts(src, dst int, path Path) []*sim.Timeline {
+	switch path {
+	case PathSelf:
+		// Device-local copy: occupy the GPU's own ports (one copy engine
+		// in, one out) so concurrent local copies serialize with each other
+		// and with incoming intra-node traffic, as on a real copy engine.
+		return []*sim.Timeline{f.egress[src], f.ingress[src]}
+	case PathIntra:
+		return []*sim.Timeline{f.egress[src], f.ingress[dst]}
+	default:
+		return []*sim.Timeline{f.nicOut[f.nic(src)], f.nicIn[f.nic(dst)]}
+	}
+}
+
 // Transfer books a message of the given size from src to dst starting no
 // earlier than at, and returns the virtual time at which the last byte
 // arrives at dst. The caller is responsible for scheduling any completion
 // event (typically sim.Engine.After or a Gate fired at the returned time).
 //
-// Port occupancy: intra-node messages hold the source's egress port and the
+// Port occupancy: device-local copies hold the GPU's own egress and ingress
+// ports; intra-node messages hold the source's egress port and the
 // destination's ingress port; inter-node messages hold both NIC ports. The
 // latency component delays arrival but does not occupy ports, which models
 // pipelining of back-to-back messages.
+//
+// If a port on the route carries stall windows (fault injection), the
+// transfer's start is deterministically pushed past them; use TryTransfer to
+// observe the stall instead and retry.
 func (f *Fabric) Transfer(at sim.Time, src, dst int, bytes int64, cost LinkCost) sim.Time {
-	dur := cost.Duration(bytes)
 	path := f.PathBetween(src, dst)
-	var start, end sim.Time
-	switch path {
-	case PathSelf:
-		// Device-local copy: occupy the GPU's own ports so concurrent
-		// local copies serialize, as on a real copy engine.
-		start, end = sim.ReserveMulti(at, dur, f.egress[src])
-	case PathIntra:
-		start, end = sim.ReserveMulti(at, dur, f.egress[src], f.ingress[dst])
-	default:
-		start, end = sim.ReserveMulti(at, dur,
-			f.nicOut[f.nic(src)], f.nicIn[f.nic(dst)])
+	if f.LinkFault != nil {
+		cost = f.LinkFault(at, src, dst, path, cost)
 	}
+	start, end := sim.ReserveMulti(at, cost.Duration(bytes), f.routePorts(src, dst, path)...)
 	arrive := end.Add(cost.Latency)
 	f.Trace.Add(trace.Span{
 		Kind:  trace.KindTransfer,
@@ -169,6 +190,45 @@ func (f *Fabric) Transfer(at sim.Time, src, dst int, bytes int64, cost LinkCost)
 		Start: start, End: arrive, Bytes: bytes,
 	})
 	return arrive
+}
+
+// StallError reports a transfer rejected because a port on its route is
+// inside a stall window.
+type StallError struct {
+	Port  string   // label of the stalled port
+	Until sim.Time // when admission reopens
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("fabric: port %s stalled until %v", e.Port, e.Until)
+}
+
+// TryTransfer is Transfer, except that when a port on the route is inside a
+// stall window at time at it books nothing and returns the stall, so the
+// caller can retry (with backoff) once the port readmits. A transfer that is
+// admitted may still queue behind earlier reservations as usual.
+func (f *Fabric) TryTransfer(at sim.Time, src, dst int, bytes int64, cost LinkCost) (sim.Time, *StallError) {
+	path := f.PathBetween(src, dst)
+	for _, tl := range f.routePorts(src, dst, path) {
+		if until, stalled := tl.StalledAt(at); stalled {
+			return 0, &StallError{Port: tl.Label(), Until: until}
+		}
+	}
+	return f.Transfer(at, src, dst, bytes, cost), nil
+}
+
+// StallNIC adds an admission blackout on one NIC port of a node, in both
+// directions, modeling a flapping network port. Transfers routed through the
+// port during [start, end) are pushed past the window (Transfer) or rejected
+// for retry (TryTransfer).
+func (f *Fabric) StallNIC(node, nic int, start, end sim.Time) {
+	if node < 0 || node >= f.cfg.Nodes || nic < 0 || nic >= f.cfg.NICsPerNode {
+		panic(fmt.Sprintf("fabric: StallNIC(%d, %d) outside %d nodes x %d NICs",
+			node, nic, f.cfg.Nodes, f.cfg.NICsPerNode))
+	}
+	idx := node*f.cfg.NICsPerNode + nic
+	f.nicOut[idx].AddStall(start, end)
+	f.nicIn[idx].AddStall(start, end)
 }
 
 // PortStats summarises cumulative port occupancy, for utilization reporting

@@ -140,6 +140,91 @@ func TestTransferMonotoneInSizeProperty(t *testing.T) {
 	}
 }
 
+func TestSelfCopyOccupiesBothPorts(t *testing.T) {
+	// A device-local copy holds the GPU's own egress AND ingress ports
+	// (one copy engine out, one in), so back-to-back local copies
+	// serialize and a local copy contends with incoming intra-node
+	// traffic.
+	f := testFabric()
+	cost := LinkCost{Latency: 0, BytesPerSec: 1e9}
+	end1 := f.Transfer(0, 0, 0, 1000, cost)
+	end2 := f.Transfer(0, 0, 0, 1000, cost) // second local copy queues
+	if end1 != 1000 || end2 != 2000 {
+		t.Fatalf("local copies end at %v, %v; want 1000, 2000", end1, end2)
+	}
+	s := f.Stats()
+	if s.GPUEgressBusy[0] != 2000 || s.GPUIngressBusy[0] != 2000 {
+		t.Fatalf("self-copy port busy egress=%v ingress=%v, want 2000 each",
+			s.GPUEgressBusy[0], s.GPUIngressBusy[0])
+	}
+	// Incoming intra-node traffic into GPU 0 contends with the local
+	// copies on the ingress port.
+	end3 := f.Transfer(0, 1, 0, 1000, cost)
+	if end3 != 3000 {
+		t.Fatalf("incoming transfer ends at %v, want 3000 (after local copies)", end3)
+	}
+}
+
+func TestLinkFaultHookDegradesTransfers(t *testing.T) {
+	f := testFabric()
+	cost := LinkCost{Latency: 1000, BytesPerSec: 1e9}
+	healthy := f.Transfer(0, 0, 1, 1000, cost) // 1us occupancy + 1us latency
+	f2 := testFabric()
+	f2.LinkFault = func(at sim.Time, src, dst int, path Path, c LinkCost) LinkCost {
+		if path != PathIntra {
+			t.Fatalf("hook saw path %v, want intra", path)
+		}
+		c.Latency *= 2
+		c.BytesPerSec /= 2
+		return c
+	}
+	degraded := f2.Transfer(0, 0, 1, 1000, cost)
+	if healthy != 2000 || degraded != 4000 {
+		t.Fatalf("healthy = %v, degraded = %v; want 2000, 4000", healthy, degraded)
+	}
+}
+
+func TestStallNICShiftsTransfer(t *testing.T) {
+	f := testFabric()
+	f.StallNIC(0, 0, 0, 5000) // NIC 0 of node 0 down for the first 5us
+	cost := LinkCost{Latency: 0, BytesPerSec: 1e9}
+	// GPU 0 uses node 0's NIC 0: admission waits for the window to end.
+	end := f.Transfer(0, 0, 4, 1000, cost)
+	if end != 6000 {
+		t.Fatalf("stalled transfer ends at %v, want 6000", end)
+	}
+	// GPU 2 uses NIC 1 — unaffected.
+	if end := f.Transfer(0, 2, 6, 1000, cost); end != 1000 {
+		t.Fatalf("unstalled transfer ends at %v, want 1000", end)
+	}
+}
+
+func TestTryTransferRejectsDuringStall(t *testing.T) {
+	f := testFabric()
+	f.StallNIC(0, 0, 1000, 5000)
+	cost := LinkCost{Latency: 0, BytesPerSec: 1e9}
+	// Before the window: admitted.
+	arrive, stall := f.TryTransfer(0, 0, 4, 1000, cost)
+	if stall != nil || arrive != 1000 {
+		t.Fatalf("pre-stall TryTransfer = %v, %v", arrive, stall)
+	}
+	// Inside the window: rejected with the readmission time.
+	_, stall = f.TryTransfer(2000, 0, 4, 1000, cost)
+	if stall == nil || stall.Until != 5000 {
+		t.Fatalf("in-stall TryTransfer stall = %v, want Until 5000", stall)
+	}
+	// The destination NIC being stalled also rejects.
+	f.StallNIC(1, 0, 1000, 7000)
+	_, stall = f.TryTransfer(6000, 2, 4, 1000, cost)
+	if stall == nil || stall.Until != 7000 {
+		t.Fatalf("dst-stall TryTransfer stall = %v, want Until 7000", stall)
+	}
+	// After both windows: admitted again.
+	if _, stall = f.TryTransfer(7000, 0, 4, 1000, cost); stall != nil {
+		t.Fatalf("post-stall TryTransfer rejected: %v", stall)
+	}
+}
+
 func TestDefaultNICCount(t *testing.T) {
 	f := New(Config{Nodes: 1, GPUsPerNode: 4}) // NICsPerNode defaults to GPUs
 	if f.Config().NICsPerNode != 4 {

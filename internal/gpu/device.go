@@ -20,6 +20,23 @@ type Cluster struct {
 	// Trace, when non-nil, records kernel and stream-operation spans
 	// (set it with SetTrace so the fabric is instrumented too).
 	Trace *trace.Log
+
+	// ComputeFault, when non-nil, scales modeled kernel compute time for a
+	// rank's device at a virtual time (fault injection: slow ranks; see
+	// internal/faults). It must return >= 1 for degradation, 1 when
+	// healthy.
+	ComputeFault func(at sim.Time, rank int) float64
+}
+
+// computeScale resolves the compute-time multiplier for a device now.
+func (c *Cluster) computeScale(at sim.Time, rank int) float64 {
+	if c.ComputeFault == nil {
+		return 1
+	}
+	if f := c.ComputeFault(at, rank); f > 0 {
+		return f
+	}
+	return 1
 }
 
 // SetTrace installs a span log on the cluster and its fabric.
@@ -202,9 +219,19 @@ type KernelCtx struct {
 }
 
 // ComputeBytes advances virtual time by the machine's memory-bound kernel
-// model for the given traffic.
+// model for the given traffic (scaled by any slow-rank fault).
 func (k *KernelCtx) ComputeBytes(bytes int64) {
-	k.P.Advance(k.Dev.Model().StencilKernelTime(bytes))
+	k.P.Advance(k.Dev.scaleCompute(k.P.Now(), k.Dev.Model().StencilKernelTime(bytes)))
+}
+
+// scaleCompute applies the cluster's slow-rank fault multiplier to one
+// modeled compute duration.
+func (d *Device) scaleCompute(at sim.Time, dur sim.Duration) sim.Duration {
+	f := d.cluster.computeScale(at, d.ID)
+	if f == 1 {
+		return dur
+	}
+	return sim.Duration(float64(dur) * f)
 }
 
 // Launch enqueues the kernel on the stream, charging the host the kernel
@@ -217,7 +244,7 @@ func (s *Stream) Launch(host *sim.Proc, k *Kernel, args any) {
 			k.Body(ctx)
 		}
 		if k.Time != nil {
-			p.Advance(k.Time(s.dev))
+			p.Advance(s.dev.scaleCompute(p.Now(), k.Time(s.dev)))
 		}
 	})
 }

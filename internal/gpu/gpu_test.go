@@ -297,3 +297,61 @@ func TestReduceSumPropertyMatchesScalar(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestComputeFaultScalesKernelTime(t *testing.T) {
+	// Slow-rank fault injection: the cluster's ComputeFault hook multiplies
+	// modeled kernel time on the matched device during its window.
+	c, eng := newTestCluster(t, 2)
+	c.ComputeFault = func(at sim.Time, rank int) float64 {
+		if rank == 1 && at < sim.Time(sim.Second) {
+			return 2.5
+		}
+		return 1
+	}
+	durs := make([]sim.Duration, 2)
+	for r := 0; r < 2; r++ {
+		r := r
+		eng.Spawn("host", func(p *sim.Proc) {
+			s := c.Devices[r].DefaultStream()
+			k := &Kernel{
+				Name: "k",
+				Time: func(d *Device) sim.Duration { return 100 * sim.Microsecond },
+			}
+			start := p.Now()
+			s.Launch(p, k, nil)
+			s.Synchronize(p)
+			durs[r] = p.Now().Sub(start)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	launch := machine.Perlmutter().GPU.KernelLaunch
+	if durs[0] != launch+100*sim.Microsecond {
+		t.Fatalf("healthy rank took %v", durs[0])
+	}
+	if durs[1] != launch+250*sim.Microsecond {
+		t.Fatalf("slow rank took %v, want launch+250us", durs[1])
+	}
+}
+
+func TestComputeFaultScalesComputeBytes(t *testing.T) {
+	c, eng := newTestCluster(t, 1)
+	c.ComputeFault = func(at sim.Time, rank int) float64 { return 3 }
+	var dur sim.Duration
+	runMain(t, eng, func(p *sim.Proc) {
+		s := c.Devices[0].DefaultStream()
+		k := &Kernel{
+			Name: "stencil",
+			Body: func(kc *KernelCtx) { kc.ComputeBytes(1 << 20) },
+		}
+		s.Launch(p, k, nil)
+		start := p.Now()
+		s.Synchronize(p)
+		dur = p.Now().Sub(start)
+	})
+	want := sim.Duration(3 * float64(machine.Perlmutter().StencilKernelTime(1<<20)))
+	if dur != want {
+		t.Fatalf("faulted ComputeBytes took %v, want %v", dur, want)
+	}
+}

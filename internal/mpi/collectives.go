@@ -16,9 +16,27 @@ import (
 // Every rank of a communicator must call the same collectives in the same
 // order, each from its own simulated process.
 
+// collRoundBits is the width of the per-collective round field in reserved
+// tags; collWindow bounds how much of the collective sequence is folded in.
+// The sequence is reduced modulo collWindow so tags never overflow (the old
+// unbounded shift wrapped after 2^55 collectives on 64-bit int, far sooner
+// on 32-bit): the largest reserved tag is
+// maxUserTag + (collWindow-1)<<collRoundBits + collRounds-1 < 2^31, which
+// fits a 32-bit int. Reusing a tag 2^20 collectives later is safe because
+// per-pair sequence admission keeps matching FIFO and far fewer collectives
+// are ever concurrently outstanding.
+const (
+	collRoundBits = 10
+	collRounds    = 1 << collRoundBits
+	collWindow    = 1 << 20
+)
+
 // collTag returns a reserved tag for one round of one collective call.
 func (c *Comm) collTag(round int) int {
-	return maxUserTag + int(c.coll)<<8 + round
+	if round < 0 || round >= collRounds {
+		panic(fmt.Sprintf("mpi: collective round %d outside [0, %d)", round, collRounds))
+	}
+	return maxUserTag + int(c.coll%collWindow)<<collRoundBits + round
 }
 
 // stagingPenalty charges the host-bounce-buffer cost of the MPI

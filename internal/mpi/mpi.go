@@ -349,18 +349,44 @@ func (ep *Endpoint) deliver(h *header, pr *postedRecv) {
 		return
 	}
 
-	// Rendezvous: CTS back to the sender, then the bulk transfer.
+	// Rendezvous: CTS back to the sender, then the bulk transfer. If a
+	// stall window (fault injection) rejects the transfer, the handshake is
+	// retried with exponential backoff — as a real rendezvous protocol
+	// re-issues the RTS/CTS exchange when the NIC reports the port down.
 	prof := w.cluster.Model.Profile(machine.LibMPI, machine.APIHost)
 	half := prof.RendezvousOverhead / 2
 	bytes := h.srcBuf.Bytes()
 	path := w.cluster.Fabric.PathBetween(h.src, h.dst)
 	cost := w.cluster.Model.Cost(machine.LibMPI, machine.APIHost, path, bytes)
-	eng.After(sim.Duration(half), func() {
-		arrive := w.cluster.Fabric.Transfer(eng.Now(), h.src, h.dst, bytes, cost)
+	var attempt func(backoff sim.Duration)
+	attempt = func(backoff sim.Duration) {
+		arrive, stall := w.cluster.Fabric.TryTransfer(eng.Now(), h.src, h.dst, bytes, cost)
+		if stall != nil {
+			// Wait out the stall (or at least the backoff), then re-run
+			// the handshake with the backoff doubled.
+			wait := backoff
+			if d := stall.Until.Sub(eng.Now()); d > wait {
+				wait = d
+			}
+			next := backoff * 2
+			if next > rendezvousBackoffMax {
+				next = rendezvousBackoffMax
+			}
+			eng.After(wait, func() { attempt(next) })
+			return
+		}
 		eng.After(arrive.Sub(eng.Now()), func() {
 			gpu.Copy(pr.buf, h.srcBuf, h.count)
 			pr.done.Fire(eng)
 			h.sGate.Fire(eng)
 		})
-	})
+	}
+	eng.After(sim.Duration(half), func() { attempt(rendezvousBackoffBase) })
 }
+
+// Rendezvous retry backoff bounds: the first retry after a rejected
+// transfer waits at least the base; subsequent retries double up to the cap.
+const (
+	rendezvousBackoffBase = sim.Microsecond
+	rendezvousBackoffMax  = 100 * sim.Microsecond
+)

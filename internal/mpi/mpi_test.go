@@ -469,3 +469,98 @@ func TestMessageLatencyIntraVsInter(t *testing.T) {
 		t.Fatalf("inter (%v) should exceed intra (%v)", inter, intra)
 	}
 }
+
+func TestCollTagWraparoundAndBounds(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	w := NewWorld(gpu.NewCluster(eng, machine.Perlmutter(), 1))
+	c := w.CommWorld(0)
+
+	// The collective sequence is folded modulo collWindow, so a handle that
+	// has issued collWindow collectives reuses the first window's tags
+	// instead of overflowing int.
+	c.coll = 5
+	base := c.collTag(3)
+	c.coll = 5 + collWindow
+	if got := c.collTag(3); got != base {
+		t.Fatalf("wrapped tag = %d, want %d", got, base)
+	}
+	// The worst-case reserved tag stays a positive 32-bit int.
+	c.coll = collWindow - 1
+	if tag := c.collTag(collRounds - 1); tag <= maxUserTag || tag >= 1<<31 {
+		t.Fatalf("worst-case tag %d outside (maxUserTag, 2^31)", tag)
+	}
+	// Adjacent collectives never share a tag within the window.
+	c.coll = 7
+	last := c.collTag(collRounds - 1)
+	c.coll = 8
+	if first := c.collTag(0); first == last {
+		t.Fatalf("tag collision between consecutive collectives: %d", first)
+	}
+	// Rounds outside the reserved field are a programming error.
+	for _, round := range []int{-1, collRounds} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("collTag(%d) did not panic", round)
+				}
+			}()
+			c.collTag(round)
+		}()
+	}
+}
+
+// runStalledRendezvous sends one rendezvous-size message across nodes with
+// an optional NIC stall on the sender's node and reports the receive time.
+func runStalledRendezvous(t *testing.T, stallEnd sim.Time) sim.Time {
+	t.Helper()
+	m := *machine.Perlmutter()
+	m.GPUsPerNode = 1
+	m.NICsPerNode = 1
+	eng := sim.NewEngine()
+	defer eng.Close()
+	cl := gpu.NewCluster(eng, &m, 2)
+	if stallEnd > 0 {
+		cl.Fabric.StallNIC(0, 0, 0, stallEnd)
+	}
+	w := NewWorld(cl)
+	const n = 1 << 16 // 512 KiB of float64: rendezvous protocol
+	var done sim.Time
+	for r := 0; r < 2; r++ {
+		c := w.CommWorld(r)
+		eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			b := gpu.AllocBuffer[float64](c.Device(), n)
+			if c.Rank() == 0 {
+				c.Send(p, b.Whole(), 1, 1)
+			} else {
+				st := c.Recv(p, b.Whole(), 0, 1)
+				if st.Count != n {
+					t.Errorf("recv count = %d", st.Count)
+				}
+				done = p.Now()
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return done
+}
+
+func TestRendezvousRetriesThroughNICStall(t *testing.T) {
+	healthy := runStalledRendezvous(t, 0)
+	stallEnd := sim.Time(5 * sim.Millisecond)
+	if healthy >= stallEnd {
+		t.Fatalf("baseline rendezvous too slow (%v) for the stall window", healthy)
+	}
+	// With the sender's NIC stalled, the rendezvous handshake backs off and
+	// retries instead of deadlocking, completing after the window ends.
+	stalled := runStalledRendezvous(t, stallEnd)
+	if stalled < stallEnd {
+		t.Fatalf("stalled rendezvous finished at %v, inside the window ending %v", stalled, stallEnd)
+	}
+	// The retry loop is deterministic: a rerun lands on the same nanosecond.
+	if again := runStalledRendezvous(t, stallEnd); again != stalled {
+		t.Fatalf("stalled rendezvous nondeterministic: %v vs %v", again, stalled)
+	}
+}

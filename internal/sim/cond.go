@@ -1,5 +1,7 @@
 package sim
 
+import "sort"
+
 // Synchronization primitives for simulated processes. All primitives operate
 // in virtual time and preserve the engine's determinism: waiters are released
 // in FIFO order at the virtual instant the releasing condition occurs.
@@ -216,10 +218,23 @@ func (r *Rendezvous) Arrive(p *Proc) {
 // engine) whose occupancy is tracked as a single busy-until horizon.
 // Reservations are granted back-to-back in request order, which yields a
 // deterministic FCFS contention model.
+//
+// A timeline may additionally carry stall windows (AddStall): half-open
+// intervals of virtual time during which the resource admits no new
+// reservations — modeling a flapping NIC port or a link in error recovery.
+// A reservation whose start would fall inside a stall window is pushed to
+// the window's end; a reservation granted before the window runs through it
+// unaffected (only admission is gated).
 type Timeline struct {
 	label     string
 	busyUntil Time
 	busySum   Duration // total reserved time, for utilization reporting
+	stalls    []stallWindow
+}
+
+// stallWindow is one half-open [start, end) admission blackout.
+type stallWindow struct {
+	start, end Time
 }
 
 // NewTimeline returns an idle timeline.
@@ -234,8 +249,39 @@ func (t *Timeline) BusyUntil() Time { return t.busyUntil }
 // BusySum reports the cumulative reserved duration (for utilization stats).
 func (t *Timeline) BusySum() Duration { return t.busySum }
 
+// AddStall marks [start, end) as an admission blackout: no new reservation
+// may begin inside it. Windows may be added in any order and may overlap.
+// Empty or inverted windows are ignored.
+func (t *Timeline) AddStall(start, end Time) {
+	if end <= start {
+		return
+	}
+	t.stalls = append(t.stalls, stallWindow{start, end})
+	sort.Slice(t.stalls, func(i, j int) bool { return t.stalls[i].start < t.stalls[j].start })
+}
+
+// StalledAt reports whether at falls inside a stall window and, if so, when
+// admission reopens (the end of the latest covering chain of windows).
+func (t *Timeline) StalledAt(at Time) (until Time, stalled bool) {
+	adm := t.admitAfter(at)
+	return adm, adm != at
+}
+
+// admitAfter returns the earliest time >= at not inside any stall window.
+// One pass over the start-sorted windows suffices: after a shift to a
+// window's end, only later-starting windows can still cover the new time.
+func (t *Timeline) admitAfter(at Time) Time {
+	for _, w := range t.stalls {
+		if at >= w.start && at < w.end {
+			at = w.end
+		}
+	}
+	return at
+}
+
 // Reserve books the resource for dur starting no earlier than at, after all
-// previously granted reservations. It returns the granted [start, end).
+// previously granted reservations and outside any stall window. It returns
+// the granted [start, end).
 func (t *Timeline) Reserve(at Time, dur Duration) (start, end Time) {
 	if dur < 0 {
 		dur = 0
@@ -244,6 +290,7 @@ func (t *Timeline) Reserve(at Time, dur Duration) (start, end Time) {
 	if t.busyUntil > start {
 		start = t.busyUntil
 	}
+	start = t.admitAfter(start)
 	end = start.Add(dur)
 	t.busyUntil = end
 	t.busySum += dur
@@ -252,13 +299,26 @@ func (t *Timeline) Reserve(at Time, dur Duration) (start, end Time) {
 
 // ReserveMulti books several timelines for the same transfer (e.g. source
 // egress port and destination ingress port): the transfer starts when all
-// are free and occupies each for dur. Returns the common [start, end).
+// are free and admitting, and occupies each for dur. Returns the common
+// [start, end).
 func ReserveMulti(at Time, dur Duration, tls ...*Timeline) (start, end Time) {
 	start = at
 	for _, tl := range tls {
 		if tl.busyUntil > start {
 			start = tl.busyUntil
 		}
+	}
+	// Push the common start past every timeline's stall windows until it is
+	// admissible everywhere (fixpoint; each shift strictly increases start).
+	for {
+		moved := start
+		for _, tl := range tls {
+			moved = tl.admitAfter(moved)
+		}
+		if moved == start {
+			break
+		}
+		start = moved
 	}
 	end = start.Add(dur)
 	for _, tl := range tls {

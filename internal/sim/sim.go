@@ -13,6 +13,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -38,8 +39,8 @@ const (
 func Micros(us float64) Duration { return Duration(us * float64(Microsecond)) }
 
 // Nanos is a convenience constructor for fractional nanoseconds, rounding to
-// the integer grid.
-func Nanos(ns float64) Duration { return Duration(ns + 0.5) }
+// the integer grid (half away from zero, correct for negative inputs too).
+func Nanos(ns float64) Duration { return Duration(math.Round(ns)) }
 
 // Seconds reports the duration as floating-point seconds.
 func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
@@ -111,17 +112,18 @@ type ballMsg struct {
 
 // Engine owns the virtual clock and the event queue.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	ball    chan ballMsg
-	live    int // non-daemon procs spawned and not yet finished
-	alive   map[*Proc]bool
-	parked  map[*Proc]string
-	dead    chan struct{}
-	closed  bool
-	running bool
-	trace   func(string)
+	now      Time
+	seq      uint64
+	events   eventHeap
+	ball     chan ballMsg
+	live     int // non-daemon procs spawned and not yet finished
+	alive    map[*Proc]bool
+	parked   map[*Proc]string
+	dead     chan struct{}
+	closed   bool
+	running  bool
+	trace    func(string)
+	deadline Time // virtual-time watchdog; 0 disables
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -152,6 +154,14 @@ func (e *Engine) Close() {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetWatchdog arms the virtual-time watchdog: when the clock would advance
+// past deadline, Run stops and returns a *TimeoutError carrying the same
+// parked-process diagnostics as a deadlock. A zero deadline disables the
+// watchdog. Intended for fault-injection runs where a stalled port or a
+// retry loop can make a simulation creep forward forever without ever
+// deadlocking.
+func (e *Engine) SetWatchdog(deadline Time) { e.deadline = deadline }
 
 // SetTrace installs a callback receiving one line per scheduler action.
 // Intended for debugging; nil disables tracing.
@@ -318,6 +328,35 @@ func (d *DeadlockError) Error() string {
 		d.At, len(d.Waiting), strings.Join(d.Waiting, "; "))
 }
 
+// TimeoutError is returned by Run when the virtual clock would advance past
+// the watchdog deadline (SetWatchdog). Waiting lists the parked non-daemon
+// processes exactly as DeadlockError does, so a hung-but-not-deadlocked run
+// (e.g. an endless retry loop against a stalled port) is as diagnosable as a
+// true deadlock.
+type TimeoutError struct {
+	Deadline Time
+	At       Time // time of the event that would have crossed the deadline
+	Waiting  []string
+}
+
+func (t *TimeoutError) Error() string {
+	return fmt.Sprintf("sim: watchdog timeout: next event at %v exceeds deadline %v; %d waiting: %s",
+		t.At, t.Deadline, len(t.Waiting), strings.Join(t.Waiting, "; "))
+}
+
+// waitingList snapshots the parked non-daemon processes, sorted, for
+// deadlock and timeout diagnostics.
+func (e *Engine) waitingList() []string {
+	var waiting []string
+	for p, why := range e.parked {
+		if !p.daemon {
+			waiting = append(waiting, p.name+": "+why)
+		}
+	}
+	sort.Strings(waiting)
+	return waiting
+}
+
 // PanicError is returned by Run when a simulated process panicked.
 type PanicError struct {
 	Proc  string
@@ -357,6 +396,9 @@ func (e *Engine) Run() error {
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
+		if e.deadline > 0 && ev.at > e.deadline {
+			return &TimeoutError{Deadline: e.deadline, At: ev.at, Waiting: e.waitingList()}
+		}
 		e.now = ev.at
 		if ev.fn != nil {
 			if err := e.runCallback(ev.fn); err != nil {
@@ -382,14 +424,7 @@ func (e *Engine) Run() error {
 		}
 	}
 	if e.live > 0 {
-		var waiting []string
-		for p, why := range e.parked {
-			if !p.daemon {
-				waiting = append(waiting, p.name+": "+why)
-			}
-		}
-		sort.Strings(waiting)
-		return &DeadlockError{At: e.now, Waiting: waiting}
+		return &DeadlockError{At: e.now, Waiting: e.waitingList()}
 	}
 	return nil
 }

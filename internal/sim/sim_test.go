@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func mustRun(t *testing.T, e *Engine) {
@@ -373,4 +375,187 @@ func TestMicrosNanosHelpers(t *testing.T) {
 	if got := Time(100).Add(50); got != 150 {
 		t.Fatalf("Add = %v", got)
 	}
+}
+
+func TestNanosRoundsNegatives(t *testing.T) {
+	// The old Duration(ns + 0.5) truncation collapsed all of (-1, 0) to 0
+	// and rounded -1.4 to 0; rounding must be symmetric about zero.
+	cases := []struct {
+		ns   float64
+		want Duration
+	}{
+		{0, 0},
+		{0.4, 0},
+		{0.6, 1},
+		{-0.4, 0},
+		{-0.6, -1},
+		{-1.4, -1},
+		{-1.6, -2},
+		{-2.5, -3}, // half away from zero
+		{2.5, 3},
+	}
+	for _, c := range cases {
+		if got := Nanos(c.ns); got != c.want {
+			t.Errorf("Nanos(%g) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestWatchdogTimeout(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(100)
+	e.Spawn("slow", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Advance(30)
+		}
+	})
+	e.Spawn("parked", func(p *Proc) { NewGate("never").Wait(p) })
+	err := e.Run()
+	te, ok := err.(*TimeoutError)
+	if !ok {
+		t.Fatalf("err = %v, want TimeoutError", err)
+	}
+	if te.Deadline != 100 || te.At <= te.Deadline {
+		t.Fatalf("timeout deadline=%v at=%v", te.Deadline, te.At)
+	}
+	// Parked-proc diagnostics, like DeadlockError: the gate waiter and the
+	// advancing proc (parked on its own pending wakeup) both appear.
+	if len(te.Waiting) != 2 || te.Waiting[0] != "parked: gate never" || te.Waiting[1] != "slow: advance 30ns" {
+		t.Fatalf("waiting = %v", te.Waiting)
+	}
+	e.Close()
+}
+
+func TestWatchdogDisabledAndUnderDeadline(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(1000)
+	e.Spawn("p", func(p *Proc) { p.Advance(999) })
+	mustRun(t, e) // finishes under the deadline
+}
+
+func TestTimelineStallShiftsAdmission(t *testing.T) {
+	tl := NewTimeline("port")
+	tl.AddStall(100, 200)
+	// A reservation starting inside the window is pushed to its end.
+	s, e := tl.Reserve(150, 10)
+	if s != 200 || e != 210 {
+		t.Fatalf("stalled reserve [%v,%v), want [200,210)", s, e)
+	}
+	// A reservation before the window is admitted and may run through it.
+	tl2 := NewTimeline("port2")
+	tl2.AddStall(100, 200)
+	s, e = tl2.Reserve(50, 100)
+	if s != 50 || e != 150 {
+		t.Fatalf("pre-stall reserve [%v,%v), want [50,150)", s, e)
+	}
+	// Queued work whose grant lands in the window shifts too.
+	s, e = tl2.Reserve(60, 10)
+	if s != 200 || e != 210 {
+		t.Fatalf("queued-into-stall reserve [%v,%v), want [200,210)", s, e)
+	}
+}
+
+func TestTimelineStallChainsAndStalledAt(t *testing.T) {
+	tl := NewTimeline("port")
+	// Overlapping/adjacent windows added out of order chain into one
+	// blackout [100, 400).
+	tl.AddStall(300, 400)
+	tl.AddStall(100, 250)
+	tl.AddStall(250, 310)
+	if until, stalled := tl.StalledAt(150); !stalled || until != 400 {
+		t.Fatalf("StalledAt(150) = %v,%v want 400,true", until, stalled)
+	}
+	if _, stalled := tl.StalledAt(400); stalled {
+		t.Fatal("StalledAt(400) should be admissible (half-open window)")
+	}
+	if _, stalled := tl.StalledAt(99); stalled {
+		t.Fatal("StalledAt(99) should be admissible")
+	}
+	s, _ := tl.Reserve(120, 5)
+	if s != 400 {
+		t.Fatalf("reserve through chained stalls starts at %v, want 400", s)
+	}
+}
+
+func TestReserveMultiRespectsAllStalls(t *testing.T) {
+	a, b := NewTimeline("a"), NewTimeline("b")
+	a.AddStall(100, 200)
+	b.AddStall(200, 300) // admission at 200 on a lands inside b's window
+	s, e := ReserveMulti(150, 10, a, b)
+	if s != 300 || e != 310 {
+		t.Fatalf("multi reserve [%v,%v), want [300,310)", s, e)
+	}
+}
+
+func TestDeadlockWaitingExcludesDaemons(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox[int]("idle")
+	e.SpawnDaemon("daemon", func(p *Proc) {
+		for {
+			m.Get(p)
+		}
+	})
+	g := NewGate("never")
+	e.Spawn("stuck-a", func(p *Proc) { g.Wait(p) })
+	e.Spawn("stuck-b", func(p *Proc) { g.Wait(p) })
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	want := []string{"stuck-a: gate never", "stuck-b: gate never"}
+	if len(de.Waiting) != len(want) {
+		t.Fatalf("waiting = %v, want %v", de.Waiting, want)
+	}
+	for i := range want {
+		if de.Waiting[i] != want[i] {
+			t.Fatalf("waiting = %v, want %v", de.Waiting, want)
+		}
+	}
+	e.Close()
+}
+
+func TestEngineCallbackPanicBecomesError(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		e.After(10, func() { panic("callback boom") })
+		p.Advance(100)
+	})
+	err := e.Run()
+	pe, ok := err.(*PanicError)
+	if !ok || pe.Proc != "engine-callback" || pe.Value != "callback boom" {
+		t.Fatalf("err = %v, want engine-callback PanicError", err)
+	}
+	e.Close()
+}
+
+func TestCloseAfterFailedRunLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		e := NewEngine()
+		e.SpawnDaemon("daemon", func(p *Proc) {
+			m := NewMailbox[int]("never")
+			for {
+				m.Get(p)
+			}
+		})
+		g := NewGate("never")
+		for j := 0; j < 3; j++ {
+			e.Spawn("stuck", func(p *Proc) { g.Wait(p) })
+		}
+		if _, ok := e.Run().(*DeadlockError); !ok {
+			t.Fatal("expected deadlock")
+		}
+		e.Close()
+	}
+	// Termination is synchronous in Close, but give the runtime a few
+	// scheduling quanta to retire the unwound goroutines.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines: before %d, after %d", before, runtime.NumGoroutine())
 }

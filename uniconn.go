@@ -35,6 +35,8 @@ package uniconn
 
 import (
 	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -126,6 +128,32 @@ var (
 	LUMI         = machine.LUMI
 	MareNostrum5 = machine.MareNostrum5
 	Machines     = machine.All
+)
+
+// Fault injection (see internal/faults and DESIGN.md "Fault model"): a
+// FaultPlan passed via Config.Faults deterministically degrades links,
+// stalls NICs, and slows ranks of the simulated cluster.
+type (
+	FaultPlan   = faults.Plan
+	FaultWindow = faults.Window
+	LinkFault   = faults.LinkFault
+	PortStall   = faults.PortStall
+	SlowRank    = faults.SlowRank
+)
+
+// Fault-plan wildcards and constructors.
+const (
+	AnyRank      = faults.Any
+	PathIntra    = fabric.PathIntra
+	PathInter    = fabric.PathInter
+	FaultForever = faults.Forever
+)
+
+var (
+	// DegradeFaults builds a plan uniformly degrading one path kind.
+	DegradeFaults = faults.Degrade
+	// GenerateFaults builds a randomized, seed-deterministic plan.
+	GenerateFaults = faults.Generate
 )
 
 // Launch runs main once per rank on the simulated cluster (the moral
