@@ -3,7 +3,9 @@
 // plans come from internal/faults: either a uniform degradation of the
 // benchmarked path (-degrade, the default) or a randomized but
 // seed-deterministic plan of link faults, NIC stall windows, and slow ranks
-// (-generate). Identical flags always print identical numbers.
+// (-generate). Backends and severities fan out over the deterministic
+// parallel runner (internal/bench.Sweep); identical flags always print
+// identical numbers at any UNICONN_WORKERS setting.
 //
 // Usage:
 //
@@ -16,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -49,7 +52,13 @@ func main() {
 	generate := flag.Bool("generate", false,
 		"randomized seed-deterministic plans instead of uniform path degradation")
 	seed := flag.Uint64("seed", 42, "fault-plan seed (with -generate)")
+	workers := flag.Int("workers", 0,
+		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
 	flag.Parse()
+
+	if *workers > 0 {
+		os.Setenv(bench.WorkersEnv, strconv.Itoa(*workers))
+	}
 
 	m := machine.ByName(*machineName)
 	if m == nil {
@@ -82,7 +91,11 @@ func main() {
 	fmt.Printf("%-10s%10s%14s%10s%14s%10s%12s\n",
 		"backend", "severity", "latency", "lat x", "bw GB/s", "bw frac", "transfers")
 
-	for _, b := range backends {
+	// Each backend's severity ramp is an independent cell; the ramp itself
+	// fans out again inside ChaosSweep. Rendered blocks are collected by
+	// backend index, so the table prints in the fixed backend order.
+	blocks, err := bench.Sweep(len(backends), func(i int) (string, error) {
+		b := backends[i]
 		cfg := bench.NetConfig{Model: m, Backend: b.backend, API: machine.APIHost,
 			Native: true, Inter: *inter, Bytes: *bytes}
 		var planFor func(float64) *faults.Plan
@@ -99,17 +112,25 @@ func main() {
 		}
 		points, err := bench.ChaosSweep(cfg, severities, planFor)
 		if err != nil {
-			log.Fatalf("%s: %v", b.label, err)
+			return "", fmt.Errorf("%s: %w", b.label, err)
 		}
 		var baseLat sim.Duration
 		var baseBW float64
 		if len(points) > 0 {
 			baseLat, baseBW = points[0].Latency, points[0].Bandwidth
 		}
+		var sb strings.Builder
 		for _, p := range points {
-			fmt.Printf("%-10s%10.2f%14v%9.2fx%14.2f%10.2f%12d\n",
+			fmt.Fprintf(&sb, "%-10s%10.2f%14v%9.2fx%14.2f%10.2f%12d\n",
 				b.label, p.Severity, p.Latency, p.LatencyFactor(baseLat),
 				p.Bandwidth/1e9, p.BandwidthFactor(baseBW), p.Transfers)
 		}
+		return sb.String(), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, block := range blocks {
+		fmt.Print(block)
 	}
 }

@@ -2,6 +2,10 @@
 // (paper §VI-B) for one machine and prints a sweep table comparing native
 // and UNICONN implementations of every supported (library, API) pair.
 //
+// The size × column grid is a set of independent simulations; it fans out
+// over the deterministic parallel runner (internal/bench.Sweep), so the
+// table is bit-identical at any UNICONN_WORKERS setting.
+//
 // Usage:
 //
 //	uniconn-netbench                              # Perlmutter, intra-node
@@ -13,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -25,11 +31,22 @@ func main() {
 	minSize := flag.Int64("min", 8, "smallest message (bytes)")
 	maxSize := flag.Int64("max", 4<<20, "largest message (bytes)")
 	bw := flag.Bool("bw", false, "measure bandwidth instead of latency")
+	workers := flag.Int("workers", 0,
+		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
 	flag.Parse()
 
 	m := machine.ByName(*machineName)
 	if m == nil {
 		log.Fatalf("unknown machine %q", *machineName)
+	}
+	if *minSize < 1 {
+		log.Fatalf("-min %d: smallest message must be at least 1 byte", *minSize)
+	}
+	if *maxSize < *minSize {
+		log.Fatalf("-max %d is smaller than -min %d", *maxSize, *minSize)
+	}
+	if *workers > 0 {
+		os.Setenv(bench.WorkersEnv, strconv.Itoa(*workers))
 	}
 
 	type col struct {
@@ -51,6 +68,24 @@ func main() {
 		add("SHMEM-D", core.GpushmemBackend, machine.APIDevice)
 	}
 
+	sizes := bench.Sizes(*minSize, *maxSize)
+
+	// One cell per (size, column); row-major so the serial order matches
+	// the printed table.
+	vals, err := bench.Sweep(len(sizes)*len(cols), func(i int) (float64, error) {
+		c := cols[i%len(cols)]
+		cfg := bench.NetConfig{Model: m, Backend: c.backend, API: c.api,
+			Native: c.native, Inter: *inter, Bytes: sizes[i/len(cols)]}
+		if *bw {
+			return bench.Bandwidth(cfg)
+		}
+		lat, err := bench.Latency(cfg)
+		return lat.Micros(), err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	kind, unit := "one-way latency", "us"
 	if *bw {
 		kind, unit = "bandwidth", "GB/s"
@@ -65,23 +100,14 @@ func main() {
 		fmt.Printf("%16s", c.label)
 	}
 	fmt.Println()
-	for size := *minSize; size <= *maxSize; size *= 2 {
+	for r, size := range sizes {
 		fmt.Printf("%-12d", size)
-		for _, c := range cols {
-			cfg := bench.NetConfig{Model: m, Backend: c.backend, API: c.api,
-				Native: c.native, Inter: *inter, Bytes: size}
+		for k := range cols {
+			v := vals[r*len(cols)+k]
 			if *bw {
-				v, err := bench.Bandwidth(cfg)
-				if err != nil {
-					log.Fatal(err)
-				}
 				fmt.Printf("%16.2f", v/1e9)
 			} else {
-				v, err := bench.Latency(cfg)
-				if err != nil {
-					log.Fatal(err)
-				}
-				fmt.Printf("%16.2f", v.Micros())
+				fmt.Printf("%16.2f", v)
 			}
 		}
 		fmt.Println()

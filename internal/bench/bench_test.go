@@ -23,6 +23,53 @@ func TestTrimmedMean(t *testing.T) {
 	}
 }
 
+func TestTrimmedMeanRoundsHalfUp(t *testing.T) {
+	// Integer division used to truncate toward zero, biasing every mean
+	// low. The mean must round to nearest, half away from zero.
+	cases := []struct {
+		xs   []sim.Duration
+		want sim.Duration
+	}{
+		{[]sim.Duration{1, 2}, 2},        // 1.5 rounds up
+		{[]sim.Duration{1, 1, 2}, 1},     // 1.33 rounds down
+		{[]sim.Duration{1, 2, 2}, 2},     // 1.67 rounds up
+		{[]sim.Duration{-1, -2}, -2},     // -1.5 rounds away from zero
+		{[]sim.Duration{-1, -1, -2}, -1}, // -1.33 rounds toward zero
+	}
+	for _, c := range cases {
+		if got := TrimmedMean(c.xs); got != c.want {
+			t.Errorf("TrimmedMean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestSizesRejectsNonPositiveMin(t *testing.T) {
+	// Sizes(0, max) used to loop forever (0*2 == 0) and a negative min
+	// spun through negative sizes; both must panic with a clear message.
+	for _, min := range []int64{0, -8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("Sizes(%d, 64) did not panic", min)
+					return
+				}
+				if !strings.Contains(r.(string), "minBytes") {
+					t.Errorf("Sizes(%d, 64) panic message %q lacks diagnosis", min, r)
+				}
+			}()
+			Sizes(min, 64)
+		}()
+	}
+}
+
+func TestSizesStopsAtOverflow(t *testing.T) {
+	s := Sizes(1<<62, math.MaxInt64)
+	if len(s) != 1 || s[0] != 1<<62 {
+		t.Fatalf("overflowing sweep = %v", s)
+	}
+}
+
 func TestPercentDiff(t *testing.T) {
 	if got := PercentDiff(102, 100); math.Abs(got-2) > 1e-12 {
 		t.Fatalf("diff = %v", got)

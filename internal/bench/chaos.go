@@ -58,19 +58,30 @@ func (cfg NetConfig) FaultedPath() fabric.Path {
 // planFor(0) should return an empty plan so the first point of a [0, ...]
 // sweep is the healthy baseline. A nil planFor uses faults.Degrade on the
 // configuration's benchmarked path.
+//
+// Severities are independent cells, fanned out over the sweep runner: each
+// cell builds its own plan and trace log, so planFor must return a fresh
+// plan per call (both built-in plan sources do). Results are collected by
+// severity index and are bit-identical to serial execution; on failure the
+// points preceding the first failing severity are returned with the error,
+// exactly as a serial sweep would.
 func ChaosSweep(cfg NetConfig, severities []float64, planFor func(severity float64) *faults.Plan) ([]ChaosPoint, error) {
 	if planFor == nil {
 		path := cfg.FaultedPath()
 		planFor = func(s float64) *faults.Plan { return faults.Degrade(path, s) }
 	}
-	points := make([]ChaosPoint, 0, len(severities))
-	for _, sev := range severities {
+	type cellResult struct {
+		pt  ChaosPoint
+		err error
+	}
+	results, _ := Sweep(len(severities), func(i int) (cellResult, error) {
+		sev := severities[i]
 		run := cfg
 		run.Faults = planFor(sev)
 		run.Trace = trace.New()
 		lat, err := Latency(run)
 		if err != nil {
-			return points, fmt.Errorf("chaos severity %g: latency: %w", sev, err)
+			return cellResult{err: fmt.Errorf("chaos severity %g: latency: %w", sev, err)}, nil
 		}
 		pt := ChaosPoint{Severity: sev, Latency: lat}
 		for _, s := range run.Trace.Filter(trace.KindTransfer) {
@@ -79,9 +90,16 @@ func ChaosSweep(cfg NetConfig, severities []float64, planFor func(severity float
 		}
 		run.Trace = nil // bandwidth run does not need spans
 		if pt.Bandwidth, err = Bandwidth(run); err != nil {
-			return points, fmt.Errorf("chaos severity %g: bandwidth: %w", sev, err)
+			return cellResult{err: fmt.Errorf("chaos severity %g: bandwidth: %w", sev, err)}, nil
 		}
-		points = append(points, pt)
+		return cellResult{pt: pt}, nil
+	})
+	points := make([]ChaosPoint, 0, len(severities))
+	for _, r := range results {
+		if r.err != nil {
+			return points, r.err
+		}
+		points = append(points, r.pt)
 	}
 	return points, nil
 }

@@ -110,9 +110,51 @@ func libsOf(m *machine.Model, includeHostShmem bool) []libConfig {
 
 // RunFig2 reproduces the motivation benchmark (Fig. 2): native-library
 // latency and bandwidth, intra- and inter-node, on Perlmutter and LUMI.
+// Every (machine, path, library, size) cell is an independent simulation,
+// fanned out over the sweep runner and reassembled in serial order.
 func RunFig2(sc Scale) ([]Figure, error) {
+	machines := []*machine.Model{machine.Perlmutter(), machine.LUMI()}
+	sizes := netSizes(sc)
+	type cell struct {
+		m     *machine.Model
+		inter bool
+		lib   libConfig
+		size  int64
+	}
+	var cells []cell
+	for _, m := range machines {
+		for _, inter := range []bool{false, true} {
+			for _, lib := range libsOf(m, false) {
+				for _, size := range sizes {
+					cells = append(cells, cell{m, inter, lib, size})
+				}
+			}
+		}
+	}
+	type meas struct {
+		lat sim.Duration
+		bw  float64
+	}
+	results, err := Sweep(len(cells), func(i int) (meas, error) {
+		c := cells[i]
+		cfg := NetConfig{Model: c.m, Backend: c.lib.backend, API: c.lib.api,
+			Native: true, Inter: c.inter, Bytes: c.size}
+		l, err := Latency(cfg)
+		if err != nil {
+			return meas{}, err
+		}
+		b, err := Bandwidth(cfg)
+		if err != nil {
+			return meas{}, err
+		}
+		return meas{l, b}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var figs []Figure
-	for _, m := range []*machine.Model{machine.Perlmutter(), machine.LUMI()} {
+	idx := 0
+	for _, m := range machines {
 		for _, inter := range []bool{false, true} {
 			where := map[bool]string{false: "intra-node", true: "inter-node"}[inter]
 			lat := Figure{
@@ -127,19 +169,11 @@ func RunFig2(sc Scale) ([]Figure, error) {
 			}
 			for _, lib := range libsOf(m, false) {
 				var lx, ly, bx, by []float64
-				for _, size := range netSizes(sc) {
-					cfg := NetConfig{Model: m, Backend: lib.backend, API: lib.api,
-						Native: true, Inter: inter, Bytes: size}
-					l, err := Latency(cfg)
-					if err != nil {
-						return nil, err
-					}
-					b, err := Bandwidth(cfg)
-					if err != nil {
-						return nil, err
-					}
-					lx, ly = append(lx, float64(size)), append(ly, l.Micros())
-					bx, by = append(bx, float64(size)), append(by, b/1e9)
+				for _, size := range sizes {
+					r := results[idx]
+					idx++
+					lx, ly = append(lx, float64(size)), append(ly, r.lat.Micros())
+					bx, by = append(bx, float64(size)), append(by, r.bw/1e9)
 				}
 				lat.Series = append(lat.Series, Series{Label: lib.label, X: lx, Y: ly})
 				bw.Series = append(bw.Series, Series{Label: lib.label, X: bx, Y: by})
@@ -180,8 +214,55 @@ func RunFig34(sc Scale, inter bool) ([]Figure, error) {
 		id = "Fig4"
 	}
 	where := map[bool]string{false: "intra-node", true: "inter-node"}[inter]
+	machines := machine.All()
+	sizes := netSizes(sc)
+	type cell struct {
+		m    *machine.Model
+		lib  libConfig
+		size int64
+	}
+	var cells []cell
+	for _, m := range machines {
+		for _, lib := range libsOf(m, true) {
+			for _, size := range sizes {
+				cells = append(cells, cell{m, lib, size})
+			}
+		}
+	}
+	// One cell measures all four quantities of one point: native and
+	// UNICONN, latency and bandwidth.
+	type meas struct {
+		ln, lu sim.Duration
+		bn, bu float64
+	}
+	results, err := Sweep(len(cells), func(i int) (meas, error) {
+		c := cells[i]
+		cfg := NetConfig{Model: c.m, Backend: c.lib.backend, API: c.lib.api,
+			Inter: inter, Bytes: c.size}
+		var r meas
+		var err error
+		cfg.Native = true
+		if r.ln, err = Latency(cfg); err != nil {
+			return r, err
+		}
+		if r.bn, err = Bandwidth(cfg); err != nil {
+			return r, err
+		}
+		cfg.Native = false
+		if r.lu, err = Latency(cfg); err != nil {
+			return r, err
+		}
+		if r.bu, err = Bandwidth(cfg); err != nil {
+			return r, err
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var figs []Figure
-	for _, m := range machine.All() {
+	idx := 0
+	for _, m := range machines {
 		lat := Figure{ID: id, Title: fmt.Sprintf("Latency native vs UNICONN, %s, %s", m.Name, where),
 			XLabel: "bytes", YLabel: "one-way latency (us)"}
 		bw := Figure{ID: id, Title: fmt.Sprintf("Bandwidth native vs UNICONN, %s, %s", m.Name, where),
@@ -192,34 +273,16 @@ func RunFig34(sc Scale, inter bool) ([]Figure, error) {
 			natB.Label, ucB.Label = natL.Label, ucL.Label
 			var sumLat, sumBw float64
 			var cnt int
-			for _, size := range netSizes(sc) {
-				cfg := NetConfig{Model: m, Backend: lib.backend, API: lib.api,
-					Inter: inter, Bytes: size}
-				cfg.Native = true
-				ln, err := Latency(cfg)
-				if err != nil {
-					return nil, err
-				}
-				bn, err := Bandwidth(cfg)
-				if err != nil {
-					return nil, err
-				}
-				cfg.Native = false
-				lu, err := Latency(cfg)
-				if err != nil {
-					return nil, err
-				}
-				bu, err := Bandwidth(cfg)
-				if err != nil {
-					return nil, err
-				}
+			for _, size := range sizes {
+				r := results[idx]
+				idx++
 				x := float64(size)
-				natL.X, natL.Y = append(natL.X, x), append(natL.Y, ln.Micros())
-				ucL.X, ucL.Y = append(ucL.X, x), append(ucL.Y, lu.Micros())
-				natB.X, natB.Y = append(natB.X, x), append(natB.Y, bn/1e9)
-				ucB.X, ucB.Y = append(ucB.X, x), append(ucB.Y, bu/1e9)
-				sumLat += PercentDiff(lu, ln)
-				sumBw += (bn - bu) / bn * 100
+				natL.X, natL.Y = append(natL.X, x), append(natL.Y, r.ln.Micros())
+				ucL.X, ucL.Y = append(ucL.X, x), append(ucL.Y, r.lu.Micros())
+				natB.X, natB.Y = append(natB.X, x), append(natB.Y, r.bn/1e9)
+				ucB.X, ucB.Y = append(ucB.X, x), append(ucB.Y, r.bu/1e9)
+				sumLat += PercentDiff(r.lu, r.ln)
+				sumBw += (r.bn - r.bu) / r.bn * 100
 				cnt++
 			}
 			lat.Series = append(lat.Series, natL, ucL)
@@ -244,14 +307,12 @@ func RunFig5(sc Scale) ([]Figure, error) {
 		iters, warmup = 1000, 100
 	}
 	gpuCounts := []int{4, 8, 16, 32, 64}
-	var figs []Figure
-	for _, m := range machine.All() {
-		fig := Figure{ID: "Fig5", Title: fmt.Sprintf("Jacobi 2D, %s (grid %d x %d)", m.Name, ny, ny),
-			XLabel: "GPUs", YLabel: "time per iteration (us)"}
-		type vrt struct {
-			label string
-			cfg   jacobi.Config
-		}
+	machines := machine.All()
+	type vrt struct {
+		label string
+		cfg   jacobi.Config
+	}
+	variantsOf := func(m *machine.Model) []vrt {
 		base := jacobi.Config{Model: m, NX: ny, NY: ny, Iters: iters, Warmup: warmup, Compute: false}
 		mk := func(label string, v jacobi.Variant, b core.BackendID, mode core.LaunchMode) vrt {
 			c := base
@@ -272,16 +333,41 @@ func RunFig5(sc Scale) ([]Figure, error) {
 				mk("GPUSHMEM-D:Uniconn", jacobi.Uniconn, core.GpushmemBackend, core.PureDevice),
 			)
 		}
-		perVariant := map[string][]float64{}
+		return variants
+	}
+	perMachine := make([][]vrt, len(machines))
+	var cells []jacobi.Config
+	for mi, m := range machines {
+		perMachine[mi] = variantsOf(m)
 		for _, n := range gpuCounts {
-			for _, v := range variants {
+			for _, v := range perMachine[mi] {
 				cfg := v.cfg
 				cfg.NGPUs = n
-				res, err := jacobi.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				perVariant[v.label] = append(perVariant[v.label], res.PerIter.Micros())
+				cells = append(cells, cfg)
+			}
+		}
+	}
+	micros, err := Sweep(len(cells), func(i int) (float64, error) {
+		res, err := jacobi.Run(cells[i])
+		if err != nil {
+			return 0, err
+		}
+		return res.PerIter.Micros(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var figs []Figure
+	idx := 0
+	for mi, m := range machines {
+		fig := Figure{ID: "Fig5", Title: fmt.Sprintf("Jacobi 2D, %s (grid %d x %d)", m.Name, ny, ny),
+			XLabel: "GPUs", YLabel: "time per iteration (us)"}
+		variants := perMachine[mi]
+		perVariant := map[string][]float64{}
+		for range gpuCounts {
+			for _, v := range variants {
+				perVariant[v.label] = append(perVariant[v.label], micros[idx])
+				idx++
 			}
 		}
 		xs := make([]float64, len(gpuCounts))
@@ -317,52 +403,85 @@ func RunFig6(sc Scale) ([]Figure, error) {
 		iters = 10000
 	}
 	specs := []sparse.SyntheticSPDSpec{sparse.Serena(), sparse.Queen4147()}
+	// Matrices are generated once per spec and shared read-only across
+	// machines and variants (cg.Run only reads them), so parallel cells
+	// need no per-cell copies.
+	mats := make([]*sparse.CSR, len(specs))
+	for i, spec := range specs {
+		mats[i] = spec.Generate(scale)
+	}
+	machines := []*machine.Model{machine.Perlmutter(), machine.LUMI()}
+	type vrt struct {
+		label string
+		cfg   cg.Config
+	}
+	variantsOf := func(m *machine.Model, mat *sparse.CSR) []vrt {
+		base := cg.Config{Model: m, NGPUs: 8, Matrix: mat, Iters: iters, Compute: false}
+		mk := func(label string, v cg.Variant, b core.BackendID, mode core.LaunchMode, noAg bool) vrt {
+			c := base
+			c.Variant, c.Backend, c.Mode, c.DisableAllgatherv = v, b, mode, noAg
+			return vrt{label, c}
+		}
+		variants := []vrt{
+			mk("MPI:Native", cg.NativeMPI, 0, 0, false),
+			mk("MPI:Uniconn", cg.Uniconn, core.MPIBackend, core.PureHost, false),
+			mk("GPUCCL:Native", cg.NativeGPUCCL, 0, 0, false),
+			mk("GPUCCL:Uniconn", cg.Uniconn, core.GpucclBackend, core.PureHost, false),
+			mk("MPI:Native:no-allgatherv", cg.NativeMPI, 0, 0, true),
+			mk("GPUCCL:Native:no-allgatherv", cg.NativeGPUCCL, 0, 0, true),
+		}
+		if m.HasGPUSHMEM {
+			variants = append(variants,
+				mk("GPUSHMEM-H:Native", cg.NativeGPUSHMEMHost, 0, 0, false),
+				mk("GPUSHMEM-H:Uniconn", cg.Uniconn, core.GpushmemBackend, core.PureHost, false),
+				mk("GPUSHMEM-D:Native", cg.NativeGPUSHMEMDevice, 0, 0, false),
+				mk("GPUSHMEM-D:Uniconn", cg.Uniconn, core.GpushmemBackend, core.PureDevice, false),
+			)
+		}
+		return variants
+	}
+	var variantLists [][]vrt
+	var cells []cg.Config
+	for _, m := range machines {
+		for si := range specs {
+			vs := variantsOf(m, mats[si])
+			variantLists = append(variantLists, vs)
+			for _, v := range vs {
+				cells = append(cells, v.cfg)
+			}
+		}
+	}
+	totals, err := Sweep(len(cells), func(i int) (sim.Duration, error) {
+		res, err := cg.Run(cells[i])
+		if err != nil {
+			return 0, err
+		}
+		return res.Total, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var figs []Figure
-	for _, m := range []*machine.Model{machine.Perlmutter(), machine.LUMI()} {
-		for _, spec := range specs {
-			mat := spec.Generate(scale)
+	idx, combo := 0, 0
+	for _, m := range machines {
+		for si, spec := range specs {
+			mat := mats[si]
 			fig := Figure{
 				ID: "Fig6",
 				Title: fmt.Sprintf("CG on 8 GPUs, %s, %s (%d rows, %d nnz)",
 					m.Name, spec.Name, mat.Rows, mat.NNZ()),
 				XLabel: "variant", YLabel: "total time (ms)",
 			}
-			base := cg.Config{Model: m, NGPUs: 8, Matrix: mat, Iters: iters, Compute: false}
-			type vrt struct {
-				label string
-				cfg   cg.Config
-			}
-			mk := func(label string, v cg.Variant, b core.BackendID, mode core.LaunchMode, noAg bool) vrt {
-				c := base
-				c.Variant, c.Backend, c.Mode, c.DisableAllgatherv = v, b, mode, noAg
-				return vrt{label, c}
-			}
-			variants := []vrt{
-				mk("MPI:Native", cg.NativeMPI, 0, 0, false),
-				mk("MPI:Uniconn", cg.Uniconn, core.MPIBackend, core.PureHost, false),
-				mk("GPUCCL:Native", cg.NativeGPUCCL, 0, 0, false),
-				mk("GPUCCL:Uniconn", cg.Uniconn, core.GpucclBackend, core.PureHost, false),
-				mk("MPI:Native:no-allgatherv", cg.NativeMPI, 0, 0, true),
-				mk("GPUCCL:Native:no-allgatherv", cg.NativeGPUCCL, 0, 0, true),
-			}
-			if m.HasGPUSHMEM {
-				variants = append(variants,
-					mk("GPUSHMEM-H:Native", cg.NativeGPUSHMEMHost, 0, 0, false),
-					mk("GPUSHMEM-H:Uniconn", cg.Uniconn, core.GpushmemBackend, core.PureHost, false),
-					mk("GPUSHMEM-D:Native", cg.NativeGPUSHMEMDevice, 0, 0, false),
-					mk("GPUSHMEM-D:Uniconn", cg.Uniconn, core.GpushmemBackend, core.PureDevice, false),
-				)
-			}
+			variants := variantLists[combo]
+			combo++
 			results := map[string]sim.Duration{}
 			for i, v := range variants {
-				res, err := cg.Run(v.cfg)
-				if err != nil {
-					return nil, err
-				}
-				results[v.label] = res.Total
+				total := totals[idx]
+				idx++
+				results[v.label] = total
 				fig.Series = append(fig.Series, Series{
 					Label: v.label, X: []float64{float64(i)},
-					Y: []float64{float64(res.Total) / float64(sim.Millisecond)},
+					Y: []float64{float64(total) / float64(sim.Millisecond)},
 				})
 			}
 			// Headline notes: UNICONN-vs-native diffs and the MPI anomaly.

@@ -1,0 +1,143 @@
+package bench
+
+// The deterministic parallel sweep runner. The paper's evaluation is a grid
+// of *independent* simulations (message-size sweeps, GPU-count scaling,
+// severity ramps); each cell builds its own sim.Engine inside core.Launch,
+// so cells share no mutable state and can execute on any OS thread without
+// changing their virtual-time results. The runner fans cells out over a
+// bounded worker pool while keeping the observable output bit-identical to
+// serial execution:
+//
+//   - cells are claimed off an atomic counter in increasing index order;
+//   - every result lands in a caller-owned slot keyed by cell index, never
+//     in arrival order;
+//   - on failure the error returned is the one at the lowest failing index,
+//     which is exactly the error serial execution would have hit first
+//     (cells below the first serial failure succeed deterministically, so
+//     they can never pre-empt it);
+//   - UNICONN_WORKERS=1 (or NewRunner(1)) degrades to a plain loop on the
+//     calling goroutine, the escape hatch for debugging.
+//
+// See DESIGN.md §8 for the full determinism argument.
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkersEnv is the environment variable that overrides the sweep worker
+// count. Unset or invalid values fall back to GOMAXPROCS.
+const WorkersEnv = "UNICONN_WORKERS"
+
+// Workers resolves the default sweep worker count: UNICONN_WORKERS when it
+// is set to a positive integer, otherwise GOMAXPROCS.
+func Workers() int {
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Runner executes independent sweep cells over a fixed-size worker pool.
+type Runner struct {
+	workers int
+}
+
+// NewRunner returns a runner with the given worker count; workers <= 0
+// selects the environment default (Workers()).
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	return &Runner{workers: workers}
+}
+
+// Workers reports the runner's worker count.
+func (r *Runner) Workers() int { return r.workers }
+
+// Run executes fn(i) for every i in [0, n). Cells must be independent: each
+// owns its private engine, trace log, and fault plan, and writes results
+// only to its own index. With one worker, cells run in increasing index
+// order on the calling goroutine. The returned error is the error of the
+// lowest failing index (the same error serial execution returns); once any
+// cell fails, unclaimed cells are skipped.
+func (r *Runner) Run(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := r.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		errs   = make([]error, n)
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Lowest failing index wins: cells are claimed in increasing order, so
+	// by the time any cell fails, every lower-index cell has already been
+	// claimed and will complete. Since cells are deterministic, the cells
+	// preceding the first serial failure always succeed, and the error
+	// reported here equals the serial one.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sweep runs fn over n cells with the default runner and collects the
+// results by cell index.
+func Sweep[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return SweepWith[T](NewRunner(0), n, fn)
+}
+
+// SweepWith is Sweep with an explicit runner.
+func SweepWith[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := r.Run(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

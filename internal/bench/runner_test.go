@@ -1,0 +1,215 @@
+package bench
+
+// Tests for the deterministic parallel sweep runner: unit tests for the
+// pool mechanics (index ordering, lowest-index error, env resolution), and
+// end-to-end determinism tests asserting that a full figure sweep and a
+// chaos severity sweep render byte-identically at workers=1 and workers=8.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestRunnerSerialOrder(t *testing.T) {
+	r := NewRunner(1)
+	var order []int
+	if err := r.Run(8, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestRunnerCoversAllCells(t *testing.T) {
+	const n = 100
+	r := NewRunner(8)
+	var mu sync.Mutex
+	seen := make(map[int]int, n)
+	if err := r.Run(n, func(i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(seen) != n {
+		t.Fatalf("covered %d cells, want %d", len(seen), n)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunnerReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	for trial := 0; trial < 20; trial++ {
+		r := NewRunner(8)
+		err := r.Run(64, func(i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 9, 23, 41:
+				return fmt.Errorf("higher %d", i)
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, errLow)
+		}
+	}
+}
+
+func TestRunnerSkipsAfterFailure(t *testing.T) {
+	// With one worker a failure stops the sweep immediately; later cells
+	// must never run.
+	r := NewRunner(1)
+	var ran atomic.Int64
+	err := r.Run(10, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || ran.Load() != 4 {
+		t.Fatalf("ran %d cells (err=%v), want 4", ran.Load(), err)
+	}
+}
+
+func TestRunnerEmptySweep(t *testing.T) {
+	if err := NewRunner(4).Run(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("empty sweep: %v", err)
+	}
+}
+
+func TestWorkersEnvResolution(t *testing.T) {
+	t.Setenv(WorkersEnv, "3")
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() with %s=3: %d", WorkersEnv, got)
+	}
+	if got := NewRunner(0).Workers(); got != 3 {
+		t.Fatalf("NewRunner(0) with %s=3: %d workers", WorkersEnv, got)
+	}
+	for _, bad := range []string{"0", "-2", "many"} {
+		t.Setenv(WorkersEnv, bad)
+		if got := Workers(); got < 1 {
+			t.Fatalf("Workers() with %s=%q: %d, want GOMAXPROCS fallback", WorkersEnv, bad, got)
+		}
+	}
+}
+
+func TestSweepCollectsByIndex(t *testing.T) {
+	got, err := SweepWith(NewRunner(8), 50, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatalf("SweepWith: %v", err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestFigureSweepDeterministic renders a full paper figure at workers=1 and
+// workers=8 and asserts the outputs are byte-identical. Fig 6 (CG solver
+// scaling) is the cheapest figure that still exercises machine models,
+// backends, and the sparse solver end to end.
+func TestFigureSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second figure sweep")
+	}
+	render := func(workers string) string {
+		t.Setenv(WorkersEnv, workers)
+		figs, err := RunFig6(Quick)
+		if err != nil {
+			t.Fatalf("RunFig6(workers=%s): %v", workers, err)
+		}
+		var sb strings.Builder
+		for _, f := range figs {
+			sb.WriteString(f.Render())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	serial := render("1")
+	parallel := render("8")
+	if serial != parallel {
+		t.Fatalf("figure output diverged between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestChaosSweepDeterministic runs a severity ramp at workers=1 and
+// workers=8 and asserts identical points.
+func TestChaosSweepDeterministic(t *testing.T) {
+	cfg := chaosConfig(chaosBackends[0].backend)
+	severities := []float64{0, 0.25, 0.5, 0.75, 1}
+	sweep := func(workers string) []ChaosPoint {
+		t.Setenv(WorkersEnv, workers)
+		pts, err := ChaosSweep(cfg, severities, nil)
+		if err != nil {
+			t.Fatalf("ChaosSweep(workers=%s): %v", workers, err)
+		}
+		return pts
+	}
+	serial := sweep("1")
+	parallel := sweep("8")
+	if len(serial) != len(parallel) {
+		t.Fatalf("point counts diverged: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("point %d diverged: serial %+v, parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestChaosSweepParallelErrorMatchesSerial injects a failure mid-ramp and
+// checks that the parallel sweep reports the same first error and the same
+// preceding points as the serial one.
+func TestChaosSweepParallelErrorMatchesSerial(t *testing.T) {
+	cfg := chaosConfig(chaosBackends[0].backend)
+	severities := []float64{0, 0.5, 2.5, 3}
+	planFor := func(s float64) *faults.Plan {
+		p := faults.Degrade(cfg.FaultedPath(), s)
+		if s > 2 {
+			// Arm a 1ns virtual-time watchdog: the run trips it
+			// immediately, giving a deterministic mid-sweep failure.
+			p.Watchdog = 1
+		}
+		return p
+	}
+	run := func(workers string) ([]ChaosPoint, error) {
+		t.Setenv(WorkersEnv, workers)
+		return ChaosSweep(cfg, severities, planFor)
+	}
+	sPts, sErr := run("1")
+	pPts, pErr := run("8")
+	if (sErr == nil) != (pErr == nil) || (sErr != nil && sErr.Error() != pErr.Error()) {
+		t.Fatalf("errors diverged: serial %v, parallel %v", sErr, pErr)
+	}
+	if len(sPts) != len(pPts) {
+		t.Fatalf("prefix lengths diverged: %d vs %d", len(sPts), len(pPts))
+	}
+	for i := range sPts {
+		if sPts[i] != pPts[i] {
+			t.Fatalf("prefix point %d diverged: %+v vs %+v", i, sPts[i], pPts[i])
+		}
+	}
+}

@@ -28,7 +28,13 @@ func TrimmedMean(xs []sim.Duration) sim.Duration {
 	for _, v := range s {
 		sum += v
 	}
-	return sum / sim.Duration(len(s))
+	// Round to nearest (half away from zero) instead of truncating toward
+	// zero, which systematically biased every reported mean low.
+	n := sim.Duration(len(s))
+	if sum >= 0 {
+		return (sum + n/2) / n
+	}
+	return (sum - n/2) / n
 }
 
 // PercentDiff reports (x-ref)/ref in percent — the quantity of the
@@ -41,10 +47,16 @@ func PercentDiff(x, ref sim.Duration) float64 {
 }
 
 // Sizes returns the power-of-two message sizes of an OSU sweep,
-// inclusive of both bounds.
+// inclusive of both bounds. minBytes must be positive: a doubling sweep
+// from zero never terminates, and a negative start spins through negative
+// sizes forever.
 func Sizes(minBytes, maxBytes int64) []int64 {
+	if minBytes < 1 {
+		panic(fmt.Sprintf("bench: Sizes(%d, %d): minBytes must be >= 1 (a doubling sweep from %d never reaches %d)",
+			minBytes, maxBytes, minBytes, maxBytes))
+	}
 	var out []int64
-	for s := minBytes; s <= maxBytes; s *= 2 {
+	for s := minBytes; s <= maxBytes && s > 0; s *= 2 {
 		out = append(out, s)
 	}
 	return out

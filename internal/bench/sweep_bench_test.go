@@ -1,0 +1,64 @@
+package bench
+
+// Wall-clock benchmarks for the parallel sweep runner. Each benchmark runs
+// a realistic (but small) grid of independent simulations through Sweep so
+// `go test -bench=Sweep` measures end-to-end sweep throughput at the
+// current UNICONN_WORKERS / GOMAXPROCS setting. CI runs these with
+// -benchtime=1x as a smoke test; locally, compare UNICONN_WORKERS=1 vs the
+// default to see the parallel speedup.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// BenchmarkSweepLatencyGrid sweeps a message-size × backend latency grid,
+// the shape of the Fig 2/3 experiments.
+func BenchmarkSweepLatencyGrid(b *testing.B) {
+	sizes := Sizes(256, 8<<10)
+	backends := []core.BackendID{core.MPIBackend, core.GpucclBackend}
+	type cell struct {
+		backend core.BackendID
+		bytes   int64
+	}
+	cells := make([]cell, 0, len(sizes)*len(backends))
+	for _, bk := range backends {
+		for _, sz := range sizes {
+			cells = append(cells, cell{bk, sz})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Sweep(len(cells), func(j int) (interface{}, error) {
+			cfg := NetConfig{
+				Model: machine.Perlmutter(), Backend: cells[j].backend,
+				API: machine.APIHost, Native: true, Inter: true,
+				Bytes: cells[j].bytes, Iters: 10, Warmup: 2,
+			}
+			lat, err := Latency(cfg)
+			return lat, err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepChaos ramps fault severity over the chaos sweep, the shape
+// of cmd/uniconn-chaos.
+func BenchmarkSweepChaos(b *testing.B) {
+	cfg := NetConfig{
+		Model: machine.Perlmutter(), Backend: core.MPIBackend,
+		API: machine.APIHost, Native: true, Inter: true,
+		Bytes: 8 << 10, Iters: 10, Warmup: 2, Window: 4,
+	}
+	severities := []float64{0, 0.25, 0.5, 0.75, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChaosSweep(cfg, severities, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -14,10 +14,18 @@ type Gate struct {
 	at      Time
 	waiters []*Proc
 	label   string
+	reason  string // "gate <label>", built once instead of per wait
 }
 
 // NewGate returns an unfired gate with a label used in deadlock diagnostics.
-func NewGate(label string) *Gate { return &Gate{label: label} }
+func NewGate(label string) *Gate { return &Gate{label: label, reason: "gate " + label} }
+
+func (g *Gate) why() string {
+	if g.reason == "" {
+		g.reason = "gate " + g.label
+	}
+	return g.reason
+}
 
 // Fired reports whether the gate has fired.
 func (g *Gate) Fired() bool { return g.fired }
@@ -35,7 +43,7 @@ func (g *Gate) Fire(e *Engine) {
 	g.fired = true
 	g.at = e.now
 	for _, w := range g.waiters {
-		e.wake(w, e.now, "gate "+g.label)
+		e.wake(w, e.now, g.why())
 	}
 	g.waiters = nil
 }
@@ -46,7 +54,7 @@ func (g *Gate) Wait(p *Proc) {
 		return
 	}
 	g.waiters = append(g.waiters, p)
-	p.park("gate " + g.label)
+	p.park(g.why())
 }
 
 // Counter is a monotonic (or at least externally ordered) unsigned value
@@ -56,6 +64,7 @@ func (g *Gate) Wait(p *Proc) {
 type Counter struct {
 	value   uint64
 	label   string
+	reason  string
 	waiters []counterWaiter
 }
 
@@ -65,7 +74,9 @@ type counterWaiter struct {
 }
 
 // NewCounter returns a counter with initial value v.
-func NewCounter(label string, v uint64) *Counter { return &Counter{value: v, label: label} }
+func NewCounter(label string, v uint64) *Counter {
+	return &Counter{value: v, label: label, reason: "counter " + label}
+}
 
 // Value reports the current value.
 func (c *Counter) Value() uint64 { return c.value }
@@ -83,7 +94,7 @@ func (c *Counter) notify(e *Engine) {
 	kept := c.waiters[:0]
 	for _, w := range c.waiters {
 		if w.pred(c.value) {
-			e.wake(w.p, e.now, "counter "+c.label)
+			e.wake(w.p, e.now, c.reason)
 		} else {
 			kept = append(kept, w)
 		}
@@ -98,7 +109,7 @@ func (c *Counter) WaitUntil(p *Proc, pred func(uint64) bool) {
 		return
 	}
 	c.waiters = append(c.waiters, counterWaiter{p, pred})
-	p.park("counter " + c.label)
+	p.park(c.reason)
 }
 
 // WaitGE blocks p until value >= v.
@@ -116,12 +127,15 @@ func (c *Counter) WaitEQ(p *Proc, v uint64) {
 // delivered in insertion order.
 type Mailbox[T any] struct {
 	label   string
+	reason  string
 	items   []T
 	waiters []*Proc
 }
 
 // NewMailbox returns an empty mailbox.
-func NewMailbox[T any](label string) *Mailbox[T] { return &Mailbox[T]{label: label} }
+func NewMailbox[T any](label string) *Mailbox[T] {
+	return &Mailbox[T]{label: label, reason: "mailbox " + label}
+}
 
 // Len reports the number of queued items.
 func (m *Mailbox[T]) Len() int { return len(m.items) }
@@ -132,7 +146,7 @@ func (m *Mailbox[T]) Put(e *Engine, item T) {
 	if len(m.waiters) > 0 {
 		w := m.waiters[0]
 		m.waiters = m.waiters[1:]
-		e.wake(w, e.now, "mailbox "+m.label)
+		e.wake(w, e.now, m.reason)
 	}
 }
 
@@ -140,7 +154,7 @@ func (m *Mailbox[T]) Put(e *Engine, item T) {
 func (m *Mailbox[T]) Get(p *Proc) T {
 	for len(m.items) == 0 {
 		m.waiters = append(m.waiters, p)
-		p.park("mailbox " + m.label)
+		p.park(m.reason)
 	}
 	item := m.items[0]
 	// Shift rather than reslice forever so the backing array is reusable.
@@ -152,18 +166,21 @@ func (m *Mailbox[T]) Get(p *Proc) T {
 // Semaphore is a counting semaphore in virtual time.
 type Semaphore struct {
 	label   string
+	reason  string
 	avail   int
 	waiters []*Proc
 }
 
 // NewSemaphore returns a semaphore with n initial permits.
-func NewSemaphore(label string, n int) *Semaphore { return &Semaphore{label: label, avail: n} }
+func NewSemaphore(label string, n int) *Semaphore {
+	return &Semaphore{label: label, reason: "semaphore " + label, avail: n}
+}
 
 // Acquire takes one permit, blocking until available.
 func (s *Semaphore) Acquire(p *Proc) {
 	for s.avail == 0 {
 		s.waiters = append(s.waiters, p)
-		p.park("semaphore " + s.label)
+		p.park(s.reason)
 	}
 	s.avail--
 }
@@ -174,7 +191,7 @@ func (s *Semaphore) Release(e *Engine) {
 	if len(s.waiters) > 0 {
 		w := s.waiters[0]
 		s.waiters = s.waiters[1:]
-		e.wake(w, e.now, "semaphore "+s.label)
+		e.wake(w, e.now, s.reason)
 	}
 }
 
@@ -184,6 +201,7 @@ func (s *Semaphore) Release(e *Engine) {
 // require all participants to be running.
 type Rendezvous struct {
 	label   string
+	reason  string
 	parties int
 	arrived []*Proc
 	round   uint64
@@ -194,7 +212,7 @@ func NewRendezvous(label string, parties int) *Rendezvous {
 	if parties < 1 {
 		panic("sim: rendezvous parties < 1")
 	}
-	return &Rendezvous{label: label, parties: parties}
+	return &Rendezvous{label: label, reason: "rendezvous " + label, parties: parties}
 }
 
 // Round reports how many times the barrier has completed.
@@ -204,14 +222,14 @@ func (r *Rendezvous) Round() uint64 { return r.round }
 func (r *Rendezvous) Arrive(p *Proc) {
 	if len(r.arrived)+1 == r.parties {
 		for _, w := range r.arrived {
-			p.eng.wake(w, p.eng.now, "rendezvous "+r.label)
+			p.eng.wake(w, p.eng.now, r.reason)
 		}
 		r.arrived = r.arrived[:0]
 		r.round++
 		return
 	}
 	r.arrived = append(r.arrived, p)
-	p.park("rendezvous " + r.label)
+	p.park(r.reason)
 }
 
 // Timeline models a serially-reusable resource (a link, a NIC, a copy

@@ -49,6 +49,12 @@ func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
 
 func (d Duration) String() string {
+	if d < 0 {
+		if d == math.MinInt64 { // -d would overflow; seconds are exact enough here
+			return fmt.Sprintf("%.6gs", d.Seconds())
+		}
+		return "-" + (-d).String()
+	}
 	switch {
 	case d >= Second:
 		return fmt.Sprintf("%.6gs", d.Seconds())
@@ -115,10 +121,10 @@ type Engine struct {
 	now      Time
 	seq      uint64
 	events   eventHeap
+	free     []*event // recycled events; schedule reuses them (steady-state zero-alloc)
 	ball     chan ballMsg
 	live     int // non-daemon procs spawned and not yet finished
 	alive    map[*Proc]bool
-	parked   map[*Proc]string
 	dead     chan struct{}
 	closed   bool
 	running  bool
@@ -129,10 +135,9 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
 	return &Engine{
-		ball:   make(chan ballMsg),
-		alive:  map[*Proc]bool{},
-		parked: map[*Proc]string{},
-		dead:   make(chan struct{}),
+		ball:  make(chan ballMsg),
+		alive: map[*Proc]bool{},
+		dead:  make(chan struct{}),
 	}
 }
 
@@ -183,6 +188,14 @@ type Proc struct {
 	id          uint64
 	daemon      bool
 	wakePending bool
+
+	// Park bookkeeping, kept as plain fields (not an engine-side map) so
+	// the park/wake hot path performs no map operations and no string
+	// formatting. parkWhy must be a static (pre-built) string; parkDur,
+	// when >= 0, is appended lazily by waitingList for diagnostics.
+	parked  bool
+	parkWhy string
+	parkDur Duration
 }
 
 // Name reports the name given at spawn time.
@@ -250,12 +263,29 @@ func (e *Engine) spawnAt(t Time, name string, fn func(p *Proc), daemon bool) *Pr
 }
 
 // schedule enqueues an event. Exactly one of proc/fn must be non-nil.
+// Events come from the engine's free list when possible, so steady-state
+// scheduling does not allocate.
 func (e *Engine) schedule(t Time, p *Proc, fn func(), why string) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v (%s)", t, e.now, why))
 	}
 	e.seq++
-	e.events.pushEv(&event{at: t, seq: e.seq, proc: p, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.proc, ev.fn = t, e.seq, p, fn
+	} else {
+		ev = &event{at: t, seq: e.seq, proc: p, fn: fn}
+	}
+	e.events.pushEv(ev)
+}
+
+// release returns a popped event to the free list.
+func (e *Engine) release(ev *event) {
+	ev.proc, ev.fn = nil, nil
+	e.free = append(e.free, ev)
 }
 
 // After runs fn in engine context after delay d. fn must not block. It is
@@ -272,19 +302,25 @@ func (e *Engine) wake(p *Proc, t Time, why string) {
 		panic(fmt.Sprintf("sim: double wake of %s (%s)", p.name, why))
 	}
 	p.wakePending = true
-	delete(e.parked, p)
 	e.schedule(t, p, nil, why)
 }
 
 // park is called from a process goroutine: it returns the ball to the engine
-// and blocks until resumed. why is reported in deadlock diagnostics.
-func (p *Proc) park(why string) {
-	p.eng.parked[p] = why
+// and blocks until resumed. why is reported in deadlock diagnostics; it must
+// be a static string (parkFor carries a duration detail without formatting).
+func (p *Proc) park(why string) { p.parkFor(why, -1) }
+
+// parkFor parks with a duration detail that deadlock/timeout diagnostics
+// format lazily, keeping fmt out of the park hot path.
+func (p *Proc) parkFor(why string, d Duration) {
+	p.parked = true
+	p.parkWhy = why
+	p.parkDur = d
 	p.eng.ball <- ballMsg{proc: p}
 	select {
 	case <-p.resume:
 		p.wakePending = false
-		delete(p.eng.parked, p)
+		p.parked = false
 	case <-p.eng.dead:
 		panic(killed{})
 	}
@@ -298,7 +334,7 @@ func (p *Proc) Advance(d Duration) {
 	}
 	e := p.eng
 	e.wake(p, e.now.Add(d), "advance")
-	p.park("advance " + d.String())
+	p.parkFor("advance", d)
 }
 
 // AdvanceTo moves the process forward to time t; if t is in the past it is a
@@ -345,13 +381,19 @@ func (t *TimeoutError) Error() string {
 }
 
 // waitingList snapshots the parked non-daemon processes, sorted, for
-// deadlock and timeout diagnostics.
+// deadlock and timeout diagnostics. Formatting happens here, on the cold
+// error path, so parking itself never builds strings.
 func (e *Engine) waitingList() []string {
 	var waiting []string
-	for p, why := range e.parked {
-		if !p.daemon {
-			waiting = append(waiting, p.name+": "+why)
+	for p := range e.alive {
+		if p.daemon || !p.parked {
+			continue
 		}
+		why := p.parkWhy
+		if p.parkDur >= 0 {
+			why = why + " " + p.parkDur.String()
+		}
+		waiting = append(waiting, p.name+": "+why)
 	}
 	sort.Strings(waiting)
 	return waiting
@@ -400,24 +442,30 @@ func (e *Engine) Run() error {
 			return &TimeoutError{Deadline: e.deadline, At: ev.at, Waiting: e.waitingList()}
 		}
 		e.now = ev.at
-		if ev.fn != nil {
-			if err := e.runCallback(ev.fn); err != nil {
+		fn, proc := ev.fn, ev.proc
+		e.release(ev)
+		if fn != nil {
+			if err := e.runCallback(fn); err != nil {
 				return err
 			}
 			continue
 		}
-		if !e.alive[ev.proc] {
+		if !e.alive[proc] {
 			continue // stale wakeup for a finished process
 		}
-		e.tracef("resume %s", ev.proc.name)
-		ev.proc.resume <- struct{}{}
+		if e.trace != nil {
+			e.tracef("resume %s", proc.name)
+		}
+		proc.resume <- struct{}{}
 		msg := <-e.ball
 		if msg.finished {
 			if !msg.proc.daemon {
 				e.live--
 			}
 			delete(e.alive, msg.proc)
-			e.tracef("finish %s", msg.proc.name)
+			if e.trace != nil {
+				e.tracef("finish %s", msg.proc.name)
+			}
 		}
 		if msg.panicked != nil {
 			return &PanicError{Proc: msg.proc.name, Value: msg.panicked}

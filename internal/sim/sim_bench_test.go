@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+// Benchmarks for the engine hot path: steady-state Advance (one event
+// schedule + two context handoffs per call), engine-context callbacks, and
+// a two-process gate ping-pong. Paired with TestAdvanceAllocationGuard,
+// which pins the per-Advance allocation count at zero.
+
+func BenchmarkProcAdvance(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	e.Spawn("adv", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	e.Close()
+}
+
+func BenchmarkAfterCallback(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	var n int
+	var tick func()
+	tick = func() {
+		if n++; n < b.N {
+			e.After(Nanosecond, tick)
+		}
+	}
+	e.After(Nanosecond, tick)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	e.Close()
+}
+
+func BenchmarkGatePingPong(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	ping := make([]*Gate, b.N+1)
+	pong := make([]*Gate, b.N+1)
+	for i := range ping {
+		ping[i] = NewGate("ping")
+		pong[i] = NewGate("pong")
+	}
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping[i].Fire(e)
+			pong[i].Wait(p)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping[i].Wait(p)
+			pong[i].Fire(e)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	e.Close()
+}

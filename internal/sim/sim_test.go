@@ -354,6 +354,12 @@ func TestDurationString(t *testing.T) {
 		{1500, "1.5us"},
 		{2 * Millisecond, "2ms"},
 		{3 * Second, "3s"},
+		// Negative durations format the magnitude with the usual units and
+		// a leading sign instead of falling through to raw nanoseconds.
+		{-500, "-500ns"},
+		{-1500, "-1.5us"},
+		{-2 * Millisecond, "-2ms"},
+		{-2 * Second, "-2s"},
 	}
 	for _, c := range cases {
 		if got := c.d.String(); got != c.want {
@@ -558,4 +564,30 @@ func TestCloseAfterFailedRunLeaksNoGoroutines(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("goroutines: before %d, after %d", before, runtime.NumGoroutine())
+}
+
+// TestAdvanceAllocationGuard pins the steady-state allocation cost of
+// Proc.Advance at zero: event structs are pooled, park reasons are static
+// strings, and no tracing arguments are boxed when tracing is disabled.
+// The per-run budget covers engine construction and goroutine spawn only;
+// a regression that allocates per Advance (even one word) blows through it
+// immediately at 2000 iterations.
+func TestAdvanceAllocationGuard(t *testing.T) {
+	const iters = 2000
+	avg := testing.AllocsPerRun(5, func() {
+		e := NewEngine()
+		e.Spawn("adv", func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				p.Advance(Nanosecond)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+	})
+	if perAdvance := avg / iters; perAdvance > 0.05 {
+		t.Errorf("Proc.Advance allocates: %.3f allocs/op (%.0f per %d-advance run, want ~0)",
+			perAdvance, avg, iters)
+	}
 }
