@@ -7,20 +7,32 @@
 // parallel runner (internal/bench.Sweep); identical flags always print
 // identical numbers at any UNICONN_WORKERS setting.
 //
+// With -recover the tool switches to hard-fault mode: plans from
+// faults.GenerateHard additionally crash ranks (severity >= 0.5) and kill a
+// link for good (severity >= 0.75) under an -ranks-GPU iterative allreduce
+// workload, and the sweep reports whether the survivors completed by
+// revoking and shrinking the communicator, plus the failure-detection and
+// recovery latencies. -benchjson records the recovery sweep's wall clock and
+// completion rate.
+//
 // Usage:
 //
 //	uniconn-chaos                                # Perlmutter, inter-node, degrade ramp
 //	uniconn-chaos -machine LUMI -bytes 1048576
 //	uniconn-chaos -generate -seed 7 -severities 0,0.5,1
+//	uniconn-chaos -recover -ranks 8 -benchjson BENCH_recovery.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -44,6 +56,93 @@ func parseSeverities(s string) ([]float64, error) {
 	return out, nil
 }
 
+// backendChoice pairs a display label with a backend id.
+type backendChoice struct {
+	label   string
+	backend core.BackendID
+}
+
+// recoveryJSON is the -benchjson record of one recovery sweep.
+type recoveryJSON struct {
+	Description string               `json:"description"`
+	Host        recoveryHost         `json:"host"`
+	Machine     string               `json:"machine"`
+	Ranks       int                  `json:"ranks"`
+	Seed        uint64               `json:"seed"`
+	Severities  []float64            `json:"severities"`
+	Backends    []recoveryBackendRun `json:"backends"`
+	Seconds     float64              `json:"total_seconds"`
+}
+
+type recoveryHost struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+type recoveryBackendRun struct {
+	Backend        string                `json:"backend"`
+	Seconds        float64               `json:"seconds"`
+	CompletionRate float64               `json:"completion_rate"`
+	Points         []bench.RecoveryPoint `json:"points"`
+}
+
+// recoveryMode runs the hard-fault severity sweep per backend, prints the
+// table, and optionally records wall-clock + completion-rate JSON.
+func recoveryMode(m *machine.Model, backends []backendChoice, severities []float64, ranks int, seed uint64, benchJSON string) error {
+	fmt.Printf("recovery sweep on %s, %d ranks, seed %d (crashes from severity 0.5, link down from 0.75)\n",
+		m.Name, ranks, seed)
+	fmt.Printf("%-10s%10s%9s%11s%11s%12s%13s%14s%12s\n",
+		"backend", "severity", "crashes", "survivors", "completed", "recoveries", "detect lat", "recovery lat", "end")
+	report := recoveryJSON{
+		Description: "Recovery-aware chaos sweep (cmd/uniconn-chaos -recover): iterative allreduce under hard-fault plans; completion via communicator Revoke+Shrink.",
+		Host:        recoveryHost{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)},
+		Machine:     m.Name, Ranks: ranks, Seed: seed, Severities: severities,
+	}
+	total := time.Now()
+	for _, b := range backends {
+		start := time.Now()
+		points, err := bench.RecoverySweep(m, b.backend, ranks, severities, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.label, err)
+		}
+		completed := 0
+		for _, p := range points {
+			done := "no"
+			if p.Completed {
+				done = "yes"
+				completed++
+			}
+			if p.Err != "" {
+				done = "ERR"
+			}
+			fmt.Printf("%-10s%10.2f%9d%11d%11s%12d%13v%14v%12v\n",
+				b.label, p.Severity, p.Crashes, p.Survivors, done, p.Recoveries,
+				p.DetectLatency, p.RecoveryLatency, sim.Duration(p.End))
+			if p.Err != "" {
+				fmt.Printf("  %s severity %.2f error: %s\n", b.label, p.Severity, p.Err)
+			}
+		}
+		report.Backends = append(report.Backends, recoveryBackendRun{
+			Backend:        b.label,
+			Seconds:        time.Since(start).Seconds(),
+			CompletionRate: float64(completed) / float64(len(points)),
+			Points:         points,
+		})
+	}
+	report.Seconds = time.Since(total).Seconds()
+	if benchJSON != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", benchJSON)
+	}
+	return nil
+}
+
 func main() {
 	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
 	inter := flag.Bool("inter", true, "benchmark across two nodes")
@@ -54,6 +153,12 @@ func main() {
 	seed := flag.Uint64("seed", 42, "fault-plan seed (with -generate)")
 	workers := flag.Int("workers", 0,
 		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
+	recover := flag.Bool("recover", false,
+		"recovery mode: hard-fault plans (rank crashes, dead links) under an iterative allreduce; "+
+			"reports completion and recovery latency per severity")
+	ranks := flag.Int("ranks", 8, "rank count of the recovery workload (with -recover)")
+	benchJSON := flag.String("benchjson", "",
+		"write recovery-sweep wall-clock and completion-rate JSON here (with -recover)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -69,15 +174,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	backends := []struct {
-		label   string
-		backend core.BackendID
-	}{{"MPI", core.MPIBackend}, {"GPUCCL", core.GpucclBackend}}
+	backends := []backendChoice{{"MPI", core.MPIBackend}, {"GPUCCL", core.GpucclBackend}}
 	if m.HasGPUSHMEM {
-		backends = append(backends, struct {
-			label   string
-			backend core.BackendID
-		}{"GPUSHMEM", core.GpushmemBackend})
+		backends = append(backends, backendChoice{"GPUSHMEM", core.GpushmemBackend})
+	}
+
+	if *recover {
+		if err := recoveryMode(m, backends, severities, *ranks, *seed, *benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	where, mode := "intra-node", "degrade ramp"

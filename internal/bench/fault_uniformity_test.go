@@ -1,0 +1,94 @@
+package bench
+
+// Cross-backend fault uniformity: every backend routes its transfers through
+// the same fabric.LinkFault hook, so the same traffic pattern under the same
+// plan must observe the same set of fault windows. The test runs one ring
+// allreduce workload (large enough that GPUCCL picks its ring algorithm) on
+// all three backends, with the plan's Observe hook recording which link
+// faults each transfer hit, and asserts the observed window set matches.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// uniformityPlan degrades intra-node traffic over two disjoint windows of
+// the horizon. The indices 0 and 1 are the fault-window identities the test
+// compares across backends.
+func uniformityPlan(horizon sim.Duration) *faults.Plan {
+	win := func(lo, hi float64) faults.Window {
+		return faults.Window{
+			Start: sim.Time(lo * float64(horizon)),
+			End:   sim.Time(hi * float64(horizon)),
+		}
+	}
+	return &faults.Plan{
+		Links: []faults.LinkFault{
+			{Src: faults.Any, Dst: faults.Any, Path: fabric.PathIntra,
+				Window: win(0.15, 0.4), LatencyFactor: 3, BandwidthFactor: 0.5},
+			{Src: faults.Any, Dst: faults.Any, Path: fabric.PathIntra,
+				Window: win(0.6, 0.85), LatencyFactor: 2, BandwidthFactor: 0.7},
+		},
+		Watchdog: 100 * horizon,
+	}
+}
+
+func TestFaultWindowsUniformAcrossBackends(t *testing.T) {
+	m := machine.Perlmutter()
+	const (
+		nGPUs   = 4 // one node: all traffic intra, matching the plan's path
+		iters   = 24
+		count   = 16 << 10 // 128 KiB of float64 — past GPUCCL's tree cutoff
+		horizon = 2 * sim.Millisecond
+	)
+	observed := map[string][]int{}
+	for _, backend := range []core.BackendID{core.MPIBackend, core.GpucclBackend, core.GpushmemBackend} {
+		plan := uniformityPlan(horizon)
+		hits := map[int]bool{}
+		plan.Observe = func(at sim.Time, src, dst int, path fabric.Path, active []int) {
+			for _, i := range active {
+				hits[i] = true
+			}
+		}
+		_, err := core.Launch(core.Config{Model: m, NGPUs: nGPUs, Backend: backend, Faults: plan},
+			func(env *core.Env) {
+				env.SetDevice(env.NodeRank())
+				comm := core.NewCommunicator(env)
+				s := env.NewStream("uniformity")
+				coord := core.NewCoordinator(env, core.PureHost, s)
+				in := core.Alloc[float64](env, count)
+				out := core.Alloc[float64](env, count)
+				pace := horizon / sim.Duration(iters)
+				for it := 0; it < iters; it++ {
+					env.Proc().Advance(pace)
+					core.AllReduce(coord, gpu.ReduceSum, in.Base(), out.Base(), count, comm)
+					env.StreamSynchronize(s)
+				}
+			})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		var idx []int
+		for i := range hits {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		observed[backend.String()] = idx
+	}
+	// Every backend's paced traffic spans both windows; the degraded-cell
+	// set must be identical everywhere.
+	want := fmt.Sprint([]int{0, 1})
+	for b, idx := range observed {
+		if fmt.Sprint(idx) != want {
+			t.Errorf("%s observed fault windows %v, want %s (all: %v)", b, idx, want, observed)
+		}
+	}
+}

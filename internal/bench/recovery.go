@@ -1,0 +1,263 @@
+package bench
+
+// Recovery-aware chaos benchmarking: run a fixed-length iterative allreduce
+// workload under a hard-fault plan (rank crashes, dead links) and measure
+// whether the survivors complete by revoking and shrinking the communicator,
+// and how long the recovery takes. This is the measurement core of
+// cmd/uniconn-chaos -recover.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// RecoveryConfig describes one recovery chaos run: an NGPUs-rank job that
+// iterates compute + allreduce under the plan, recovering from declared rank
+// failures with Revoke + Shrink.
+type RecoveryConfig struct {
+	Model   *machine.Model
+	Backend core.BackendID
+	// NGPUs is the rank count (default 8).
+	NGPUs int
+	// Plan is the injected fault scenario (typically faults.GenerateHard).
+	// When its Watchdog is zero, a generous one is armed so a genuinely
+	// stuck run still fails with sim.TimeoutError instead of hanging.
+	Plan *faults.Plan
+	// Iters is the fixed iteration count every rank runs (default 48). The
+	// loop condition is an iteration count, never virtual time: survivors
+	// must agree on when the workload ends even after a recovery skews
+	// their clocks.
+	Iters int
+	// Count is the allreduce element count (default 1024 float64s = 8 KiB).
+	Count int
+	// Horizon paces the compute phase: each iteration advances
+	// Horizon/Iters before communicating (default 4 ms), which also scales
+	// the generated plan's fault windows.
+	Horizon sim.Duration
+}
+
+// RecoveryPoint is one measurement of a recovery sweep.
+type RecoveryPoint struct {
+	Backend  string
+	Severity float64
+	// Crashes is the number of distinct ranks the plan kills; Survivors is
+	// the rest.
+	Crashes   int
+	Survivors int
+	// Completed reports whether every survivor finished all iterations
+	// without an unexpected error.
+	Completed bool
+	// Recoveries is the maximum number of Revoke+Shrink rounds any
+	// survivor ran.
+	Recoveries int
+	// DetectLatency is the failure detector's delay for the earliest
+	// crash: declaration time minus crash time (in [lease, 1.5*lease)).
+	DetectLatency sim.Duration
+	// RecoveryLatency is the longest Revoke+Shrink+realign span measured
+	// on any survivor, from catching the failure to resuming iterations.
+	RecoveryLatency sim.Duration
+	// End is the virtual completion time of the run.
+	End sim.Time
+	// Checksum is the lowest-rank survivor's final allreduce result sum,
+	// the value the determinism tests compare across worker counts.
+	Checksum float64
+	// Err records a run-level failure (timeout, unexpected abort); empty
+	// on success.
+	Err string
+}
+
+// recoveryRank is one rank's slot of the shared result table. The simulation
+// engine is cooperatively scheduled, so plain writes are race-free.
+type recoveryRank struct {
+	iters      int
+	recoveries int
+	recLat     sim.Duration
+	checksum   float64
+	err        error
+}
+
+// RunRecovery executes one recovery chaos run and reports what happened.
+// Run-level failures are reported in the point's Err field, not the error
+// (so sweeps record broken cells instead of aborting); the error is reserved
+// for configuration mistakes.
+func RunRecovery(cfg RecoveryConfig) (RecoveryPoint, error) {
+	if cfg.NGPUs <= 0 {
+		cfg.NGPUs = 8
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 48
+	}
+	if cfg.Count <= 0 {
+		cfg.Count = 1024
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 4 * sim.Millisecond
+	}
+	pt := RecoveryPoint{Backend: cfg.Backend.String()}
+
+	plan := cfg.Plan
+	if plan != nil && plan.Watchdog == 0 {
+		wp := *plan
+		wp.Watchdog = 200 * cfg.Horizon
+		plan = &wp
+	}
+	dead := map[int]bool{}
+	if plan != nil {
+		firstCrash := sim.Time(-1)
+		lease := plan.Lease
+		if lease <= 0 {
+			lease = faults.DefaultLease
+		}
+		for _, cr := range plan.Crashes {
+			dead[cr.Rank] = true
+			if firstCrash < 0 || cr.At < firstCrash {
+				firstCrash = cr.At
+			}
+		}
+		pt.Crashes = len(dead)
+		if firstCrash >= 0 {
+			pt.DetectLatency = core.DetectAt(firstCrash, lease).Sub(firstCrash)
+		}
+	}
+	pt.Survivors = cfg.NGPUs - pt.Crashes
+
+	ranks := make([]recoveryRank, cfg.NGPUs)
+	pace := cfg.Horizon / sim.Duration(cfg.Iters)
+	iters, count := cfg.Iters, cfg.Count
+
+	main := func(env *core.Env) {
+		rank := env.WorldRank()
+		st := &ranks[rank]
+		env.SetDevice(env.NodeRank())
+		world := core.NewCommunicator(env)
+		comm := world
+		s := env.NewStream("recovery")
+		coord := core.NewCoordinator(env, core.PureHost, s)
+		p := env.Proc()
+		in := core.Alloc[float64](env, count)
+		out := core.Alloc[float64](env, count)
+		for i := range in.Data() {
+			in.Data()[i] = float64(rank + i%7)
+		}
+		next := core.Alloc[uint64](env, 1)
+		align := core.Alloc[uint64](env, 1)
+
+		for it := 0; it < iters; {
+			err := env.Try(func() {
+				p.Advance(pace) // the compute phase
+				core.AllReduce(coord, gpu.ReduceSum, in.Base(), out.Base(), count, comm)
+				env.StreamSynchronize(s)
+			})
+			if err == nil {
+				it++
+				st.iters = it
+				continue
+			}
+			var rf *sim.RankFailedError
+			if !errors.As(err, &rf) {
+				st.err = err
+				return
+			}
+			// Recovery: revoke the broken handle, shrink from the stable
+			// world communicator, clear the stream's error state, and agree
+			// on the next iteration (survivors may have been interrupted at
+			// different points). A second failure mid-recovery aborts the
+			// whole sequence out of Try and retries at the new epoch.
+			recStart := p.Now()
+			for {
+				rerr := env.Try(func() {
+					comm.Revoke()
+					comm = world.Shrink()
+					env.ResetStream(s)
+					next.Data()[0] = uint64(it)
+					core.AllReduce(coord, gpu.ReduceMax, next.Base(), align.Base(), 1, comm)
+					env.StreamSynchronize(s)
+				})
+				if rerr == nil {
+					break
+				}
+				if !errors.As(rerr, &rf) {
+					st.err = rerr
+					return
+				}
+			}
+			it = int(align.Data()[0])
+			st.iters = it
+			st.recoveries++
+			if d := p.Now().Sub(recStart); d > st.recLat {
+				st.recLat = d
+			}
+		}
+		sum := 0.0
+		for _, v := range out.Data() {
+			sum += v
+		}
+		st.checksum = sum
+	}
+
+	rep, err := core.Launch(core.Config{
+		Model: cfg.Model, NGPUs: cfg.NGPUs, Backend: cfg.Backend, Faults: plan,
+	}, main)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt, nil
+	}
+	pt.End = rep.End
+
+	completed := true
+	for r := 0; r < cfg.NGPUs; r++ {
+		if dead[r] {
+			continue
+		}
+		st := &ranks[r]
+		if st.err != nil && pt.Err == "" {
+			pt.Err = fmt.Sprintf("rank %d: %v", r, st.err)
+		}
+		if st.iters < cfg.Iters {
+			completed = false
+		}
+		if st.recoveries > pt.Recoveries {
+			pt.Recoveries = st.recoveries
+		}
+		if st.recLat > pt.RecoveryLatency {
+			pt.RecoveryLatency = st.recLat
+		}
+	}
+	pt.Completed = completed && pt.Err == ""
+	for r := 0; r < cfg.NGPUs; r++ {
+		if !dead[r] {
+			pt.Checksum = ranks[r].checksum
+			break
+		}
+	}
+	return pt, nil
+}
+
+// RecoverySweep measures one backend's recovery behaviour across a severity
+// ramp: each severity builds its hard-fault plan with faults.GenerateHard
+// (crashes appear from severity 0.5, a dead link from 0.75) and runs
+// RunRecovery. Cells fan out over the deterministic sweep runner; results
+// are bit-identical at any worker count. Broken cells are reported in their
+// point's Err field rather than aborting the sweep.
+func RecoverySweep(m *machine.Model, backend core.BackendID, nGPUs int, severities []float64, seed uint64) ([]RecoveryPoint, error) {
+	horizon := 4 * sim.Millisecond
+	fc := m.FabricConfig(m.NodesFor(nGPUs))
+	return Sweep(len(severities), func(i int) (RecoveryPoint, error) {
+		sev := severities[i]
+		plan := faults.GenerateHard(seed, sev, fc, horizon)
+		pt, err := RunRecovery(RecoveryConfig{
+			Model: m, Backend: backend, NGPUs: nGPUs, Plan: plan, Horizon: horizon,
+		})
+		if err != nil {
+			return pt, err
+		}
+		pt.Severity = sev
+		return pt, nil
+	})
+}

@@ -15,6 +15,7 @@ import (
 func AllReduce[T gpu.Elem](c *Coordinator, op gpu.ReduceOp, send, recv Ptr[T], count int, comm *Communicator) {
 	env := c.env
 	env.dispatch()
+	comm.check()
 	switch env.Backend() {
 	case MPIBackend:
 		c.mpiStreamGuard()
@@ -37,6 +38,7 @@ func AllReduceInPlace[T gpu.Elem](c *Coordinator, op gpu.ReduceOp, buf Ptr[T], c
 func Reduce[T gpu.Elem](c *Coordinator, op gpu.ReduceOp, send, recv Ptr[T], count int, root int, comm *Communicator) {
 	env := c.env
 	env.dispatch()
+	comm.check()
 	switch env.Backend() {
 	case MPIBackend:
 		c.mpiStreamGuard()
@@ -72,6 +74,7 @@ func ReduceInPlace[T gpu.Elem](c *Coordinator, op gpu.ReduceOp, buf Ptr[T], coun
 func Broadcast[T gpu.Elem](c *Coordinator, buf Ptr[T], count int, root int, comm *Communicator) {
 	env := c.env
 	env.dispatch()
+	comm.check()
 	switch env.Backend() {
 	case MPIBackend:
 		c.mpiStreamGuard()
@@ -101,6 +104,7 @@ func Gather[T gpu.Elem](c *Coordinator, send, recv Ptr[T], count int, root int, 
 func Gatherv[T gpu.Elem](c *Coordinator, send, recv Ptr[T], counts, displs []int, root int, comm *Communicator) {
 	env := c.env
 	env.dispatch()
+	comm.check()
 	me := comm.GlobalRank()
 	n := comm.GlobalSize()
 	mine := counts[me]
@@ -156,6 +160,7 @@ func Scatter[T gpu.Elem](c *Coordinator, send, recv Ptr[T], count int, root int,
 func Scatterv[T gpu.Elem](c *Coordinator, send, recv Ptr[T], counts, displs []int, root int, comm *Communicator) {
 	env := c.env
 	env.dispatch()
+	comm.check()
 	me := comm.GlobalRank()
 	n := comm.GlobalSize()
 	mine := counts[me]
@@ -222,6 +227,7 @@ func AllGather[T gpu.Elem](c *Coordinator, send, recv Ptr[T], count int, comm *C
 func AllGatherv[T gpu.Elem](c *Coordinator, send, recv Ptr[T], counts, displs []int, comm *Communicator) {
 	env := c.env
 	env.dispatch()
+	comm.check()
 	me := comm.GlobalRank()
 	n := comm.GlobalSize()
 	mine := counts[me]
@@ -255,6 +261,7 @@ func AllGatherv[T gpu.Elem](c *Coordinator, send, recv Ptr[T], counts, displs []
 func AlltoAllv[T gpu.Elem](c *Coordinator, send, recv Ptr[T], sendCounts, sendDispls, recvCounts, recvDispls []int, comm *Communicator) {
 	env := c.env
 	env.dispatch()
+	comm.check()
 	me := comm.GlobalRank()
 	n := comm.GlobalSize()
 	selfCopy := func() {
@@ -305,6 +312,7 @@ func AlltoAllv[T gpu.Elem](c *Coordinator, send, recv Ptr[T], sendCounts, sendDi
 func AlltoAll[T gpu.Elem](c *Coordinator, send, recv Ptr[T], count int, comm *Communicator) {
 	env := c.env
 	env.dispatch()
+	comm.check()
 	me := comm.GlobalRank()
 	n := comm.GlobalSize()
 	switch env.Backend() {

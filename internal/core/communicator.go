@@ -1,10 +1,14 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"repro/internal/gpu"
 	"repro/internal/gpuccl"
 	"repro/internal/gpushmem"
 	"repro/internal/mpi"
+	"repro/internal/sim"
 )
 
 // Communicator encapsulates the process group (paper §IV-C), analogous to
@@ -17,13 +21,42 @@ type Communicator struct {
 	cclc *gpuccl.Comm
 	pe   *gpushmem.PE
 	team *gpushmem.Team // world team by default on the GPUSHMEM backend
+
+	// epoch is the failure epoch the communicator was built in; once the
+	// job's epoch moves past it, operations abort with the failure instead
+	// of parking on a dead rank. revoked marks a handle explicitly poisoned
+	// by Revoke during recovery.
+	epoch   int
+	revoked bool
+}
+
+// ErrRevoked is the error aborted out of operations on a communicator whose
+// handle was revoked (the ULFM MPI_Comm_revoke analogue). Detect it with
+// errors.Is.
+var ErrRevoked = errors.New("core: communicator revoked")
+
+// check aborts the calling operation if the communicator is stale: built in
+// an earlier failure epoch, or explicitly revoked. Every communication entry
+// point calls it after dispatch, so survivors that missed the detector's
+// interrupt (they were computing, not parked) still fail fast instead of
+// blocking against a dead rank.
+func (c *Communicator) check() {
+	j := c.env.job
+	if j.epoch() != c.epoch {
+		if ferr := j.lastFailure(); ferr != nil {
+			sim.Abort(ferr)
+		}
+	}
+	if c.revoked {
+		sim.Abort(fmt.Errorf("%w (epoch %d)", ErrRevoked, c.epoch))
+	}
 }
 
 // NewCommunicator creates the world communicator for this rank
 // (Communicator<Backend> comm in the paper's Listing 4).
 func NewCommunicator(env *Env) *Communicator {
 	env.dispatch()
-	c := &Communicator{env: env}
+	c := &Communicator{env: env, epoch: env.job.epoch()}
 	c.mpic = env.job.mpiWorld.CommWorld(env.rank)
 	switch env.Backend() {
 	case GpucclBackend:
@@ -78,8 +111,9 @@ func (c *Communicator) Env() *Env { return c.env }
 func (c *Communicator) Split(color, key int) *Communicator {
 	env := c.env
 	env.dispatch()
+	c.check()
 	msub := c.mpic.Split(env.p, color, key)
-	sub := &Communicator{env: env, mpic: msub, pe: c.pe}
+	sub := &Communicator{env: env, mpic: msub, pe: c.pe, epoch: c.epoch}
 	switch env.Backend() {
 	case GpucclBackend:
 		sub.cclc = c.cclc.Split(env.p, color, key)
@@ -110,6 +144,7 @@ func (c *Communicator) Split(color, key int) *Communicator {
 func (c *Communicator) Barrier(s *gpu.Stream) {
 	env := c.env
 	env.dispatch()
+	c.check()
 	switch env.Backend() {
 	case GpucclBackend:
 		b := gpu.AllocBuffer[uint64](env.dev, 1)
@@ -126,7 +161,61 @@ func (c *Communicator) Barrier(s *gpu.Stream) {
 // involvement); all backends bootstrap it over the CPU library.
 func (c *Communicator) HostBarrier() {
 	c.env.dispatch()
+	c.check()
 	c.mpic.Barrier(c.env.p)
+}
+
+// Revoke poisons this communicator handle: every subsequent operation on it
+// aborts with ErrRevoked (MPI_Comm_revoke / ncclCommAbort in spirit). It is
+// local and immediate — the failure detector has already interrupted the
+// other survivors, so no extra propagation round is needed in the simulated
+// fabric — and it clears any failure notification still pending on the
+// calling process so recovery code can run undisturbed.
+func (c *Communicator) Revoke() {
+	c.env.dispatch()
+	c.env.p.ClearInterrupt()
+	c.revoked = true
+}
+
+// Shrink builds a working communicator over the surviving ranks, the ULFM
+// MPI_Comm_shrink analogue. Call it on a stable parent (the world
+// communicator) after a failure: every survivor derives the same dense
+// group from the globally agreed dead set, the CPU-side communicator is
+// reconstructed directly, and the GPU-side library is torn down and
+// re-initialized over the survivors (abort-and-reinit on GPUCCL, team
+// reconstruction on GPUSHMEM). The call synchronizes the survivors; the
+// returned communicator is stamped with the current failure epoch.
+//
+// If no failure has been declared since the communicator was built (and it
+// was not revoked), Shrink returns the receiver unchanged.
+func (c *Communicator) Shrink() *Communicator {
+	env := c.env
+	env.dispatch()
+	env.p.ClearInterrupt()
+	j := env.job
+	epoch := j.epoch()
+	if epoch == c.epoch && !c.revoked {
+		return c
+	}
+	dead := map[int]bool{}
+	for _, r := range env.FailedRanks() {
+		dead[r] = true
+	}
+	// The generation disambiguates successive shrinks in the backends'
+	// matching keys; epoch+1 keeps it >= 1 even for a revoked-but-healthy
+	// shrink. A second failure declared mid-shrink interrupts the survivors
+	// parked in the shrink barrier; the env.Try recovery loop retries at
+	// the new epoch, converging on a consistent generation.
+	gen := epoch + 1
+	sub := &Communicator{env: env, pe: c.pe, epoch: epoch}
+	sub.mpic = c.mpic.ShrinkExcluding(env.p, dead, gen)
+	switch env.Backend() {
+	case GpucclBackend:
+		sub.cclc = c.cclc.Shrink(env.p, dead, gen)
+	case GpushmemBackend:
+		sub.team = c.team.Shrink(env.p, dead, gen)
+	}
+	return sub
 }
 
 // DeviceComm is the GPU-resident communicator handle returned by ToDevice,

@@ -114,6 +114,14 @@ type Job struct {
 	mpiWorld   *mpi.World
 	cclWorld   *gpuccl.World
 	shmemWorld *gpushmem.World
+
+	// Hard-fault state (recovery.go): the rank processes for the crash
+	// scheduler, which ranks have crashed / been declared failed, and the
+	// declared failures in detection order (whose length is the epoch).
+	rankProcs []*sim.Proc
+	crashed   map[int]bool
+	failed    map[int]bool
+	failures  []*sim.RankFailedError
 }
 
 // Report summarises a completed run.
@@ -132,13 +140,15 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 	}
 	eng := sim.NewEngine()
 	defer eng.Close()
-	job := &Job{cfg: cfg, eng: eng, cluster: gpu.NewCluster(eng, cfg.Model, cfg.NGPUs)}
+	job := &Job{cfg: cfg, eng: eng, cluster: gpu.NewCluster(eng, cfg.Model, cfg.NGPUs),
+		crashed: map[int]bool{}, failed: map[int]bool{}}
 	if cfg.Trace != nil {
 		job.cluster.SetTrace(cfg.Trace)
 	}
 	if f := cfg.Faults; f != nil {
 		job.cluster.Fabric.LinkFault = f.LinkCostAt
 		f.ApplyStalls(job.cluster.Fabric)
+		f.ApplyHardFaults(job.cluster.Fabric)
 		job.cluster.ComputeFault = f.ComputeFactor
 		if f.Watchdog > 0 {
 			eng.SetWatchdog(sim.Time(f.Watchdog))
@@ -155,10 +165,13 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 	}
 	for r := 0; r < cfg.NGPUs; r++ {
 		r := r
-		eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+		job.rankProcs = append(job.rankProcs, eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
 			env := newEnv(job, r, p)
 			main(env)
-		})
+		}))
+	}
+	if f := cfg.Faults; f != nil && len(f.Crashes) > 0 {
+		job.scheduleHardFaults(f)
 	}
 	if err := eng.Run(); err != nil {
 		return rep, err
@@ -229,8 +242,17 @@ func (e *Env) NewStream(name string) *gpu.Stream { return e.dev.NewStream(name) 
 func (e *Env) DefaultStream() *gpu.Stream { return e.dev.DefaultStream() }
 
 // StreamSynchronize blocks the host until the stream drains
-// (cudaStreamSynchronize through the vendor-agnostic macro layer).
-func (e *Env) StreamSynchronize(s *gpu.Stream) { s.Synchronize(e.p) }
+// (cudaStreamSynchronize through the vendor-agnostic macro layer). If an
+// enqueued operation was poisoned by a rank failure, the recorded error is
+// re-raised here on the host — the simulated analogue of the stream going
+// into an error state — so an env.Try boundary observes device-side
+// failures too.
+func (e *Env) StreamSynchronize(s *gpu.Stream) {
+	s.Synchronize(e.p)
+	if err := s.TakeAborted(); err != nil {
+		sim.Abort(err)
+	}
+}
 
 // MPIComm exposes the rank's raw MPI communicator. It exists for the
 // native baseline implementations that the paper compares UNICONN against

@@ -58,6 +58,7 @@ const uniconnMPITag = 0x5C
 func Post[T gpu.Elem](c *Coordinator, send, recv Ptr[T], count int, sig Signal, sigVal uint64, peer int, comm *Communicator) {
 	env := c.env
 	env.dispatch()
+	comm.check()
 	switch env.Backend() {
 	case MPIBackend:
 		if c.grouping {
@@ -93,6 +94,7 @@ func Post[T gpu.Elem](c *Coordinator, send, recv Ptr[T], count int, sig Signal, 
 func Acknowledge[T gpu.Elem](c *Coordinator, recv Ptr[T], count int, sig Signal, sigVal uint64, peer int, comm *Communicator) {
 	env := c.env
 	env.dispatch()
+	comm.check()
 	switch env.Backend() {
 	case MPIBackend:
 		if c.grouping {

@@ -1,0 +1,129 @@
+package core
+
+// Hard-fault scheduling and the heartbeat failure detector.
+//
+// Each rank is modeled as heartbeating every lease/2 of virtual time; a
+// monitor declares the rank failed when a full lease elapses after its last
+// heartbeat. A rank crashing at time t therefore has
+//
+//	lastHB   = floor((t-1) / (lease/2)) * lease/2   (a heartbeat at the
+//	                                                 crash instant is lost)
+//	detectAt = lastHB + lease
+//
+// which bounds detection latency to [lease/2, lease): a crash just after a
+// heartbeat waits out the full lease, one just before the next heartbeat is
+// caught half a lease sooner. At detectAt the
+// detector records a sim.RankFailedError and interrupts every live process:
+// survivors blocked inside collectives or P2P waits get the typed error
+// delivered at their park (instead of waiting forever on the dead rank),
+// and busy survivors get it at their next blocking operation. The crash
+// itself kills the rank's host process and its GPU streams instantly and
+// silently — peers only ever learn of it through the detector.
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// DetectAt reports when the failure detector declares a rank dead that
+// crashed at the given time, under the given heartbeat lease.
+func DetectAt(crash sim.Time, lease sim.Duration) sim.Time {
+	hb := lease / 2
+	if hb <= 0 {
+		return crash.Add(lease)
+	}
+	var lastHB sim.Time
+	if crash > 0 {
+		lastHB = sim.Time((int64(crash) - 1) / int64(hb) * int64(hb))
+	}
+	return lastHB.Add(lease)
+}
+
+// scheduleHardFaults installs the plan's rank crashes and arms the failure
+// detector. Called once by Launch, before the rank processes start.
+func (j *Job) scheduleHardFaults(f *faults.Plan) {
+	lease := f.Lease
+	if lease <= 0 {
+		lease = faults.DefaultLease
+	}
+	for _, cr := range f.Crashes {
+		cr := cr
+		if cr.Rank < 0 || cr.Rank >= j.cfg.NGPUs {
+			panic(fmt.Sprintf("core: crash rank %d outside %d ranks", cr.Rank, j.cfg.NGPUs))
+		}
+		j.eng.After(sim.Duration(cr.At), func() { j.crashRank(cr.Rank) })
+		detect := DetectAt(cr.At, lease)
+		j.eng.After(sim.Duration(detect), func() { j.declareFailed(cr.Rank, detect) })
+	}
+}
+
+// crashRank kills a rank's host process and its GPU streams, silently.
+func (j *Job) crashRank(rank int) {
+	if j.crashed[rank] {
+		return
+	}
+	j.crashed[rank] = true
+	j.rankProcs[rank].Kill()
+	j.cluster.Devices[rank].Crash()
+}
+
+// declareFailed records the failure (bumping the epoch) and delivers the
+// typed error to every live process.
+func (j *Job) declareFailed(rank int, at sim.Time) {
+	if j.failed[rank] {
+		return
+	}
+	j.failed[rank] = true
+	ferr := &sim.RankFailedError{Rank: rank, At: at}
+	j.failures = append(j.failures, ferr)
+	j.eng.InterruptAll(ferr)
+}
+
+// epoch counts declared failures; communicators stamp the epoch they were
+// built in and refuse (abort) operations once it moves on.
+func (j *Job) epoch() int { return len(j.failures) }
+
+// lastFailure reports the most recently declared failure, nil if none.
+func (j *Job) lastFailure() *sim.RankFailedError {
+	if len(j.failures) == 0 {
+		return nil
+	}
+	return j.failures[len(j.failures)-1]
+}
+
+// Try runs fn and converts a delivered failure (or any sim.Abort) inside it
+// into a returned error, leaving the rank process alive — the recovery
+// boundary for fault-tolerant applications:
+//
+//	err := env.Try(func() { core.AllReduce(...); env.StreamSynchronize(s) })
+//	var rf *sim.RankFailedError
+//	if errors.As(err, &rf) { comm.Revoke(); comm = world.Shrink(); ... }
+func (e *Env) Try(fn func()) error { return sim.Protect(fn) }
+
+// Failure reports the most recently declared rank failure, nil while all
+// ranks are healthy.
+func (e *Env) Failure() *sim.RankFailedError { return e.job.lastFailure() }
+
+// FailedRanks reports the world ranks declared failed so far, in ascending
+// order.
+func (e *Env) FailedRanks() []int {
+	var out []int
+	for r := 0; r < e.job.cfg.NGPUs; r++ {
+		if e.job.failed[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ResetStream drains the stream and discards any abort recorded by a
+// poisoned operation — the recovery-path equivalent of synchronizing after
+// ncclCommAbort, called between Shrink and the first operation on the new
+// communicator.
+func (e *Env) ResetStream(s *gpu.Stream) {
+	s.Synchronize(e.p)
+	s.TakeAborted()
+}

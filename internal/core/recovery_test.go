@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestDetectAtBounds(t *testing.T) {
+	lease := sim.Millisecond
+	for _, crash := range []sim.Time{1, 100, 499_999, 500_000, 500_001, 1_000_000, 1_234_567} {
+		d := DetectAt(crash, lease)
+		lat := d.Sub(crash)
+		if lat < lease/2 || lat >= lease {
+			t.Errorf("crash at %v: latency %v outside [lease/2, lease)", crash, lat)
+		}
+	}
+	// A heartbeat at the crash instant is lost: crashing exactly on the
+	// beat detects no earlier than crashing just after the previous one.
+	if got := DetectAt(500_000, lease); got != sim.Time(1_000_000) {
+		t.Errorf("on-beat crash detected at %v, want 1ms", got)
+	}
+}
+
+// TestUncaughtFailureSurfacesFromLaunch asserts the errors.As chain from the
+// detector through sim.Run's wrap to the Launch caller: an application that
+// does not catch the failure with env.Try fails the whole run with a typed
+// *sim.RankFailedError.
+func TestUncaughtFailureSurfacesFromLaunch(t *testing.T) {
+	plan := &faults.Plan{
+		Crashes:  []faults.RankCrash{{Rank: 1, At: sim.Time(100 * sim.Microsecond)}},
+		Lease:    sim.Duration(200 * sim.Microsecond),
+		Watchdog: sim.Second,
+	}
+	_, err := Launch(Config{Model: machine.Perlmutter(), NGPUs: 4, Backend: MPIBackend, Faults: plan},
+		func(env *Env) {
+			comm := NewCommunicator(env)
+			s := env.NewStream("s")
+			coord := NewCoordinator(env, PureHost, s)
+			buf := Alloc[float64](env, 64)
+			for i := 0; i < 100; i++ {
+				AllReduce(coord, gpu.ReduceSum, buf.Base(), buf.Base(), 64, comm)
+				env.StreamSynchronize(s)
+			}
+		})
+	var rf *sim.RankFailedError
+	if !errors.As(err, &rf) {
+		t.Fatalf("Launch error %v does not unwrap to *sim.RankFailedError", err)
+	}
+	if rf.Rank != 1 {
+		t.Errorf("failed rank = %d, want 1", rf.Rank)
+	}
+}
+
+// TestRevokedCommunicatorAborts asserts ErrRevoked is delivered through
+// errors.Is from a revoked handle's operations.
+func TestRevokedCommunicatorAborts(t *testing.T) {
+	_, err := Launch(Config{Model: machine.Perlmutter(), NGPUs: 2, Backend: MPIBackend},
+		func(env *Env) {
+			comm := NewCommunicator(env)
+			comm.Revoke()
+			terr := env.Try(func() { comm.HostBarrier() })
+			if !errors.Is(terr, ErrRevoked) {
+				t.Errorf("rank %d: operation on revoked communicator returned %v", env.WorldRank(), terr)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShrinkIdentityWhenHealthy asserts Shrink is a no-op on a healthy,
+// unrevoked communicator.
+func TestShrinkIdentityWhenHealthy(t *testing.T) {
+	_, err := Launch(Config{Model: machine.Perlmutter(), NGPUs: 2, Backend: GpucclBackend},
+		func(env *Env) {
+			comm := NewCommunicator(env)
+			if comm.Shrink() != comm {
+				t.Errorf("rank %d: healthy Shrink rebuilt the communicator", env.WorldRank())
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -91,6 +91,12 @@ type Fabric struct {
 	// LinkFault, when non-nil, rewrites each transfer's link cost before
 	// booking (fault injection; see internal/faults).
 	LinkFault LinkFaultFn
+
+	// Hard-fault state: permanently dead routes and the per-path fallback
+	// penalties applied to transfers redirected around them (failover.go).
+	downs         []downLink
+	failover      map[Path]Failover
+	failoverCount int
 }
 
 // New builds the fabric for a cluster configuration.
@@ -103,7 +109,7 @@ func New(cfg Config) *Fabric {
 	}
 	nGPU := cfg.Nodes * cfg.GPUsPerNode
 	nNIC := cfg.Nodes * cfg.NICsPerNode
-	f := &Fabric{cfg: cfg}
+	f := &Fabric{cfg: cfg, failover: defaultFailovers()}
 	for i := 0; i < nGPU; i++ {
 		f.egress = append(f.egress, sim.NewTimeline(fmt.Sprintf("gpu%d.egress", i)))
 		f.ingress = append(f.ingress, sim.NewTimeline(fmt.Sprintf("gpu%d.ingress", i)))
@@ -181,12 +187,21 @@ func (f *Fabric) Transfer(at sim.Time, src, dst int, bytes int64, cost LinkCost)
 	if f.LinkFault != nil {
 		cost = f.LinkFault(at, src, dst, path, cost)
 	}
+	track := path.String()
+	if len(f.downs) > 0 && f.LinkDownAt(at, src, dst, path) {
+		// Dead route: redirect onto the path's fallback route instead of
+		// blocking. The same ports are occupied (the staged copy still moves
+		// through them) but the transfer pays the failover cost.
+		cost = f.failover[path].apply(cost)
+		f.failoverCount++
+		track = track + "+failover"
+	}
 	start, end := sim.ReserveMulti(at, cost.Duration(bytes), f.routePorts(src, dst, path)...)
 	arrive := end.Add(cost.Latency)
 	f.Trace.Add(trace.Span{
 		Kind:  trace.KindTransfer,
 		Label: fmt.Sprintf("gpu%d->gpu%d", src, dst),
-		Track: path.String(),
+		Track: track,
 		Start: start, End: arrive, Bytes: bytes,
 	})
 	return arrive

@@ -117,10 +117,25 @@ type Plan struct {
 	Stalls    []PortStall
 	SlowRanks []SlowRank
 
+	// Hard (terminal) faults; see hard.go. Crashes kill ranks outright,
+	// LinkDowns permanently fail routes (the fabric then reroutes onto its
+	// failover path), and Lease tunes the failure detector's heartbeat
+	// lease (0 means DefaultLease).
+	Crashes   []RankCrash
+	LinkDowns []LinkDown
+	Lease     sim.Duration
+
 	// Watchdog, when positive, arms the engine's virtual-time watchdog:
 	// a run whose clock would pass the deadline fails with a structured
 	// sim.TimeoutError instead of creeping forward forever.
 	Watchdog sim.Duration
+
+	// Observe, when non-nil, is called by LinkCostAt for every transfer
+	// with the indices (into Links) of the link faults active for it.
+	// The cross-backend uniformity tests install it to assert that
+	// different backends see the same fault windows for the same traffic
+	// pattern; it never alters the cost.
+	Observe func(at sim.Time, src, dst int, path fabric.Path, active []int)
 }
 
 // LinkCostAt applies the plan's matching link faults to a resolved cost.
@@ -129,6 +144,9 @@ type Plan struct {
 func (p *Plan) LinkCostAt(at sim.Time, src, dst int, path fabric.Path, cost fabric.LinkCost) fabric.LinkCost {
 	if p == nil {
 		return cost
+	}
+	if p.Observe != nil {
+		p.Observe(at, src, dst, path, p.ActiveLinks(at, src, dst, path))
 	}
 	for _, lf := range p.Links {
 		if !lf.matches(at, src, dst, path) {
@@ -196,7 +214,26 @@ func (p *Plan) ApplyStalls(f *fabric.Fabric) {
 
 // Empty reports whether the plan injects nothing (watchdog aside).
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Links) == 0 && len(p.Stalls) == 0 && len(p.SlowRanks) == 0)
+	return p == nil || (len(p.Links) == 0 && len(p.Stalls) == 0 && len(p.SlowRanks) == 0 &&
+		len(p.Crashes) == 0 && len(p.LinkDowns) == 0)
+}
+
+// ActiveLinks reports the indices (into p.Links) of the link faults matching
+// one transfer, in declaration order. It is the observability counterpart of
+// LinkCostAt: the cross-backend uniformity tests use it to assert that
+// different backends observe the same set of fault windows for the same
+// traffic pattern.
+func (p *Plan) ActiveLinks(at sim.Time, src, dst int, path fabric.Path) []int {
+	if p == nil {
+		return nil
+	}
+	var idx []int
+	for i, lf := range p.Links {
+		if lf.matches(at, src, dst, path) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
 }
 
 // Degrade builds the canonical severity ramp: a plan that uniformly
@@ -261,9 +298,10 @@ func Generate(seed uint64, severity float64, cfg fabric.Config, horizon sim.Dura
 		}
 	}
 
-	// One slow rank, chosen by the seed.
+	// One slow rank, chosen by the seed. Site bumped to /v2 when Intn
+	// switched to unbiased (Lemire) sampling, so the plan change is explicit.
 	nGPUs := cfg.Nodes * cfg.GPUsPerNode
-	r := NewRand(seed, "slowrank")
+	r := NewRand(seed, "slowrank/v2")
 	p.SlowRanks = append(p.SlowRanks, SlowRank{
 		Rank:   r.Intn(nGPUs),
 		Factor: 1 + 2*severity*r.Between(0.5, 1),

@@ -1,0 +1,118 @@
+package faults
+
+// Hard (terminal) faults: rank crashes and permanently dead links. Unlike
+// the soft faults in faults.go, which degrade cost and are survivable by
+// waiting, hard faults remove capacity for good. They are consumed by two
+// layers:
+//
+//   - internal/core schedules each RankCrash (killing the rank's host
+//     process and its GPU streams) and runs the heartbeat failure detector
+//     that converts the crash into a sim.RankFailedError delivered to every
+//     blocked survivor once the lease expires.
+//   - fabric.Fabric consumes LinkDowns (via ApplyHardFaults): a dead route
+//     stops admitting transfers and traffic fails over onto the degraded
+//     fallback path instead of deadlocking.
+
+import (
+	"math"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// RankCrash kills one rank at a virtual time: its host process and GPU
+// streams stop dead, without any goodbye message. Peers only learn of it
+// through the failure detector.
+type RankCrash struct {
+	Rank int
+	At   sim.Time
+}
+
+// LinkDown permanently fails matching routes from a virtual time on. Src
+// and Dst are global GPU ids (Any for wildcards); Path selects the route
+// kind. The fabric redirects affected traffic onto its failover path.
+type LinkDown struct {
+	Src, Dst int
+	Path     fabric.Path
+	At       sim.Time
+}
+
+// DefaultLease is the failure detector's heartbeat lease when a plan leaves
+// Lease zero. Ranks heartbeat every DefaultLease/2 of virtual time; a crash
+// at time t is declared one full lease after its last delivered heartbeat,
+// so detection latency is in [lease/2, lease).
+const DefaultLease = sim.Millisecond
+
+// ApplyHardFaults installs the plan's dead links onto the fabric. Call once
+// per run, after the fabric is built (rank crashes are scheduled by
+// internal/core, not here).
+func (p *Plan) ApplyHardFaults(f *fabric.Fabric) {
+	if p == nil {
+		return
+	}
+	for _, ld := range p.LinkDowns {
+		f.DownLink(ld.Src, ld.Dst, ld.Path, ld.At)
+	}
+}
+
+// HasHardFaults reports whether the plan contains terminal faults.
+func (p *Plan) HasHardFaults() bool {
+	return p != nil && (len(p.Crashes) > 0 || len(p.LinkDowns) > 0)
+}
+
+// GenerateHard extends Generate with terminal faults for recovery-aware
+// chaos runs. Severity thresholds gate the hard-fault kinds:
+//
+//   - severity >= 0.5: rank crashes — ceil(severity * nGPUs / 4) distinct
+//     ranks (always leaving at least one survivor) die at times drawn from
+//     [0.1, 0.6) of the horizon, mid-run so collectives are in flight.
+//   - severity >= 0.75: one intra-node route additionally goes down for
+//     good, exercising the failover path on the survivors.
+//
+// Below 0.5 the result equals Generate plus the default lease. All draws
+// are site-keyed ("crash/v1", "linkdown/v1"), so hard faults do not perturb
+// the soft-fault scenario for the same seed.
+func GenerateHard(seed uint64, severity float64, cfg fabric.Config, horizon sim.Duration) *Plan {
+	p := Generate(seed, severity, cfg, horizon)
+	p.Lease = DefaultLease
+	if severity < 0.5 {
+		return p
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	nGPUs := cfg.Nodes * cfg.GPUsPerNode
+	if nGPUs >= 2 {
+		r := NewRand(seed, "crash/v1")
+		n := int(math.Ceil(severity * float64(nGPUs) / 4))
+		if n > nGPUs-1 {
+			n = nGPUs - 1
+		}
+		picked := make(map[int]bool, n)
+		for len(picked) < n {
+			rank := r.Intn(nGPUs)
+			if picked[rank] {
+				continue
+			}
+			picked[rank] = true
+			at := sim.Time(r.Between(0.1, 0.6) * float64(horizon))
+			p.Crashes = append(p.Crashes, RankCrash{Rank: rank, At: at})
+		}
+	}
+	if severity >= 0.75 && cfg.GPUsPerNode >= 2 {
+		r := NewRand(seed, "linkdown/v1")
+		node := r.Intn(cfg.Nodes)
+		a := r.Intn(cfg.GPUsPerNode)
+		b := r.Intn(cfg.GPUsPerNode - 1)
+		if b >= a {
+			b++
+		}
+		p.LinkDowns = append(p.LinkDowns, LinkDown{
+			Src:  node*cfg.GPUsPerNode + a,
+			Dst:  node*cfg.GPUsPerNode + b,
+			Path: fabric.PathIntra,
+			At:   sim.Time(r.Between(0.1, 0.5) * float64(horizon)),
+		})
+	}
+	return p
+}

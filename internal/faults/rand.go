@@ -6,6 +6,8 @@ package faults
 // sites draw, and never of wall clock. This is what makes generated fault
 // scenarios reproducible bit-for-bit across runs and platforms.
 
+import "math/bits"
+
 // Rand is a splitmix64 PRNG bound to one fault site.
 type Rand struct {
 	state uint64
@@ -45,11 +47,29 @@ func (r *Rand) Float64() float64 {
 }
 
 // Intn draws uniformly from [0, n). n must be positive.
+//
+// Lemire's multiply-shift method with rejection: the raw 64-bit draw is
+// mapped onto [0, n) via the high word of a 128-bit product, and draws
+// landing in the biased low fringe (fewer than 2^64 mod n per residue) are
+// rejected and retried. Unlike the previous `Uint64() % n`, every residue is
+// exactly equally likely. Callers that depended on the old draw sequence
+// bump their site string (e.g. "slowrank" -> "slowrank/v2") so generated
+// plans stay version-stamped rather than silently shifting.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("faults: Intn with non-positive bound")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		// threshold = 2^64 mod n; products with lo below it are the
+		// overrepresented fringe and must be redrawn.
+		threshold := -un % un
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Between draws uniformly from [lo, hi).

@@ -83,6 +83,15 @@ func (d *Device) Model() *machine.Model { return d.cluster.Model }
 // DefaultStream returns the device's stream 0.
 func (d *Device) DefaultStream() *Stream { return d.defaultStream }
 
+// Crash kills every stream daemon of the device: enqueued and future work
+// is never executed, as when the GPU (or its host rank) dies. Used by the
+// hard-fault scheduler in internal/core alongside killing the rank process.
+func (d *Device) Crash() {
+	for _, s := range d.streams {
+		s.proc.Kill()
+	}
+}
+
 // NewStream creates an independent in-order execution queue on the device.
 func (d *Device) NewStream(name string) *Stream {
 	s := &Stream{
@@ -114,6 +123,7 @@ type Stream struct {
 
 	enqueued  uint64
 	completed *sim.Counter
+	aborted   error // first abort raised by a poisoned op (hard-fault recovery)
 }
 
 // Device reports the owning device.
@@ -125,14 +135,33 @@ func (s *Stream) Name() string { return s.name }
 func (s *Stream) run(p *sim.Proc) {
 	for {
 		op := s.ops.Get(p)
+		// A revoke (InterruptAll) delivered while the stream sat idle refers
+		// to no operation of this stream; each op starts with a clean slate.
+		p.ClearInterrupt()
 		start := p.Now()
-		op.run(p)
+		// A poisoned op (interrupted mid-collective after a rank failure)
+		// aborts here instead of wedging the daemon: the abort is recorded
+		// for TakeAborted, the op still counts as completed (the queue must
+		// drain so Synchronize returns), and the stream keeps serving
+		// post-recovery work.
+		if err := sim.Protect(func() { op.run(p) }); err != nil && s.aborted == nil {
+			s.aborted = err
+		}
 		s.dev.cluster.Trace.Add(trace.Span{
 			Kind: trace.KindStreamOp, Label: op.label, Track: s.name,
 			Start: start, End: p.Now(),
 		})
 		s.completed.Add(p.Engine(), 1)
 	}
+}
+
+// TakeAborted returns and clears the first abort recorded by a poisoned
+// stream operation. Recovery paths call it after synchronizing to learn
+// whether completed-but-poisoned work failed; nil means all work succeeded.
+func (s *Stream) TakeAborted() error {
+	err := s.aborted
+	s.aborted = nil
+	return err
 }
 
 // Enqueue places an operation on the stream without host-side cost. The

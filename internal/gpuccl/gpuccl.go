@@ -54,6 +54,7 @@ type shared struct {
 	insts      map[instKey]*instance
 	pairs      map[pairKey]*pairFIFO
 	splits     map[instKey]*splitInst
+	shrinks    map[instKey]*shrinkInst
 	nextCommID uint64
 }
 
@@ -77,9 +78,10 @@ func NewWorld(cluster *gpu.Cluster) *World {
 	w := &World{
 		cluster: cluster,
 		shared: &shared{
-			insts:  map[instKey]*instance{},
-			pairs:  map[pairKey]*pairFIFO{},
-			splits: map[instKey]*splitInst{},
+			insts:   map[instKey]*instance{},
+			pairs:   map[pairKey]*pairFIFO{},
+			splits:  map[instKey]*splitInst{},
+			shrinks: map[instKey]*shrinkInst{},
 		},
 	}
 	for i, dev := range cluster.Devices {
@@ -217,14 +219,24 @@ func (c *Comm) launch(p *sim.Proc, s *gpu.Stream, ops []op) {
 		}
 		eng := sp.Engine()
 		done := sim.NewCounter("ccl-fused", 0)
+		// Sub-processes catch their own aborts (a rank failure poisoning one
+		// channel) so a revoked fused kernel still completes bookkeeping; the
+		// first failure is re-raised on the stream process after the join,
+		// where Stream.run records it.
+		var aborted error
 		for _, o := range ops {
 			o := o
 			eng.Spawn(fmt.Sprintf("%s.%s", s.Name(), o.label), func(op *sim.Proc) {
-				o.run(op)
+				if err := sim.Protect(func() { o.run(op) }); err != nil && aborted == nil {
+					aborted = err
+				}
 				done.Add(eng, 1)
 			})
 		}
 		done.WaitGE(sp, uint64(len(ops)))
+		if aborted != nil {
+			sim.Abort(aborted)
+		}
 	})
 }
 

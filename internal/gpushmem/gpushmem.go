@@ -97,6 +97,7 @@ type World struct {
 	allocs     map[uint64]*allocRec
 	insts      map[instKey]*collInst
 	splits     map[instKey]*splitInst
+	shrinks    map[instKey]*shrinkInst
 	nextTeamID uint64
 }
 
@@ -111,6 +112,7 @@ func NewWorld(cluster *gpu.Cluster) *World {
 		allocs:  map[uint64]*allocRec{},
 		insts:   map[instKey]*collInst{},
 		splits:  map[instKey]*splitInst{},
+		shrinks: map[instKey]*shrinkInst{},
 	}
 	for i, dev := range cluster.Devices {
 		w.pes = append(w.pes, &PE{

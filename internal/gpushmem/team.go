@@ -107,6 +107,53 @@ func (t *Team) TeamSplit(p *sim.Proc, color, key int) *Team {
 	return nt
 }
 
+// shrinkInst coordinates one collective Shrink across the survivors.
+type shrinkInst struct {
+	rdv *sim.Rendezvous
+	id  uint64
+}
+
+// Shrink reconstructs the team over the members not in dead, preserving
+// relative order — the NVSHMEM recovery idiom of destroying a broken team
+// and rebuilding it from the surviving PEs. All survivors must call it with
+// the same dead set and generation (gen is bumped once per failure epoch by
+// the caller); the call synchronizes the survivors like a barrier before
+// the new team is usable. Instances of the old team can never match new
+// traffic: the rebuilt team has a fresh id.
+func (t *Team) Shrink(p *sim.Proc, dead map[int]bool, gen int) *Team {
+	pe := t.pe
+	w := pe.w
+	var members []int
+	myIdx := -1
+	for _, wr := range t.members {
+		if dead[wr] {
+			continue
+		}
+		if wr == pe.rank {
+			myIdx = len(members)
+		}
+		members = append(members, wr)
+	}
+	if myIdx < 0 {
+		panic(fmt.Sprintf("gpushmem: PE %d shrinking a team it failed in", pe.rank))
+	}
+	skey := instKey{seq: uint64(gen), kind: fmt.Sprintf("team-shrink-%d", t.id)}
+	si := w.shrinks[skey]
+	if si == nil {
+		w.nextTeamID++
+		si = &shrinkInst{
+			rdv: sim.NewRendezvous(skey.kind, len(members)),
+			id:  w.nextTeamID,
+		}
+		w.shrinks[skey] = si
+	}
+	// Teardown plus reconstruction exchange, then all survivors synchronize.
+	prof := pe.model().Profile(machine.LibGPUSHMEM, machine.APIHost)
+	p.Advance(prof.CallOverhead * sim.Duration(log2Ceil(len(members))+2))
+	si.rdv.Arrive(p)
+	return &Team{pe: pe, id: si.id, members: members, myIdx: myIdx}
+}
+
 // Team-scoped host collectives: the same bodies as the world-team versions
 // in collectives.go, with ranks mapped through the membership table and
 // instances keyed by team id (so concurrent teams do not cross-talk).

@@ -48,13 +48,29 @@ func (g *Gate) Fire(e *Engine) {
 	g.waiters = nil
 }
 
-// Wait blocks p until the gate fires.
+// Wait blocks p until the gate fires. The wait is interruptible: a pending
+// or arriving Interrupt aborts it (see interrupt.go).
 func (g *Gate) Wait(p *Proc) {
+	p.checkInterrupt()
 	if g.fired {
 		return
 	}
 	g.waiters = append(g.waiters, p)
-	p.park(g.why())
+	p.parkOn(g.why(), g, true)
+	p.checkInterrupt()
+}
+
+func (g *Gate) drop(p *Proc) { g.waiters = removeWaiter(g.waiters, p) }
+
+// removeWaiter deletes p from a waiter slice, preserving FIFO order of the
+// remaining waiters. Used by the interrupt/kill cancelers.
+func removeWaiter(ws []*Proc, p *Proc) []*Proc {
+	for i, w := range ws {
+		if w == p {
+			return append(ws[:i], ws[i+1:]...)
+		}
+	}
+	return ws
 }
 
 // Counter is a monotonic (or at least externally ordered) unsigned value
@@ -103,13 +119,24 @@ func (c *Counter) notify(e *Engine) {
 }
 
 // WaitUntil blocks p until pred(value) is true. If it is already true the
-// call returns immediately.
+// call returns immediately. The wait is interruptible.
 func (c *Counter) WaitUntil(p *Proc, pred func(uint64) bool) {
+	p.checkInterrupt()
 	if pred(c.value) {
 		return
 	}
 	c.waiters = append(c.waiters, counterWaiter{p, pred})
-	p.park(c.reason)
+	p.parkOn(c.reason, c, true)
+	p.checkInterrupt()
+}
+
+func (c *Counter) drop(p *Proc) {
+	for i, w := range c.waiters {
+		if w.p == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // WaitGE blocks p until value >= v.
@@ -150,11 +177,14 @@ func (m *Mailbox[T]) Put(e *Engine, item T) {
 	}
 }
 
-// Get dequeues the next item, blocking until one is available.
+// Get dequeues the next item, blocking until one is available. The wait is
+// NOT interruptible — daemons idling on a mailbox (GPU stream executors)
+// must keep serving after a failure is declared — but a Kill still unwinds
+// it.
 func (m *Mailbox[T]) Get(p *Proc) T {
 	for len(m.items) == 0 {
 		m.waiters = append(m.waiters, p)
-		p.park(m.reason)
+		p.parkOn(m.reason, m, false)
 	}
 	item := m.items[0]
 	// Shift rather than reslice forever so the backing array is reusable.
@@ -162,6 +192,8 @@ func (m *Mailbox[T]) Get(p *Proc) T {
 	m.items = m.items[:len(m.items)-1]
 	return item
 }
+
+func (m *Mailbox[T]) drop(p *Proc) { m.waiters = removeWaiter(m.waiters, p) }
 
 // Semaphore is a counting semaphore in virtual time.
 type Semaphore struct {
@@ -176,14 +208,19 @@ func NewSemaphore(label string, n int) *Semaphore {
 	return &Semaphore{label: label, reason: "semaphore " + label, avail: n}
 }
 
-// Acquire takes one permit, blocking until available.
+// Acquire takes one permit, blocking until available. The wait is
+// interruptible.
 func (s *Semaphore) Acquire(p *Proc) {
+	p.checkInterrupt()
 	for s.avail == 0 {
 		s.waiters = append(s.waiters, p)
-		p.park(s.reason)
+		p.parkOn(s.reason, s, true)
+		p.checkInterrupt()
 	}
 	s.avail--
 }
+
+func (s *Semaphore) drop(p *Proc) { s.waiters = removeWaiter(s.waiters, p) }
 
 // Release returns one permit and wakes the longest waiter if any.
 func (s *Semaphore) Release(e *Engine) {
@@ -218,8 +255,11 @@ func NewRendezvous(label string, parties int) *Rendezvous {
 // Round reports how many times the barrier has completed.
 func (r *Rendezvous) Round() uint64 { return r.round }
 
-// Arrive blocks p until all parties have arrived in this round.
+// Arrive blocks p until all parties have arrived in this round. The wait is
+// interruptible; an interrupted or killed party is deregistered, so the
+// barrier then needs the remaining parties plus one replacement arrival.
 func (r *Rendezvous) Arrive(p *Proc) {
+	p.checkInterrupt()
 	if len(r.arrived)+1 == r.parties {
 		for _, w := range r.arrived {
 			p.eng.wake(w, p.eng.now, r.reason)
@@ -229,8 +269,11 @@ func (r *Rendezvous) Arrive(p *Proc) {
 		return
 	}
 	r.arrived = append(r.arrived, p)
-	p.park(r.reason)
+	p.parkOn(r.reason, r, true)
+	p.checkInterrupt()
 }
+
+func (r *Rendezvous) drop(p *Proc) { r.arrived = removeWaiter(r.arrived, p) }
 
 // Timeline models a serially-reusable resource (a link, a NIC, a copy
 // engine) whose occupancy is tracked as a single busy-until horizon.

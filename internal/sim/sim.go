@@ -114,6 +114,7 @@ type ballMsg struct {
 	finished   bool
 	killedProc bool
 	panicked   any
+	aborted    error // an Abort that unwound out of the process with no Protect
 }
 
 // Engine owns the virtual clock and the event queue.
@@ -196,6 +197,16 @@ type Proc struct {
 	parked  bool
 	parkWhy string
 	parkDur Duration
+
+	// Hard-fault state (see interrupt.go). waitOn lets Interrupt/Kill
+	// deregister the process from the primitive it is parked on;
+	// interruptible gates whether Interrupt may cancel the current park;
+	// pendingErr is an undelivered interrupt; crashed marks a killed
+	// process that unwinds at its next scheduling point.
+	waitOn        canceler
+	interruptible bool
+	pendingErr    error
+	crashed       bool
 }
 
 // Name reports the name given at spawn time.
@@ -242,11 +253,20 @@ func (e *Engine) spawnAt(t Time, name string, fn func(p *Proc), daemon bool) *Pr
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				if _, isKill := r.(killed); isKill {
+				switch r.(type) {
+				case killed:
 					e.ball <- ballMsg{proc: p, finished: true, killedProc: true}
-					return
+				case crashedProc:
+					// A killed (crashed) process counts as a clean finish:
+					// the simulation keeps running on the survivors.
+					e.ball <- ballMsg{proc: p, finished: true}
+				default:
+					if a, ok := r.(abortUnwind); ok {
+						e.ball <- ballMsg{proc: p, finished: true, aborted: a.err}
+						return
+					}
+					e.ball <- ballMsg{proc: p, finished: true, panicked: r}
 				}
-				e.ball <- ballMsg{proc: p, finished: true, panicked: r}
 				return
 			}
 			e.ball <- ballMsg{proc: p, finished: true}
@@ -255,6 +275,9 @@ func (e *Engine) spawnAt(t Time, name string, fn func(p *Proc), daemon bool) *Pr
 		case <-p.resume:
 		case <-e.dead:
 			panic(killed{})
+		}
+		if p.crashed {
+			panic(crashedProc{})
 		}
 		fn(p)
 	}()
@@ -321,6 +344,9 @@ func (p *Proc) parkFor(why string, d Duration) {
 	case <-p.resume:
 		p.wakePending = false
 		p.parked = false
+		if p.crashed {
+			panic(crashedProc{})
+		}
 	case <-p.eng.dead:
 		panic(killed{})
 	}
@@ -469,6 +495,11 @@ func (e *Engine) Run() error {
 		}
 		if msg.panicked != nil {
 			return &PanicError{Proc: msg.proc.name, Value: msg.panicked}
+		}
+		if msg.aborted != nil {
+			// %w keeps errors.Is/As working on the typed failure
+			// (e.g. *RankFailedError) for callers of Run.
+			return fmt.Errorf("sim: process %q failed: %w", msg.proc.name, msg.aborted)
 		}
 	}
 	if e.live > 0 {

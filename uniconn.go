@@ -132,14 +132,36 @@ var (
 
 // Fault injection (see internal/faults and DESIGN.md "Fault model"): a
 // FaultPlan passed via Config.Faults deterministically degrades links,
-// stalls NICs, and slows ranks of the simulated cluster.
+// stalls NICs, and slows ranks of the simulated cluster. The hard-fault
+// kinds (RankCrash, LinkDown) are terminal: a crashed rank is declared
+// failed by the heartbeat detector and surfaces as a *RankFailedError in
+// every blocked survivor (catch it with Env.Try + errors.As, then recover
+// with Communicator.Revoke and Shrink; see DESIGN.md §9), and a dead link
+// permanently reroutes traffic onto the fabric's degraded failover path.
 type (
 	FaultPlan   = faults.Plan
 	FaultWindow = faults.Window
 	LinkFault   = faults.LinkFault
 	PortStall   = faults.PortStall
 	SlowRank    = faults.SlowRank
+	// RankCrash kills one rank at a virtual time.
+	RankCrash = faults.RankCrash
+	// LinkDown permanently fails matching routes from a virtual time on.
+	LinkDown = faults.LinkDown
+	// RankFailedError is the typed failure the detector delivers to
+	// survivors of a rank crash; transparent to errors.Is/errors.As.
+	RankFailedError = sim.RankFailedError
+	// TimeoutError is returned by Launch when the virtual clock passes the
+	// plan's watchdog deadline.
+	TimeoutError = sim.TimeoutError
 )
+
+// ErrRevoked is aborted out of operations on a revoked communicator.
+var ErrRevoked = core.ErrRevoked
+
+// DefaultLease is the failure detector's heartbeat lease when a plan leaves
+// Lease zero; detection latency is in [lease/2, lease).
+const DefaultLease = faults.DefaultLease
 
 // Fault-plan wildcards and constructors.
 const (
@@ -154,6 +176,12 @@ var (
 	DegradeFaults = faults.Degrade
 	// GenerateFaults builds a randomized, seed-deterministic plan.
 	GenerateFaults = faults.Generate
+	// GenerateHardFaults extends GenerateFaults with rank crashes
+	// (severity >= 0.5) and a permanently dead link (severity >= 0.75).
+	GenerateHardFaults = faults.GenerateHard
+	// DetectAt reports when the failure detector declares a rank dead that
+	// crashed at the given time under the given lease.
+	DetectAt = core.DetectAt
 )
 
 // Launch runs main once per rank on the simulated cluster (the moral
