@@ -159,6 +159,10 @@ func main() {
 	ranks := flag.Int("ranks", 8, "rank count of the recovery workload (with -recover)")
 	benchJSON := flag.String("benchjson", "",
 		"write recovery-sweep wall-clock and completion-rate JSON here (with -recover)")
+	showMetrics := flag.Bool("metrics", false,
+		"collect per-severity metrics and print the merged snapshot per backend (degrade/generate modes)")
+	profilePath := flag.String("profile", "",
+		"write a Chrome trace-event file of the profiled severity cells here (degrade/generate modes)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -197,10 +201,17 @@ func main() {
 	fmt.Printf("%-10s%10s%14s%10s%14s%10s%12s\n",
 		"backend", "severity", "latency", "lat x", "bw GB/s", "bw frac", "transfers")
 
+	profiled := *showMetrics || *profilePath != ""
+
 	// Each backend's severity ramp is an independent cell; the ramp itself
-	// fans out again inside ChaosSweep. Rendered blocks are collected by
-	// backend index, so the table prints in the fixed backend order.
-	blocks, err := bench.Sweep(len(backends), func(i int) (string, error) {
+	// fans out again inside ChaosSweep. Rendered blocks (and, when profiling,
+	// the per-severity cell profiles) are collected by backend index, so the
+	// output prints in the fixed backend order.
+	type backendOut struct {
+		block string
+		profs []bench.CellProfile
+	}
+	blocks, err := bench.Sweep(len(backends), func(i int) (backendOut, error) {
 		b := backends[i]
 		cfg := bench.NetConfig{Model: m, Backend: b.backend, API: machine.APIHost,
 			Native: true, Inter: *inter, Bytes: *bytes}
@@ -216,9 +227,19 @@ func main() {
 				return faults.Generate(*seed, s, fc, sim.Second)
 			}
 		}
-		points, err := bench.ChaosSweep(cfg, severities, planFor)
+		var out backendOut
+		var points []bench.ChaosPoint
+		var err error
+		if profiled {
+			points, out.profs, err = bench.ChaosSweepProfiled(cfg, severities, planFor)
+			for pi := range out.profs {
+				out.profs[pi].Label = b.label + "/" + out.profs[pi].Label
+			}
+		} else {
+			points, err = bench.ChaosSweep(cfg, severities, planFor)
+		}
 		if err != nil {
-			return "", fmt.Errorf("%s: %w", b.label, err)
+			return out, fmt.Errorf("%s: %w", b.label, err)
 		}
 		var baseLat sim.Duration
 		var baseBW float64
@@ -231,12 +252,44 @@ func main() {
 				b.label, p.Severity, p.Latency, p.LatencyFactor(baseLat),
 				p.Bandwidth/1e9, p.BandwidthFactor(baseBW), p.Transfers)
 		}
-		return sb.String(), nil
+		out.block = sb.String()
+		return out, nil
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, block := range blocks {
-		fmt.Print(block)
+	for _, b := range blocks {
+		fmt.Print(b.block)
+	}
+	if profiled {
+		var all []bench.CellProfile
+		for _, b := range blocks {
+			all = append(all, b.profs...)
+		}
+		rp := &bench.RunProfile{
+			Title: fmt.Sprintf("chaos %s (%d cells)", m.Name, len(all)),
+			Cells: all,
+		}
+		if *showMetrics {
+			for bi, b := range blocks {
+				brp := bench.RunProfile{Cells: b.profs}
+				fmt.Printf("\n%s merged metrics (%d severities):\n%s",
+					backends[bi].label, len(b.profs), brp.Merged().Render())
+			}
+		}
+		if *profilePath != "" {
+			f, err := os.Create(*profilePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rp.WriteChromeTrace(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *profilePath)
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -33,6 +34,10 @@ func main() {
 	bw := flag.Bool("bw", false, "measure bandwidth instead of latency")
 	workers := flag.Int("workers", 0,
 		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
+	showMetrics := flag.Bool("metrics", false,
+		"collect per-cell metrics and print the merged snapshot after the table")
+	profilePath := flag.String("profile", "",
+		"write a Chrome trace-event file of every cell here")
 	flag.Parse()
 
 	m := machine.ByName(*machineName)
@@ -69,21 +74,51 @@ func main() {
 	}
 
 	sizes := bench.Sizes(*minSize, *maxSize)
+	profiled := *showMetrics || *profilePath != ""
 
 	// One cell per (size, column); row-major so the serial order matches
-	// the printed table.
-	vals, err := bench.Sweep(len(sizes)*len(cols), func(i int) (float64, error) {
+	// the printed table. With -metrics/-profile every cell owns a private
+	// Collector (see internal/bench/runner.go for the ownership rule), and
+	// the profiles are reassembled in cell-index order below.
+	type cellOut struct {
+		val  float64
+		prof bench.CellProfile
+	}
+	cells, err := bench.Sweep(len(sizes)*len(cols), func(i int) (cellOut, error) {
 		c := cols[i%len(cols)]
 		cfg := bench.NetConfig{Model: m, Backend: c.backend, API: c.api,
 			Native: c.native, Inter: *inter, Bytes: sizes[i/len(cols)]}
-		if *bw {
-			return bench.Bandwidth(cfg)
+		var col *bench.Collector
+		if profiled {
+			col = bench.NewCollector()
+			cfg.Metrics, cfg.Trace = col.Metrics, col.Trace
 		}
-		lat, err := bench.Latency(cfg)
-		return lat.Micros(), err
+		var out cellOut
+		var rep core.Report
+		var err error
+		if *bw {
+			out.val, rep, err = bench.BandwidthRun(cfg)
+		} else {
+			var lat sim.Duration
+			lat, rep, err = bench.LatencyRun(cfg)
+			out.val = lat.Micros()
+		}
+		if err != nil {
+			return out, err
+		}
+		if profiled {
+			out.prof = col.Finish(
+				fmt.Sprintf("%s/%dB", c.label, cfg.Bytes), rep.End)
+		}
+		return out, nil
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	vals := make([]float64, len(cells))
+	profs := make([]bench.CellProfile, len(cells))
+	for i, c := range cells {
+		vals[i], profs[i] = c.val, c.prof
 	}
 
 	kind, unit := "one-way latency", "us"
@@ -111,5 +146,29 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+
+	if profiled {
+		rp := &bench.RunProfile{
+			Title: fmt.Sprintf("netbench %s %s (%d cells)", m.Name, where, len(profs)),
+			Cells: profs,
+		}
+		if *showMetrics {
+			fmt.Printf("\nmerged metrics (%d cells):\n%s", len(profs), rp.Merged().Render())
+		}
+		if *profilePath != "" {
+			f, err := os.Create(*profilePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rp.WriteChromeTrace(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *profilePath)
+		}
 	}
 }

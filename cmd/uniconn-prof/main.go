@@ -1,0 +1,132 @@
+// uniconn-prof profiles one simulated workload and prints a deterministic
+// performance report: per-cell critical path (longest dependency chain, with
+// compute / intra-node / inter-node / blocked attribution), per-rank time
+// breakdown, the rank-to-rank communication matrix, and the merged metrics
+// of every subsystem (scheduler, fabric, MPI protocol, collectives, faults).
+//
+// Every profiled cell owns a private metrics registry and span log, and the
+// cells fan out over the deterministic sweep runner, so the report — and the
+// optional metrics JSON and Chrome trace — are byte-identical at any
+// -workers setting.
+//
+// Usage:
+//
+//	uniconn-prof                                    # net sweep, Perlmutter, MPI
+//	uniconn-prof -workload net -backend GPUCCL -inter -min 8 -max 65536
+//	uniconn-prof -workload jacobi -ngpus 8
+//	uniconn-prof -workload cg -ngpus 8 -json metrics.json -trace trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/solver/cg"
+	"repro/internal/solver/jacobi"
+	"repro/internal/sparse"
+)
+
+func parseBackend(s string) (core.BackendID, error) {
+	switch s {
+	case "MPI":
+		return core.MPIBackend, nil
+	case "GPUCCL":
+		return core.GpucclBackend, nil
+	case "GPUSHMEM":
+		return core.GpushmemBackend, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (MPI|GPUCCL|GPUSHMEM)", s)
+	}
+}
+
+func main() {
+	workload := flag.String("workload", "net", "net|jacobi|cg")
+	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	backendName := flag.String("backend", "MPI", "MPI|GPUCCL|GPUSHMEM")
+	device := flag.Bool("device", false, "device-initiated API (net; requires GPUSHMEM)")
+	native := flag.Bool("native", false, "native library instead of UNICONN (net)")
+	inter := flag.Bool("inter", false, "run across two nodes (net)")
+	minSize := flag.Int64("min", 8, "smallest message of the net sweep (bytes)")
+	maxSize := flag.Int64("max", 4096, "largest message of the net sweep (bytes)")
+	ngpus := flag.Int("ngpus", 4, "rank count (jacobi, cg)")
+	iters := flag.Int("iters", 20, "timed iterations (jacobi, cg)")
+	workers := flag.Int("workers", 0,
+		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
+	jsonPath := flag.String("json", "", "write merged metrics JSON here")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON here")
+	flag.Parse()
+
+	if *workers > 0 {
+		os.Setenv(bench.WorkersEnv, strconv.Itoa(*workers))
+	}
+	m := machine.ByName(*machineName)
+	if m == nil {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+	backend, err := parseBackend(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	api := machine.APIHost
+	if *device {
+		api = machine.APIDevice
+	}
+
+	var prof *bench.RunProfile
+	switch *workload {
+	case "net":
+		prof, err = bench.ProfileNet(bench.NetConfig{
+			Model: m, Backend: backend, API: api, Native: *native, Inter: *inter,
+		}, bench.Sizes(*minSize, *maxSize))
+	case "jacobi":
+		prof, err = bench.ProfileJacobi(jacobi.Config{
+			Model: m, NGPUs: *ngpus, NX: 256, NY: 256,
+			Iters: *iters, Warmup: 2,
+			Variant: jacobi.Uniconn, Backend: backend, Mode: core.PureHost,
+		})
+	case "cg":
+		spec := sparse.Serena()
+		prof, err = bench.ProfileCG(cg.Config{
+			Model: m, NGPUs: *ngpus, Matrix: spec.Generate(0.01), Iters: *iters,
+			Variant: cg.Uniconn, Backend: backend, Mode: core.PureHost,
+		})
+	default:
+		log.Fatalf("unknown workload %q (net|jacobi|cg)", *workload)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := prof.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := writeTo(*jsonPath, prof.WriteMetricsJSON); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTo(*tracePath, prof.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -43,6 +44,9 @@ type NetConfig struct {
 	Faults *faults.Plan
 	// Trace, when non-nil, records the run's spans.
 	Trace *trace.Log
+	// Metrics, when non-nil, collects the run's counters (see
+	// internal/metrics; one registry per run, never shared across cells).
+	Metrics *metrics.Registry
 }
 
 // Validate reports configuration errors.
@@ -104,13 +108,21 @@ func (cfg NetConfig) model() *machine.Model {
 
 // Latency runs the ping-pong benchmark and returns the one-way latency.
 func Latency(cfg NetConfig) (sim.Duration, error) {
+	lat, _, err := LatencyRun(cfg)
+	return lat, err
+}
+
+// LatencyRun is Latency plus the run report (the profiler needs the run's
+// end time as its attribution horizon).
+func LatencyRun(cfg NetConfig) (sim.Duration, core.Report, error) {
+	var rep core.Report
 	if err := cfg.Validate(); err != nil {
-		return 0, err
+		return 0, rep, err
 	}
 	iters, warmup, _ := cfg.counts(false)
 	var rt sim.Duration
-	_, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend,
-		Faults: cfg.Faults, Trace: cfg.Trace},
+	rep, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend,
+		Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
 		func(env *core.Env) {
 			d := cfg.latencyRank(env, iters, warmup)
 			if env.WorldRank() == 0 {
@@ -118,20 +130,27 @@ func Latency(cfg NetConfig) (sim.Duration, error) {
 			}
 		})
 	if err != nil {
-		return 0, err
+		return 0, rep, err
 	}
-	return rt / sim.Duration(2*iters), nil
+	return rt / sim.Duration(2*iters), rep, nil
 }
 
 // Bandwidth runs the windowed one-way benchmark and returns bytes/second.
 func Bandwidth(cfg NetConfig) (float64, error) {
+	bw, _, err := BandwidthRun(cfg)
+	return bw, err
+}
+
+// BandwidthRun is Bandwidth plus the run report.
+func BandwidthRun(cfg NetConfig) (float64, core.Report, error) {
+	var rep core.Report
 	if err := cfg.Validate(); err != nil {
-		return 0, err
+		return 0, rep, err
 	}
 	iters, warmup, window := cfg.counts(true)
 	var total sim.Duration
-	_, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend,
-		Faults: cfg.Faults, Trace: cfg.Trace},
+	rep, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend,
+		Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
 		func(env *core.Env) {
 			d := cfg.bandwidthRank(env, iters, warmup, window)
 			if env.WorldRank() == 0 {
@@ -139,10 +158,10 @@ func Bandwidth(cfg NetConfig) (float64, error) {
 			}
 		})
 	if err != nil {
-		return 0, err
+		return 0, rep, err
 	}
 	bytes := float64(iters) * float64(window) * float64(cfg.Bytes)
-	return bytes / total.Seconds(), nil
+	return bytes / total.Seconds(), rep, nil
 }
 
 // latencyRank dispatches to the per-variant rank body and returns the timed

@@ -1,0 +1,266 @@
+package bench
+
+// The profiling harness behind cmd/uniconn-prof: one Collector per sweep
+// cell, frozen into CellProfiles, reassembled in cell-index order into a
+// RunProfile whose rendered report, metrics JSON, and Chrome trace are
+// byte-identical at any sweep worker count.
+//
+// Ownership rule (see also runner.go): a metrics.Registry and a trace.Log
+// are single-engine state. Every cell must allocate its own Collector inside
+// its cell function — never share one across cells, and never write to a
+// collector from outside its cell. The runner only guarantees determinism
+// for results keyed by cell index; per-cell collectors merged in index order
+// inherit that guarantee.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/solver/cg"
+	"repro/internal/solver/jacobi"
+	"repro/internal/trace"
+)
+
+// Collector owns one cell's observability state: a private metrics registry
+// and span log to hand to that cell's run configuration.
+type Collector struct {
+	Metrics *metrics.Registry
+	Trace   *trace.Log
+}
+
+// NewCollector allocates a fresh collector for one cell.
+func NewCollector() *Collector {
+	return &Collector{Metrics: metrics.New(), Trace: trace.New()}
+}
+
+// Finish freezes the collector into an immutable cell profile.
+func (c *Collector) Finish(label string, end sim.Time) CellProfile {
+	return CellProfile{
+		Label:   label,
+		End:     end,
+		Metrics: c.Metrics.Snapshot(),
+		Spans:   c.Trace.Sorted(),
+	}
+}
+
+// CellProfile is one cell's frozen observability record.
+type CellProfile struct {
+	Label string
+	// End is the cell's final virtual time — the attribution horizon.
+	End sim.Time
+	// Notes carry the cell's headline measurements (latency, bandwidth,
+	// per-iteration time), rendered above the analysis tables.
+	Notes   []string
+	Metrics metrics.Snapshot
+	Spans   []trace.Span
+}
+
+// RunProfile is a full profiling run: an ordered set of cell profiles.
+type RunProfile struct {
+	Title string
+	Cells []CellProfile
+}
+
+// Merged returns the cells' metrics merged in index order (counters and
+// histograms sum, gauges keep their high-water mark).
+func (rp *RunProfile) Merged() metrics.Snapshot {
+	snaps := make([]metrics.Snapshot, len(rp.Cells))
+	for i, c := range rp.Cells {
+		snaps[i] = c.Metrics
+	}
+	return metrics.Merge(snaps...)
+}
+
+// Render formats the full text report: per cell the headline notes, the
+// critical path, the per-rank time attribution, and the communication
+// matrix; then the merged metrics. Everything derives from virtual time and
+// name-sorted instruments, so the report is byte-stable.
+func (rp *RunProfile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==== uniconn-prof: %s ====\n", rp.Title)
+	for _, c := range rp.Cells {
+		fmt.Fprintf(&b, "\n== cell %s (end %s) ==\n", c.Label, sim.Duration(c.End))
+		for _, n := range c.Notes {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+		if len(c.Spans) == 0 {
+			b.WriteString("(no spans recorded)\n")
+			continue
+		}
+		b.WriteString(trace.CriticalPath(c.Spans).Render())
+		b.WriteString("per-rank attribution:\n")
+		b.WriteString(trace.RenderBreakdown(trace.Attribute(c.Spans, c.End)))
+		if m := trace.BuildCommMatrix(c.Spans); m.N > 0 {
+			b.WriteString("comm matrix (bytes(msgs), src row x dst col):\n")
+			b.WriteString(m.Render())
+		}
+	}
+	merged := rp.Merged()
+	fmt.Fprintf(&b, "\n== merged metrics (%d cells) ==\n", len(rp.Cells))
+	if merged.Empty() {
+		b.WriteString("(metrics disabled or empty)\n")
+	} else {
+		b.WriteString(merged.Render())
+	}
+	return b.String()
+}
+
+// WriteReport writes the text report.
+func (rp *RunProfile) WriteReport(w io.Writer) error {
+	_, err := io.WriteString(w, rp.Render())
+	return err
+}
+
+// WriteMetricsJSON writes the merged metrics snapshot as deterministic JSON.
+func (rp *RunProfile) WriteMetricsJSON(w io.Writer) error {
+	return rp.Merged().WriteJSON(w)
+}
+
+// WriteChromeTrace writes every cell's spans as one Chrome trace-event file,
+// one process per cell in index order.
+func (rp *RunProfile) WriteChromeTrace(w io.Writer) error {
+	cells := make([]trace.ChromeCell, len(rp.Cells))
+	for i, c := range rp.Cells {
+		cells[i] = trace.ChromeCell{Name: c.Label, Spans: c.Spans}
+	}
+	return trace.WriteChromeCells(w, cells)
+}
+
+// ProfileNet profiles the latency and bandwidth microbenchmarks of one
+// configuration over a size sweep: two cells per size (latency, bandwidth),
+// each with its own collector, fanned out over the sweep runner.
+func ProfileNet(base NetConfig, sizes []int64) (*RunProfile, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("bench: ProfileNet needs at least one size")
+	}
+	profs, err := Sweep(2*len(sizes), func(i int) (CellProfile, error) {
+		size := sizes[i/2]
+		col := NewCollector()
+		cfg := base
+		cfg.Bytes = size
+		cfg.Metrics, cfg.Trace = col.Metrics, col.Trace
+		if i%2 == 0 {
+			lat, rep, err := LatencyRun(cfg)
+			if err != nil {
+				return CellProfile{}, err
+			}
+			cp := col.Finish(fmt.Sprintf("latency/%dB", size), rep.End)
+			cp.Notes = append(cp.Notes, fmt.Sprintf("one-way latency %s", lat))
+			return cp, nil
+		}
+		bw, rep, err := BandwidthRun(cfg)
+		if err != nil {
+			return CellProfile{}, err
+		}
+		cp := col.Finish(fmt.Sprintf("bandwidth/%dB", size), rep.End)
+		cp.Notes = append(cp.Notes, fmt.Sprintf("bandwidth %.4f GB/s", bw/1e9))
+		return cp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	where := "intra-node"
+	if base.Inter {
+		where = "inter-node"
+	}
+	impl := "uniconn"
+	if base.Native {
+		impl = "native"
+	}
+	return &RunProfile{
+		Title: fmt.Sprintf("net %s %s %s %s (%d sizes)",
+			base.Model.Name, base.Backend, impl, where, len(sizes)),
+		Cells: profs,
+	}, nil
+}
+
+// ProfileJacobi profiles one Jacobi run as a single cell.
+func ProfileJacobi(cfg jacobi.Config) (*RunProfile, error) {
+	col := NewCollector()
+	cfg.Metrics, cfg.Trace = col.Metrics, col.Trace
+	res, err := jacobi.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cp := col.Finish(fmt.Sprintf("jacobi/%dgpu", cfg.NGPUs), res.End)
+	cp.Notes = append(cp.Notes,
+		fmt.Sprintf("per-iteration %s over %d iterations (total %s)",
+			res.PerIter, cfg.Iters, res.Total))
+	return &RunProfile{
+		Title: fmt.Sprintf("jacobi %s %s %dx%d on %d GPUs",
+			cfg.Model.Name, cfg.Variant, cfg.NX, cfg.NY, cfg.NGPUs),
+		Cells: []CellProfile{cp},
+	}, nil
+}
+
+// ProfileCG profiles one CG run as a single cell.
+func ProfileCG(cfg cg.Config) (*RunProfile, error) {
+	col := NewCollector()
+	cfg.Metrics, cfg.Trace = col.Metrics, col.Trace
+	res, err := cg.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cp := col.Finish(fmt.Sprintf("cg/%dgpu", cfg.NGPUs), res.End)
+	cp.Notes = append(cp.Notes,
+		fmt.Sprintf("per-iteration %s over %d iterations (total %s)",
+			res.PerIter, cfg.Iters, res.Total))
+	return &RunProfile{
+		Title: fmt.Sprintf("cg %s %s %d rows on %d GPUs",
+			cfg.Model.Name, cfg.Variant, cfg.Matrix.Rows, cfg.NGPUs),
+		Cells: []CellProfile{cp},
+	}, nil
+}
+
+// ChaosSweepProfiled is ChaosSweep with one Collector per severity cell,
+// returning the per-cell profiles alongside the points. The latency run of
+// each severity is profiled (the bandwidth run reuses the plan but records
+// nothing, as in ChaosSweep).
+func ChaosSweepProfiled(cfg NetConfig, severities []float64, planFor func(severity float64) *faults.Plan) ([]ChaosPoint, []CellProfile, error) {
+	if planFor == nil {
+		path := cfg.FaultedPath()
+		planFor = func(s float64) *faults.Plan { return faults.Degrade(path, s) }
+	}
+	type cellResult struct {
+		pt   ChaosPoint
+		prof CellProfile
+		err  error
+	}
+	results, _ := Sweep(len(severities), func(i int) (cellResult, error) {
+		sev := severities[i]
+		col := NewCollector()
+		run := cfg
+		run.Faults = planFor(sev)
+		run.Metrics, run.Trace = col.Metrics, col.Trace
+		lat, rep, err := LatencyRun(run)
+		if err != nil {
+			return cellResult{err: fmt.Errorf("chaos severity %g: latency: %w", sev, err)}, nil
+		}
+		pt := ChaosPoint{Severity: sev, Latency: lat}
+		for _, s := range run.Trace.Filter(trace.KindTransfer) {
+			pt.Transfers++
+			pt.TransferBytes += s.Bytes
+		}
+		prof := col.Finish(fmt.Sprintf("severity/%g", sev), rep.End)
+		prof.Notes = append(prof.Notes, fmt.Sprintf("one-way latency %s", lat))
+		run.Metrics, run.Trace = nil, nil // bandwidth run is unprofiled
+		if pt.Bandwidth, err = Bandwidth(run); err != nil {
+			return cellResult{err: fmt.Errorf("chaos severity %g: bandwidth: %w", sev, err)}, nil
+		}
+		return cellResult{pt: pt, prof: prof}, nil
+	})
+	points := make([]ChaosPoint, 0, len(severities))
+	profs := make([]CellProfile, 0, len(severities))
+	for _, r := range results {
+		if r.err != nil {
+			return points, profs, r.err
+		}
+		points = append(points, r.pt)
+		profs = append(profs, r.prof)
+	}
+	return points, profs, nil
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// profileOutputs runs a small multi-cell net profile and returns all three
+// rendered artifacts (report, metrics JSON, Chrome trace).
+func profileOutputs(t *testing.T) (report, metricsJSON, chromeTrace string) {
+	t.Helper()
+	rp, err := ProfileNet(NetConfig{
+		Model: machine.Perlmutter(), Backend: core.MPIBackend,
+		API: machine.APIHost, Native: true,
+	}, []int64{8, 64, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep, js, tr strings.Builder
+	if err := rp.WriteReport(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.WriteMetricsJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.WriteChromeTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	return rep.String(), js.String(), tr.String()
+}
+
+// TestProfileDeterministicAcrossWorkers is the uniconn-prof acceptance test:
+// every artifact is byte-identical at 1 and 8 sweep workers. Run under -race
+// it also proves the per-cell collector ownership rule holds (no shared
+// observability state between worker goroutines).
+func TestProfileDeterministicAcrossWorkers(t *testing.T) {
+	t.Setenv(WorkersEnv, "1")
+	rep1, js1, tr1 := profileOutputs(t)
+	t.Setenv(WorkersEnv, "8")
+	rep8, js8, tr8 := profileOutputs(t)
+	if rep1 != rep8 {
+		t.Errorf("report differs between 1 and 8 workers:\n--- w1 ---\n%s\n--- w8 ---\n%s", rep1, rep8)
+	}
+	if js1 != js8 {
+		t.Errorf("metrics JSON differs between 1 and 8 workers")
+	}
+	if tr1 != tr8 {
+		t.Errorf("chrome trace differs between 1 and 8 workers")
+	}
+	if !strings.Contains(rep1, "critical path:") || !strings.Contains(rep1, "per-rank attribution:") {
+		t.Errorf("report is missing its analysis sections:\n%s", rep1)
+	}
+}
+
+// TestProfileAttributionSums checks the acceptance invariant: per rank,
+// compute + intra + inter + blocked == the cell's total virtual time,
+// exactly.
+func TestProfileAttributionSums(t *testing.T) {
+	rp, err := ProfileNet(NetConfig{
+		Model: machine.Perlmutter(), Backend: core.GpucclBackend,
+		API: machine.APIHost, Native: true, Inter: true,
+	}, []int64{64, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range rp.Cells {
+		rows := trace.Attribute(cell.Spans, cell.End)
+		if len(rows) == 0 {
+			t.Fatalf("cell %s: no attribution rows", cell.Label)
+		}
+		for _, r := range rows {
+			sum := r.Compute + r.Intra + r.Inter + r.Blocked
+			if sum != r.Total {
+				t.Errorf("cell %s rank %d: attribution parts sum to %v, total %v",
+					cell.Label, r.Rank, sum, r.Total)
+			}
+			if r.Total != sim.Duration(cell.End) {
+				t.Errorf("cell %s rank %d: total %v != cell end %v",
+					cell.Label, r.Rank, r.Total, sim.Duration(cell.End))
+			}
+		}
+	}
+}
+
+// TestProfileMetricsPopulated checks the registry actually observed the run:
+// the merged snapshot counts the sends and transfers the trace saw.
+func TestProfileMetricsPopulated(t *testing.T) {
+	rp, err := ProfileNet(NetConfig{
+		Model: machine.Perlmutter(), Backend: core.MPIBackend,
+		API: machine.APIHost, Native: true,
+	}, []int64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := rp.Merged()
+	for _, name := range []string{"sim.events", "mpi.sends.eager", "fabric.intra.transfers"} {
+		found := false
+		for _, c := range merged.Counters {
+			if c.Name == name {
+				found = c.Value > 0
+				break
+			}
+		}
+		if !found {
+			t.Errorf("merged metrics missing (or zero) counter %s:\n%s", name, merged.Render())
+		}
+	}
+}
+
+// TestProfileGoldenReport pins the small Fig-2 cell report that CI's
+// prof-smoke step diffs: `uniconn-prof -native -min 8 -max 8` must keep
+// producing exactly these bytes. Regenerate with:
+//
+//	go run ./cmd/uniconn-prof -native -min 8 -max 8 > internal/bench/testdata/prof_fig2_small.golden
+func TestProfileGoldenReport(t *testing.T) {
+	rp, err := ProfileNet(NetConfig{
+		Model: machine.Perlmutter(), Backend: core.MPIBackend,
+		API: machine.APIHost, Native: true,
+	}, Sizes(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "prof_fig2_small.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rp.Render(); got != string(want) {
+		t.Errorf("report drifted from golden (regenerate if intended):\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}
+
+// TestChaosSweepProfiled checks the profiled chaos sweep matches the plain
+// one point-for-point and yields one frozen profile per severity.
+func TestChaosSweepProfiled(t *testing.T) {
+	cfg := NetConfig{Model: machine.Perlmutter(), Backend: core.MPIBackend,
+		API: machine.APIHost, Native: true, Inter: true, Bytes: 8192}
+	sev := []float64{0, 0.5}
+	plain, err := ChaosSweep(cfg, sev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, profs, err := ChaosSweepProfiled(cfg, sev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(plain) || len(profs) != len(sev) {
+		t.Fatalf("got %d points, %d profiles; want %d of each", len(points), len(profs), len(sev))
+	}
+	for i := range plain {
+		if points[i] != plain[i] {
+			t.Errorf("severity %g: profiled point %+v != plain %+v", sev[i], points[i], plain[i])
+		}
+		if profs[i].End == 0 || len(profs[i].Spans) == 0 || profs[i].Metrics.Empty() {
+			t.Errorf("severity %g: profile not populated: end=%v spans=%d",
+				sev[i], profs[i].End, len(profs[i].Spans))
+		}
+	}
+}

@@ -18,7 +18,17 @@ package bench
 //   - UNICONN_WORKERS=1 (or NewRunner(1)) degrades to a plain loop on the
 //     calling goroutine, the escape hatch for debugging.
 //
-// See DESIGN.md §8 for the full determinism argument.
+// Observability ownership rule: trace logs and metrics registries are
+// single-engine state with no internal locking. A cell that records spans or
+// counters must allocate its own trace.Log / metrics.Registry (one Collector,
+// see profile.go) inside its cell function, write results only to its own
+// index, and freeze them (Snapshot / Sorted) before returning. Collected
+// cells are then merged in index order by the caller, which keeps profiling
+// output bit-identical to serial execution. Sharing a log or registry across
+// cells is a data race AND a determinism bug — never do it.
+//
+// See DESIGN.md §8 for the full determinism argument and §10 for the
+// observability layer built on this rule.
 
 import (
 	"os"

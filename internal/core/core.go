@@ -32,6 +32,7 @@ import (
 	"repro/internal/gpuccl"
 	"repro/internal/gpushmem"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -89,6 +90,12 @@ type Config struct {
 	// internal/faults). A run that exceeds the plan's watchdog returns a
 	// *sim.TimeoutError.
 	Faults *faults.Plan
+	// Metrics, when non-nil, collects scheduler, fabric, protocol, and
+	// fault counters for the run (see internal/metrics). Disabled (nil) by
+	// default; the registry must not be shared between concurrent runs —
+	// one registry per run, merged afterwards (see internal/bench/runner.go
+	// for the sweep ownership rule).
+	Metrics *metrics.Registry
 }
 
 // Validate reports whether the configuration is runnable.
@@ -145,6 +152,11 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 	if cfg.Trace != nil {
 		job.cluster.SetTrace(cfg.Trace)
 	}
+	// Metrics must be installed before the backend worlds are built: worlds
+	// resolve their instruments from cluster.Metrics at construction.
+	if cfg.Metrics != nil {
+		job.cluster.SetMetrics(cfg.Metrics)
+	}
 	if f := cfg.Faults; f != nil {
 		job.cluster.Fabric.LinkFault = f.LinkCostAt
 		f.ApplyStalls(job.cluster.Fabric)
@@ -177,6 +189,9 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 		return rep, err
 	}
 	rep.End = eng.Now()
+	if cfg.Metrics != nil {
+		job.cluster.Fabric.PublishOccupancy(cfg.Metrics, rep.End)
+	}
 	return rep, nil
 }
 

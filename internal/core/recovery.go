@@ -56,7 +56,8 @@ func (j *Job) scheduleHardFaults(f *faults.Plan) {
 		}
 		j.eng.After(sim.Duration(cr.At), func() { j.crashRank(cr.Rank) })
 		detect := DetectAt(cr.At, lease)
-		j.eng.After(sim.Duration(detect), func() { j.declareFailed(cr.Rank, detect) })
+		latency := detect.Sub(sim.Time(cr.At))
+		j.eng.After(sim.Duration(detect), func() { j.declareFailed(cr.Rank, detect, latency) })
 	}
 }
 
@@ -66,17 +67,23 @@ func (j *Job) crashRank(rank int) {
 		return
 	}
 	j.crashed[rank] = true
+	j.cfg.Metrics.Counter("core.crashes").Inc()
 	j.rankProcs[rank].Kill()
 	j.cluster.Devices[rank].Crash()
 }
 
 // declareFailed records the failure (bumping the epoch) and delivers the
-// typed error to every live process.
-func (j *Job) declareFailed(rank int, at sim.Time) {
+// typed error to every live process. latency is the detector's crash-to-
+// declaration delay, observed into the detect-latency histogram.
+func (j *Job) declareFailed(rank int, at sim.Time, latency sim.Duration) {
 	if j.failed[rank] {
 		return
 	}
 	j.failed[rank] = true
+	if r := j.cfg.Metrics; r != nil {
+		r.Counter("core.failures").Inc()
+		r.Histogram("core.detect.latency_ns").Observe(int64(latency))
+	}
 	ferr := &sim.RankFailedError{Rank: rank, At: at}
 	j.failures = append(j.failures, ferr)
 	j.eng.InterruptAll(ferr)

@@ -97,6 +97,9 @@ type Fabric struct {
 	downs         []downLink
 	failover      map[Path]Failover
 	failoverCount int
+
+	// m holds pre-resolved metrics instruments (SetMetrics); nil disables.
+	m *fabricMetrics
 }
 
 // New builds the fabric for a cluster configuration.
@@ -185,7 +188,11 @@ func (f *Fabric) routePorts(src, dst int, path Path) []*sim.Timeline {
 func (f *Fabric) Transfer(at sim.Time, src, dst int, bytes int64, cost LinkCost) sim.Time {
 	path := f.PathBetween(src, dst)
 	if f.LinkFault != nil {
+		healthy := cost
 		cost = f.LinkFault(at, src, dst, path, cost)
+		if f.m != nil && cost != healthy {
+			f.m.faulted.Inc()
+		}
 	}
 	track := path.String()
 	if len(f.downs) > 0 && f.LinkDownAt(at, src, dst, path) {
@@ -194,14 +201,23 @@ func (f *Fabric) Transfer(at sim.Time, src, dst int, bytes int64, cost LinkCost)
 		// through them) but the transfer pays the failover cost.
 		cost = f.failover[path].apply(cost)
 		f.failoverCount++
+		if f.m != nil {
+			f.m.failover.Inc()
+		}
 		track = track + "+failover"
 	}
 	start, end := sim.ReserveMulti(at, cost.Duration(bytes), f.routePorts(src, dst, path)...)
 	arrive := end.Add(cost.Latency)
+	if f.m != nil {
+		f.m.xfers[path].Inc()
+		f.m.bytes[path].Add(bytes)
+		f.m.wait[path].Add(int64(start.Sub(at)))
+	}
 	f.Trace.Add(trace.Span{
 		Kind:  trace.KindTransfer,
 		Label: fmt.Sprintf("gpu%d->gpu%d", src, dst),
 		Track: track,
+		Rank:  src, Src: src, Dst: dst,
 		Start: start, End: arrive, Bytes: bytes,
 	})
 	return arrive
@@ -226,6 +242,9 @@ func (f *Fabric) TryTransfer(at sim.Time, src, dst int, bytes int64, cost LinkCo
 	path := f.PathBetween(src, dst)
 	for _, tl := range f.routePorts(src, dst, path) {
 		if until, stalled := tl.StalledAt(at); stalled {
+			if f.m != nil {
+				f.m.stalls.Inc()
+			}
 			return 0, &StallError{Port: tl.Label(), Until: until}
 		}
 	}

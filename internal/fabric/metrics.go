@@ -1,0 +1,75 @@
+package fabric
+
+// Fabric metrics: per-path traffic counters resolved once at SetMetrics so
+// the Transfer hot path pays one nil check when disabled. Occupancy is a
+// derived quantity (busy time / horizon), published once at end of run via
+// PublishOccupancy rather than maintained per transfer.
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// fabricMetrics holds the fabric's pre-resolved instruments, indexed by Path
+// where per-path. nil means disabled.
+type fabricMetrics struct {
+	bytes    [3]*metrics.Counter // payload bytes booked, by path
+	xfers    [3]*metrics.Counter // transfers booked, by path
+	wait     [3]*metrics.Counter // contention wait (ns queued behind earlier reservations), by path
+	faulted  *metrics.Counter    // transfers whose cost a LinkFault hook changed
+	failover *metrics.Counter    // transfers rerouted around a dead link
+	stalls   *metrics.Counter    // TryTransfer rejections by stall windows
+}
+
+// SetMetrics installs a registry on the fabric; nil disables collection.
+func (f *Fabric) SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		f.m = nil
+		return
+	}
+	m := &fabricMetrics{
+		faulted:  r.Counter("fabric.faulted"),
+		failover: r.Counter("fabric.failover"),
+		stalls:   r.Counter("fabric.stalls"),
+	}
+	for _, p := range []Path{PathSelf, PathIntra, PathInter} {
+		m.bytes[p] = r.Counter("fabric." + p.String() + ".bytes")
+		m.xfers[p] = r.Counter("fabric." + p.String() + ".transfers")
+		m.wait[p] = r.Counter("fabric." + p.String() + ".wait_ns")
+	}
+	f.m = m
+}
+
+// PublishOccupancy records each port's cumulative busy fraction of the run
+// horizon as gauges ("fabric.occ.<port>"), plus the per-class maxima
+// ("fabric.occ.max.gpu" / ".nic"). Call once after the simulation finishes;
+// a nil registry, nil fabric, or zero horizon publishes nothing.
+func (f *Fabric) PublishOccupancy(r *metrics.Registry, end sim.Time) {
+	if f == nil || r == nil || end <= 0 {
+		return
+	}
+	occ := func(tl *sim.Timeline) float64 {
+		return float64(tl.BusySum()) / float64(end)
+	}
+	maxGPU, maxNIC := 0.0, 0.0
+	for _, ports := range [][]*sim.Timeline{f.egress, f.ingress} {
+		for _, tl := range ports {
+			v := occ(tl)
+			r.Gauge("fabric.occ." + tl.Label()).Set(v)
+			if v > maxGPU {
+				maxGPU = v
+			}
+		}
+	}
+	for _, ports := range [][]*sim.Timeline{f.nicOut, f.nicIn} {
+		for _, tl := range ports {
+			v := occ(tl)
+			r.Gauge("fabric.occ." + tl.Label()).Set(v)
+			if v > maxNIC {
+				maxNIC = v
+			}
+		}
+	}
+	r.Gauge("fabric.occ.max.gpu").Set(maxGPU)
+	r.Gauge("fabric.occ.max.nic").Set(maxNIC)
+}

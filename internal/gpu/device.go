@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -26,6 +27,15 @@ type Cluster struct {
 	// internal/faults). It must return >= 1 for degradation, 1 when
 	// healthy.
 	ComputeFault func(at sim.Time, rank int) float64
+
+	// Metrics, when non-nil, is the run's metrics registry (set it with
+	// SetMetrics so the engine and fabric are instrumented too). Backends
+	// resolve their instruments from it at construction.
+	Metrics *metrics.Registry
+
+	mSlowed   *metrics.Counter // kernels stretched by a slow-rank fault
+	mKernels  *metrics.Counter
+	mStreamOp *metrics.Counter
 }
 
 // computeScale resolves the compute-time multiplier for a device now.
@@ -43,6 +53,17 @@ func (c *Cluster) computeScale(at sim.Time, rank int) float64 {
 func (c *Cluster) SetTrace(l *trace.Log) {
 	c.Trace = l
 	c.Fabric.Trace = l
+}
+
+// SetMetrics installs a metrics registry on the cluster, its engine, and
+// its fabric; nil disables collection (the default).
+func (c *Cluster) SetMetrics(r *metrics.Registry) {
+	c.Metrics = r
+	c.Eng.SetMetrics(r)
+	c.Fabric.SetMetrics(r)
+	c.mSlowed = r.Counter("gpu.kernels.slowed")
+	c.mKernels = r.Counter("gpu.kernels")
+	c.mStreamOp = r.Counter("gpu.stream_ops")
 }
 
 // NewCluster creates nGPUs devices packed onto nodes per the machine model.
@@ -147,8 +168,10 @@ func (s *Stream) run(p *sim.Proc) {
 		if err := sim.Protect(func() { op.run(p) }); err != nil && s.aborted == nil {
 			s.aborted = err
 		}
+		s.dev.cluster.mStreamOp.Inc()
 		s.dev.cluster.Trace.Add(trace.Span{
 			Kind: trace.KindStreamOp, Label: op.label, Track: s.name,
+			Rank: s.dev.ID, Src: s.dev.ID, Dst: s.dev.ID,
 			Start: start, End: p.Now(),
 		})
 		s.completed.Add(p.Engine(), 1)
@@ -260,12 +283,14 @@ func (d *Device) scaleCompute(at sim.Time, dur sim.Duration) sim.Duration {
 	if f == 1 {
 		return dur
 	}
+	d.cluster.mSlowed.Inc()
 	return sim.Duration(float64(dur) * f)
 }
 
 // Launch enqueues the kernel on the stream, charging the host the kernel
 // launch overhead. It returns immediately (asynchronous, like CUDA).
 func (s *Stream) Launch(host *sim.Proc, k *Kernel, args any) {
+	s.dev.cluster.mKernels.Inc()
 	host.Advance(s.dev.Model().GPU.KernelLaunch)
 	s.Enqueue("kernel "+k.Name, func(p *sim.Proc) {
 		ctx := &KernelCtx{P: p, Dev: s.dev, Stream: s, Kern: k, Args: args}

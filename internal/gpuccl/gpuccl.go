@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,36 @@ type World struct {
 	// communicator handle, so operations on sub-communicators fuse into
 	// the same group.
 	groups []*groupCtx
+
+	// mColl holds per-operation-class virtual-time histograms
+	// ("gpuccl.coll.<class>", in ns), resolved at construction from the
+	// cluster's registry; nil (disabled) when no registry is installed.
+	mColl map[string]*metrics.Histogram
+}
+
+// opClasses are the known operation labels, reduced to their leading
+// letters ("send->3" and "recv<-1" class as "send"/"recv").
+var opClasses = []string{
+	"allreduce", "reduce", "broadcast", "allgather", "reducescatter", "send", "recv",
+}
+
+// opClass reduces an op label to its class: the leading lowercase-letter run.
+func opClass(label string) string {
+	for i := 0; i < len(label); i++ {
+		if label[i] < 'a' || label[i] > 'z' {
+			return label[:i]
+		}
+	}
+	return label
+}
+
+// collHist resolves the timing histogram for one op label, nil when metrics
+// are disabled (or the class is unknown).
+func (w *World) collHist(label string) *metrics.Histogram {
+	if w.mColl == nil {
+		return nil
+	}
+	return w.mColl[opClass(label)]
 }
 
 // groupCtx is one rank's group-aggregation state.
@@ -87,6 +118,12 @@ func NewWorld(cluster *gpu.Cluster) *World {
 	for i, dev := range cluster.Devices {
 		w.comms = append(w.comms, &Comm{w: w, rank: i, dev: dev})
 		w.groups = append(w.groups, &groupCtx{})
+	}
+	if r := cluster.Metrics; r != nil {
+		w.mColl = make(map[string]*metrics.Histogram, len(opClasses))
+		for _, class := range opClasses {
+			w.mColl[class] = r.Histogram("gpuccl.coll." + class)
+		}
 	}
 	return w
 }
@@ -195,6 +232,14 @@ func (c *Comm) GroupEnd(p *sim.Proc, s *gpu.Stream) {
 // GroupEnd.
 func (c *Comm) submit(p *sim.Proc, s *gpu.Stream, o op) {
 	p.Advance(c.profile().CallOverhead)
+	if h := c.w.collHist(o.label); h != nil {
+		run := o.run
+		o.run = func(sp *sim.Proc) {
+			start := sp.Now()
+			run(sp)
+			h.Observe(int64(sp.Now().Sub(start)))
+		}
+	}
 	if g := c.group(); g.depth > 0 {
 		g.pending = append(g.pending, pendingOp{o: o, s: s})
 		return

@@ -94,6 +94,10 @@ func log2Ceil(n int) int {
 // barrierBody implements barrier_all as a dissemination exchange of empty
 // messages.
 func (pe *PE) barrierBody(p *sim.Proc, key instKey, api machine.API) {
+	if h := pe.w.collHist(key.kind); h != nil {
+		start := p.Now()
+		defer func() { h.Observe(int64(p.Now().Sub(start))) }()
+	}
 	inst := pe.instanceFor(key)
 	inst.arrive(p, pe, gpu.View{}, gpu.View{}, key, nil)
 	n := pe.Size()
@@ -104,6 +108,10 @@ func (pe *PE) barrierBody(p *sim.Proc, key instKey, api machine.API) {
 
 // allReduceBody: recursive-doubling timing, deterministic rank-ordered data.
 func (pe *PE) allReduceBody(p *sim.Proc, key instKey, send, recv gpu.View, opr gpu.ReduceOp, api machine.API) {
+	if h := pe.w.collHist(key.kind); h != nil {
+		start := p.Now()
+		defer func() { h.Observe(int64(p.Now().Sub(start))) }()
+	}
 	inst := pe.instanceFor(key)
 	count := send.Len()
 	n := pe.Size()
@@ -130,6 +138,10 @@ func (pe *PE) allReduceBody(p *sim.Proc, key instKey, send, recv gpu.View, opr g
 
 // broadcastBody: the root puts to every PE; others wait.
 func (pe *PE) broadcastBody(p *sim.Proc, key instKey, buf gpu.View, root int, api machine.API) {
+	if h := pe.w.collHist(key.kind); h != nil {
+		start := p.Now()
+		defer func() { h.Observe(int64(p.Now().Sub(start))) }()
+	}
 	inst := pe.instanceFor(key)
 	n := pe.Size()
 	inst.arrive(p, pe, buf, buf, key, func(inst *collInst) {
@@ -164,6 +176,10 @@ func (pe *PE) broadcastBody(p *sim.Proc, key instKey, buf gpu.View, root int, ap
 // each PE puts its contribution into every other PE's recv buffer at its
 // displacement, then all synchronize.
 func (pe *PE) allGathervBody(p *sim.Proc, key instKey, send, recv gpu.View, counts, displs []int, api machine.API) {
+	if h := pe.w.collHist(key.kind); h != nil {
+		start := p.Now()
+		defer func() { h.Observe(int64(p.Now().Sub(start))) }()
+	}
 	inst := pe.instanceFor(key)
 	n := pe.Size()
 	me := pe.rank

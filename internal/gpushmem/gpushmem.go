@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -99,6 +100,27 @@ type World struct {
 	splits     map[instKey]*splitInst
 	shrinks    map[instKey]*shrinkInst
 	nextTeamID uint64
+
+	// mColl holds per-kind collective timing histograms
+	// ("gpushmem.coll.<kind>", in ns, kinds as in devKey/hostKey), resolved
+	// at construction; nil when metrics are disabled.
+	mColl map[string]*metrics.Histogram
+}
+
+// collKinds are the instKey kinds of the host- and device-initiated
+// collectives.
+var collKinds = []string{
+	"d-barrier", "d-allreduce", "d-broadcast", "d-allgatherv",
+	"h-barrier", "h-allreduce", "h-broadcast", "h-allgatherv",
+}
+
+// collHist resolves the timing histogram for one collective kind, nil when
+// metrics are disabled.
+func (w *World) collHist(kind string) *metrics.Histogram {
+	if w.mColl == nil {
+		return nil
+	}
+	return w.mColl[kind]
 }
 
 // NewWorld initializes the library over the cluster. It panics if the
@@ -120,6 +142,12 @@ func NewWorld(cluster *gpu.Cluster) *World {
 			issued:    sim.NewCounter(fmt.Sprintf("pe%d.issued", i), 0),
 			completed: sim.NewCounter(fmt.Sprintf("pe%d.completed", i), 0),
 		})
+	}
+	if r := cluster.Metrics; r != nil {
+		w.mColl = make(map[string]*metrics.Histogram, len(collKinds))
+		for _, kind := range collKinds {
+			w.mColl[kind] = r.Histogram("gpushmem.coll." + kind)
+		}
 	}
 	return w
 }

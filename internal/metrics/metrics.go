@@ -1,0 +1,443 @@
+// Package metrics is the seed-deterministic metrics registry of the
+// simulated stack: counters, gauges, and virtual-time histograms that the
+// engine, fabric, and communication backends update as a run executes.
+//
+// Design constraints, in order:
+//
+//   - Zero overhead when disabled. A nil *Registry is the disabled registry
+//     and every instrument handle it hands out is nil; all methods are
+//     nil-safe no-ops, so instrumentation sites need no conditionals and the
+//     sim hot path (Proc.Advance) stays zero-alloc — pinned by
+//     sim.TestAdvanceAllocationGuard.
+//   - Deterministic output. Values depend only on virtual-time events, never
+//     wall clock; snapshots sort by name, so identical runs render identical
+//     bytes at any worker count. Per-cell registries of a parallel sweep are
+//     merged in cell-index order (see internal/bench/runner.go for the
+//     ownership rule).
+//   - No dependencies beyond the standard library, so every layer (including
+//     internal/sim) can import it without cycles. Durations are observed as
+//     plain int64 nanoseconds for the same reason.
+//
+// Instruments are resolved by name (Counter/Gauge/Histogram); resolving the
+// same name twice returns the same instrument. Hot paths resolve their
+// handles once at setup and keep the pointer.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing int64. The nil counter discards
+// updates.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (negative n is ignored: counters only go
+// up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v += n
+}
+
+// Value reports the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last/extremum-valued float64. The nil gauge discards updates.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v, g.set = v, true
+}
+
+// Max raises the gauge to v if v exceeds the current value (or the gauge is
+// unset). Used for high-water marks such as queue depths.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	if !g.set || v > g.v {
+		g.v, g.set = v, true
+	}
+}
+
+// Value reports the gauge value and whether it was ever set.
+func (g *Gauge) Value() (float64, bool) {
+	if g == nil {
+		return 0, false
+	}
+	return g.v, g.set
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i)
+// (bucket 0 counts zeros). 64 buckets cover every non-negative int64.
+const histBuckets = 65
+
+// Histogram accumulates non-negative int64 observations (virtual-time
+// nanoseconds by convention) into power-of-two buckets plus count/sum/
+// min/max. The nil histogram discards updates.
+type Histogram struct {
+	count    int64
+	sum      int64
+	min, max int64
+	buckets  [histBuckets]int64
+}
+
+// Observe records one value; negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// Count reports the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum reports the total of all observations (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry resolves instruments by name. The nil registry is the disabled
+// registry: it resolves every name to a nil instrument.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an enabled, empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter resolves (creating if needed) the named counter; nil on the nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge resolves the named gauge; nil on the nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram resolves the named histogram; nil on the nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one set gauge in a snapshot (unset gauges are omitted).
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistValue is one histogram in a snapshot. Buckets lists only the occupied
+// power-of-two buckets as (upper-bound exponent, count) pairs, smallest
+// first.
+type HistValue struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one occupied histogram bucket: Count observations v with
+// bits.Len64(v) == Exp (so v < 2^Exp, and v >= 2^(Exp-1) for Exp > 0).
+type HistBucket struct {
+	Exp   int   `json:"exp"`
+	Count int64 `json:"count"`
+}
+
+// Mean reports the histogram's average observation (0 when empty).
+func (h HistValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by name within each
+// instrument kind, so rendering and marshalling are deterministic.
+type Snapshot struct {
+	Counters   []CounterValue `json:"counters"`
+	Gauges     []GaugeValue   `json:"gauges"`
+	Histograms []HistValue    `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. A nil registry snapshots
+// empty.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.v})
+	}
+	for name, g := range r.gauges {
+		if g.set {
+			s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.v})
+		}
+	}
+	for name, h := range r.hists {
+		if h.count == 0 {
+			continue
+		}
+		hv := HistValue{Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		for exp, n := range h.buckets {
+			if n > 0 {
+				hv.Buckets = append(hv.Buckets, HistBucket{Exp: exp, Count: n})
+			}
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	s.sort()
+	return s
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+}
+
+// Merge combines snapshots in argument order: counters and histograms sum;
+// gauges take the maximum (they record extrema such as queue depths and
+// occupancy, where the sweep-wide high-water mark is the meaningful
+// aggregate). Merging in cell-index order keeps parallel-sweep output
+// bit-identical to serial execution.
+func Merge(snaps ...Snapshot) Snapshot {
+	counters := map[string]int64{}
+	gauges := map[string]float64{}
+	gaugeSet := map[string]bool{}
+	hists := map[string]*HistValue{}
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			if !gaugeSet[g.Name] || g.Value > gauges[g.Name] {
+				gauges[g.Name] = g.Value
+			}
+			gaugeSet[g.Name] = true
+		}
+		for _, h := range s.Histograms {
+			acc := hists[h.Name]
+			if acc == nil {
+				cp := h
+				cp.Buckets = append([]HistBucket(nil), h.Buckets...)
+				hists[h.Name] = &cp
+				continue
+			}
+			if h.Min < acc.Min {
+				acc.Min = h.Min
+			}
+			if h.Max > acc.Max {
+				acc.Max = h.Max
+			}
+			acc.Count += h.Count
+			acc.Sum += h.Sum
+			acc.Buckets = mergeBuckets(acc.Buckets, h.Buckets)
+		}
+	}
+	var out Snapshot
+	for name, v := range counters {
+		out.Counters = append(out.Counters, CounterValue{Name: name, Value: v})
+	}
+	for name, v := range gauges {
+		out.Gauges = append(out.Gauges, GaugeValue{Name: name, Value: v})
+	}
+	for _, h := range hists {
+		out.Histograms = append(out.Histograms, *h)
+	}
+	out.sort()
+	return out
+}
+
+// mergeBuckets sums two exponent-sorted bucket lists.
+func mergeBuckets(a, b []HistBucket) []HistBucket {
+	byExp := map[int]int64{}
+	for _, bk := range a {
+		byExp[bk.Exp] += bk.Count
+	}
+	for _, bk := range b {
+		byExp[bk.Exp] += bk.Count
+	}
+	out := make([]HistBucket, 0, len(byExp))
+	for exp, n := range byExp {
+		out = append(out, HistBucket{Exp: exp, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Exp < out[j].Exp })
+	return out
+}
+
+// Filter returns the snapshot restricted to instruments whose name has the
+// given prefix.
+func (s Snapshot) Filter(prefix string) Snapshot {
+	var out Snapshot
+	for _, c := range s.Counters {
+		if strings.HasPrefix(c.Name, prefix) {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if strings.HasPrefix(g.Name, prefix) {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, h := range s.Histograms {
+		if strings.HasPrefix(h.Name, prefix) {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+	return out
+}
+
+// Empty reports whether the snapshot holds no instruments.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Render formats the snapshot as an aligned, sorted text block. Histogram
+// durations are nanosecond totals; the mean is appended for readability.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%-44s %16d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "%-44s %16.6g\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%-44s count=%-8d sum=%-14d min=%-10d max=%-12d mean=%.6g\n",
+			h.Name, h.Count, h.Sum, h.Min, h.Max, h.Mean())
+	}
+	return b.String()
+}
+
+// WriteJSON writes the snapshot as deterministic, indented JSON: fields are
+// struct-ordered and instruments are name-sorted, so identical snapshots
+// produce identical bytes. Hand-rolled (rather than encoding/json) to keep
+// the format stable and free of float round-trip surprises.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n  \"counters\": [")
+	for i, c := range s.Counters {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "\n    {\"name\": %q, \"value\": %d}", c.Name, c.Value)
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("],\n  \"gauges\": [")
+	for i, g := range s.Gauges {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "\n    {\"name\": %q, \"value\": %.17g}", g.Name, g.Value)
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("],\n  \"histograms\": [")
+	for i, h := range s.Histograms {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "\n    {\"name\": %q, \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"buckets\": [",
+			h.Name, h.Count, h.Sum, h.Min, h.Max)
+		for j, bk := range h.Buckets {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "{\"exp\": %d, \"count\": %d}", bk.Exp, bk.Count)
+		}
+		b.WriteString("]}")
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("]\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

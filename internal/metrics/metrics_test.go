@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsDisabled(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must resolve nil instruments, got %v %v %v", c, g, h)
+	}
+	// All nil-instrument methods must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Max(2)
+	h.Observe(3)
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if v, ok := g.Value(); ok || v != 0 {
+		t.Fatal("nil gauge must read unset")
+	}
+	if s := r.Snapshot(); !s.Empty() {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("sim.events")
+	c.Inc()
+	c.Add(9)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	if r.Counter("sim.events") != c {
+		t.Fatal("re-resolving a name must return the same instrument")
+	}
+
+	g := r.Gauge("depth")
+	g.Max(3)
+	g.Max(1)
+	if v, ok := g.Value(); !ok || v != 3 {
+		t.Fatalf("gauge = %v,%v, want 3,true", v, ok)
+	}
+	g.Set(0.5)
+	if v, _ := g.Value(); v != 0.5 {
+		t.Fatalf("gauge after Set = %v, want 0.5", v)
+	}
+
+	h := r.Histogram("lat")
+	for _, v := range []int64{0, 1, 1, 3, 1024, -7} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1029 {
+		t.Fatalf("hist count/sum = %d/%d, want 6/1029", h.Count(), h.Sum())
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := New()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("z").Set(1)
+	r.Gauge("m").Set(2)
+	r.Histogram("h2").Observe(1)
+	r.Histogram("h1").Observe(2)
+	r.Gauge("never-set") // unset gauges are omitted
+
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a" || s.Counters[1].Name != "b" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if len(s.Gauges) != 2 || s.Gauges[0].Name != "m" {
+		t.Fatalf("gauges wrong: %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 2 || s.Histograms[0].Name != "h1" {
+		t.Fatalf("histograms wrong: %+v", s.Histograms)
+	}
+
+	var b1, b2 strings.Builder
+	if err := s.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("repeated snapshots of the same registry must marshal identically")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Counter("c").Add(3)
+	b.Counter("c").Add(4)
+	b.Counter("only-b").Inc()
+	a.Gauge("g").Set(2)
+	b.Gauge("g").Set(5) // max wins
+	a.Histogram("h").Observe(1)
+	a.Histogram("h").Observe(100)
+	b.Histogram("h").Observe(7)
+
+	m := Merge(a.Snapshot(), b.Snapshot())
+	if len(m.Counters) != 2 || m.Counters[0].Value != 7 || m.Counters[1].Value != 1 {
+		t.Fatalf("merged counters wrong: %+v", m.Counters)
+	}
+	if m.Gauges[0].Value != 5 {
+		t.Fatalf("merged gauge = %v, want 5 (max)", m.Gauges[0].Value)
+	}
+	h := m.Histograms[0]
+	if h.Count != 3 || h.Sum != 108 || h.Min != 1 || h.Max != 100 {
+		t.Fatalf("merged histogram wrong: %+v", h)
+	}
+	var total int64
+	for _, bk := range h.Buckets {
+		total += bk.Count
+	}
+	if total != 3 {
+		t.Fatalf("merged buckets sum to %d, want 3", total)
+	}
+
+	// Merge order must not change the result bytes.
+	var s1, s2 strings.Builder
+	Merge(a.Snapshot(), b.Snapshot()).WriteJSON(&s1)
+	Merge(b.Snapshot(), a.Snapshot()).WriteJSON(&s2)
+	if s1.String() != s2.String() {
+		t.Fatal("merge must be order-independent for identical inputs")
+	}
+}
+
+func TestFilterAndRender(t *testing.T) {
+	r := New()
+	r.Counter("mpi.eager").Add(2)
+	r.Counter("sim.events").Add(9)
+	r.Gauge("mpi.matchq.depth").Set(4)
+	r.Histogram("mpi.coll.allreduce").Observe(100)
+
+	s := r.Snapshot().Filter("mpi.")
+	if len(s.Counters) != 1 || len(s.Gauges) != 1 || len(s.Histograms) != 1 {
+		t.Fatalf("filter wrong: %+v", s)
+	}
+	out := s.Render()
+	for _, want := range []string{"mpi.eager", "mpi.matchq.depth", "mpi.coll.allreduce", "mean=100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "sim.events") {
+		t.Fatalf("filter leaked sim.events:\n%s", out)
+	}
+}

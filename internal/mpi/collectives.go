@@ -59,6 +59,7 @@ func (c *Comm) enterColl() {
 // Barrier blocks until every rank of the communicator has entered it
 // (dissemination algorithm: ceil(log2 n) zero-byte rounds).
 func (c *Comm) Barrier(p *sim.Proc) {
+	defer timeColl(p, c.ep.world.mColl.barrier)()
 	c.enterColl()
 	n := c.Size()
 	if n == 1 {
@@ -74,6 +75,7 @@ func (c *Comm) Barrier(p *sim.Proc) {
 
 // Bcast broadcasts root's buf to every rank (binomial tree).
 func (c *Comm) Bcast(p *sim.Proc, buf gpu.View, root int) {
+	defer timeColl(p, c.ep.world.mColl.bcast)()
 	c.enterColl()
 	n := c.Size()
 	if n == 1 {
@@ -110,6 +112,7 @@ func (c *Comm) Bcast(p *sim.Proc, buf gpu.View, root int) {
 // tree). recvBuf may be the zero view on non-root ranks. sendBuf and
 // recvBuf must not alias.
 func (c *Comm) Reduce(p *sim.Proc, sendBuf, recvBuf gpu.View, op gpu.ReduceOp, root int) {
+	defer timeColl(p, c.ep.world.mColl.reduce)()
 	c.enterColl()
 	n := c.Size()
 	count := sendBuf.Len()
@@ -153,6 +156,7 @@ const allreduceRingMin = 64 << 10
 // Allreduce combines sendBuf from all ranks elementwise into recvBuf on all
 // ranks. In-place operation is allowed (sendBuf == recvBuf).
 func (c *Comm) Allreduce(p *sim.Proc, sendBuf, recvBuf gpu.View, op gpu.ReduceOp) {
+	defer timeColl(p, c.ep.world.mColl.allreduce)()
 	c.enterColl()
 	n := c.Size()
 	count := sendBuf.Len()
@@ -280,6 +284,7 @@ func (c *Comm) Gather(p *sim.Proc, sendBuf, recvBuf gpu.View, root int) {
 // given displacements (linear algorithm, as used for moderate sizes). Like
 // Allgatherv it pays the device-buffer staging penalty at the root.
 func (c *Comm) Gatherv(p *sim.Proc, sendBuf, recvBuf gpu.View, counts, displs []int, root int) {
+	defer timeColl(p, c.ep.world.mColl.gather)()
 	c.enterColl()
 	if c.rank == root {
 		c.stagingPenalty(p, recvBuf.Bytes())
@@ -312,6 +317,7 @@ func (c *Comm) Scatter(p *sim.Proc, sendBuf, recvBuf gpu.View, root int) {
 
 // Scatterv distributes variable-size chunks from root.
 func (c *Comm) Scatterv(p *sim.Proc, sendBuf, recvBuf gpu.View, counts, displs []int, root int) {
+	defer timeColl(p, c.ep.world.mColl.scatter)()
 	c.enterColl()
 	n := c.Size()
 	if c.rank == root {
@@ -347,6 +353,7 @@ func (c *Comm) Allgather(p *sim.Proc, sendBuf, recvBuf gpu.View) {
 // pathology the paper isolates in §VI-D, where the Allgatherv dominated the
 // MPI CG runtime on both test systems.
 func (c *Comm) Allgatherv(p *sim.Proc, sendBuf, recvBuf gpu.View, counts, displs []int) {
+	defer timeColl(p, c.ep.world.mColl.allgather)()
 	c.enterColl()
 	c.stagingPenalty(p, recvBuf.Bytes())
 	n := c.Size()
@@ -369,6 +376,7 @@ func (c *Comm) Allgatherv(p *sim.Proc, sendBuf, recvBuf gpu.View, counts, displs
 // Alltoall exchanges equal-size chunks between every rank pair (pairwise
 // exchange, n-1 rounds).
 func (c *Comm) Alltoall(p *sim.Proc, sendBuf, recvBuf gpu.View, count int) {
+	defer timeColl(p, c.ep.world.mColl.alltoall)()
 	c.enterColl()
 	n := c.Size()
 	me := c.rank
@@ -386,6 +394,7 @@ func (c *Comm) Alltoall(p *sim.Proc, sendBuf, recvBuf gpu.View, count int) {
 // (pairwise exchange). Like the other vector collectives it pays the
 // device-buffer staging penalty.
 func (c *Comm) Alltoallv(p *sim.Proc, sendBuf, recvBuf gpu.View, sendCounts, sendDispls, recvCounts, recvDispls []int) {
+	defer timeColl(p, c.ep.world.mColl.alltoall)()
 	c.enterColl()
 	c.stagingPenalty(p, recvBuf.Bytes())
 	n := c.Size()

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -33,11 +34,54 @@ type World struct {
 	eps     []*Endpoint
 	worlds  []*Comm
 	wins    *winShared
+
+	// Protocol metrics, resolved once from the cluster's registry at
+	// construction (nil instruments — no-ops — when metrics are disabled).
+	mEager      *metrics.Counter // sends taking the eager protocol
+	mRendezvous *metrics.Counter // sends taking the rendezvous protocol
+	mRetries    *metrics.Counter // rendezvous transfers re-issued after a stall
+	mMatchDepth *metrics.Gauge   // high-water tag-match queue depth (posted+unexpected)
+
+	// Per-collective virtual-time histograms ("mpi.coll.<kind>", in ns).
+	// Vector variants share their base collective's histogram.
+	mColl struct {
+		barrier, bcast, reduce, allreduce *metrics.Histogram
+		gather, scatter, allgather        *metrics.Histogram
+		alltoall                          *metrics.Histogram
+	}
 }
 
+// timeColl starts timing one collective call; invoke the returned func at
+// exit (via defer). Disabled metrics return a shared no-op, so the
+// instrumented call sites cost one nil check and an empty defer.
+func timeColl(p *sim.Proc, h *metrics.Histogram) func() {
+	if h == nil {
+		return nopEnd
+	}
+	start := p.Now()
+	return func() { h.Observe(int64(p.Now().Sub(start))) }
+}
+
+var nopEnd = func() {}
+
 // NewWorld creates an MPI world with one rank per device of the cluster.
+// Install the metrics registry (gpu.Cluster.SetMetrics) before calling:
+// instruments are resolved here.
 func NewWorld(cluster *gpu.Cluster) *World {
 	w := &World{cluster: cluster}
+	r := cluster.Metrics
+	w.mEager = r.Counter("mpi.sends.eager")
+	w.mRendezvous = r.Counter("mpi.sends.rendezvous")
+	w.mRetries = r.Counter("mpi.rendezvous.retries")
+	w.mMatchDepth = r.Gauge("mpi.matchq.depth")
+	w.mColl.barrier = r.Histogram("mpi.coll.barrier")
+	w.mColl.bcast = r.Histogram("mpi.coll.bcast")
+	w.mColl.reduce = r.Histogram("mpi.coll.reduce")
+	w.mColl.allreduce = r.Histogram("mpi.coll.allreduce")
+	w.mColl.gather = r.Histogram("mpi.coll.gather")
+	w.mColl.scatter = r.Histogram("mpi.coll.scatter")
+	w.mColl.allgather = r.Histogram("mpi.coll.allgather")
+	w.mColl.alltoall = r.Histogram("mpi.coll.alltoall")
 	group := make([]int, len(cluster.Devices))
 	for i, dev := range cluster.Devices {
 		w.eps = append(w.eps, &Endpoint{
@@ -226,6 +270,7 @@ func (c *Comm) Isend(p *sim.Proc, buf gpu.View, dst, tag int) *Request {
 	if bytes <= prof.EagerMax {
 		// Eager: snapshot the payload, inject, and complete locally once
 		// the data has left the send buffer.
+		w.mEager.Inc()
 		h.eager = true
 		h.staged = buf.Clone()
 		arrive := w.cluster.Fabric.Transfer(p.Now(), srcWorld, dstWorld, bytes, cost)
@@ -237,6 +282,7 @@ func (c *Comm) Isend(p *sim.Proc, buf gpu.View, dst, tag int) *Request {
 	// Rendezvous: ship the RTS envelope; the payload moves once the
 	// receiver matches and returns a CTS. The handshake costs the
 	// profile's rendezvous overhead split across RTS and CTS.
+	w.mRendezvous.Inc()
 	h.srcBuf = buf
 	half := prof.RendezvousOverhead / 2
 	eng.After(sim.Duration(half)+cost.Latency, func() { dstEp.admit(h) })
@@ -271,6 +317,7 @@ func (c *Comm) Irecv(p *sim.Proc, buf gpu.View, src, tag int) *Request {
 		}
 	}
 	ep.posted = append(ep.posted, pr)
+	ep.noteQueueDepth()
 	return &Request{done: pr.done, status: pr.status}
 }
 
@@ -330,6 +377,13 @@ func (ep *Endpoint) match(h *header) {
 		}
 	}
 	ep.unexpected = append(ep.unexpected, h)
+	ep.noteQueueDepth()
+}
+
+// noteQueueDepth records the tag-matching queue high-water mark (posted
+// plus unexpected messages of one endpoint).
+func (ep *Endpoint) noteQueueDepth() {
+	ep.world.mMatchDepth.Max(float64(len(ep.posted) + len(ep.unexpected)))
 }
 
 // deliver completes a matched (header, receive) pair.
@@ -362,6 +416,7 @@ func (ep *Endpoint) deliver(h *header, pr *postedRecv) {
 	attempt = func(backoff sim.Duration) {
 		arrive, stall := w.cluster.Fabric.TryTransfer(eng.Now(), h.src, h.dst, bytes, cost)
 		if stall != nil {
+			w.mRetries.Inc()
 			// Wait out the stall (or at least the backoff), then re-run
 			// the handshake with the backoff doubled.
 			wait := backoff

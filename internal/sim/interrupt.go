@@ -89,6 +89,9 @@ func (p *Proc) Interrupt(err error) {
 	if p.crashed || !p.eng.alive[p] || p.pendingErr != nil {
 		return
 	}
+	if p.eng.m != nil {
+		p.eng.m.interrupts.Inc()
+	}
 	p.pendingErr = err
 	if p.parked && p.interruptible && !p.wakePending {
 		if p.waitOn != nil {
@@ -106,6 +109,9 @@ func (p *Proc) Interrupt(err error) {
 func (p *Proc) Kill() {
 	if p.crashed || !p.eng.alive[p] {
 		return
+	}
+	if p.eng.m != nil {
+		p.eng.m.kills.Inc()
 	}
 	p.crashed = true
 	if p.parked && !p.wakePending {

@@ -130,7 +130,8 @@ type Engine struct {
 	closed   bool
 	running  bool
 	trace    func(string)
-	deadline Time // virtual-time watchdog; 0 disables
+	deadline Time           // virtual-time watchdog; 0 disables
+	m        *engineMetrics // nil when metrics are disabled (see metrics.go)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -249,6 +250,9 @@ func (e *Engine) spawnAt(t Time, name string, fn func(p *Proc), daemon bool) *Pr
 	if !daemon {
 		e.live++
 	}
+	if e.m != nil {
+		e.m.spawns.Inc()
+	}
 	e.alive[p] = true
 	go func() {
 		defer func() {
@@ -339,6 +343,9 @@ func (p *Proc) parkFor(why string, d Duration) {
 	p.parked = true
 	p.parkWhy = why
 	p.parkDur = d
+	if p.eng.m != nil {
+		p.eng.m.countPark(why)
+	}
 	p.eng.ball <- ballMsg{proc: p}
 	select {
 	case <-p.resume:
@@ -470,7 +477,13 @@ func (e *Engine) Run() error {
 		e.now = ev.at
 		fn, proc := ev.fn, ev.proc
 		e.release(ev)
+		if e.m != nil {
+			e.m.events.Inc()
+		}
 		if fn != nil {
+			if e.m != nil {
+				e.m.callbacks.Inc()
+			}
 			if err := e.runCallback(fn); err != nil {
 				return err
 			}

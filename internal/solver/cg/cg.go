@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/trace"
@@ -71,6 +72,9 @@ type Config struct {
 
 	// Trace, when non-nil, records the run's execution spans.
 	Trace *trace.Log
+	// Metrics, when non-nil, collects the run's counters (see
+	// internal/metrics; one registry per run, never shared across cells).
+	Metrics *metrics.Registry
 }
 
 // Result reports one run.
@@ -78,6 +82,9 @@ type Result struct {
 	Total    sim.Duration
 	PerIter  sim.Duration
 	Residual float64 // final squared residual norm (functional runs)
+	// End is the virtual time at which the whole run finished — the
+	// profiler's attribution horizon.
+	End sim.Time
 }
 
 func (cfg Config) backendOf() core.BackendID {
@@ -102,8 +109,9 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("cg: the no-allgatherv ablation is timing-only (set Compute=false)")
 	}
 	perRank := make([]rankResult, cfg.NGPUs)
-	_, err := core.Launch(core.Config{
+	rep, err := core.Launch(core.Config{
 		Model: cfg.Model, NGPUs: cfg.NGPUs, Backend: cfg.backendOf(), Trace: cfg.Trace,
+		Metrics: cfg.Metrics,
 	}, func(env *core.Env) {
 		var rr rankResult
 		switch cfg.Variant {
@@ -123,7 +131,7 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	var res Result
+	res := Result{End: rep.End}
 	for _, rr := range perRank {
 		if rr.elapsed > res.Total {
 			res.Total = rr.elapsed

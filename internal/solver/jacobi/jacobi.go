@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -70,6 +71,9 @@ type Config struct {
 
 	// Trace, when non-nil, records the run's execution spans.
 	Trace *trace.Log
+	// Metrics, when non-nil, collects the run's counters (see
+	// internal/metrics; one registry per run, never shared across cells).
+	Metrics *metrics.Registry
 }
 
 // Result reports one run.
@@ -78,6 +82,9 @@ type Result struct {
 	PerIter sim.Duration
 	// Total is the timed-section duration.
 	Total sim.Duration
+	// End is the virtual time at which the whole run (including warmup and
+	// teardown) finished — the profiler's attribution horizon.
+	End sim.Time
 	// Checksum sums the final interior values (functional runs only);
 	// used by tests to compare variants and the serial reference.
 	Checksum float64
@@ -131,8 +138,9 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("jacobi: %v requires the GPUSHMEM backend", cfg.Mode)
 	}
 	perRank := make([]rankResult, cfg.NGPUs)
-	_, err := core.Launch(core.Config{
+	rep, err := core.Launch(core.Config{
 		Model: cfg.Model, NGPUs: cfg.NGPUs, Backend: cfg.backendOf(), Trace: cfg.Trace,
+		Metrics: cfg.Metrics,
 	}, func(env *core.Env) {
 		var rr rankResult
 		switch cfg.Variant {
@@ -152,7 +160,7 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	var res Result
+	res := Result{End: rep.End}
 	for _, rr := range perRank {
 		if rr.elapsed > res.Total {
 			res.Total = rr.elapsed

@@ -54,10 +54,58 @@ type Span struct {
 	End   sim.Time
 	// Bytes is the payload size for transfers (0 otherwise).
 	Bytes int64
+	// Rank is the global rank (GPU id) the span is attributed to: the
+	// executing device for kernels and stream ops, the source for
+	// transfers. Producers that predate rank attribution leave it 0.
+	Rank int
+	// Src and Dst are the endpoint ranks of transfers (both equal to Rank
+	// for non-transfer spans left at their zero values).
+	Src, Dst int
 }
 
 // Dur reports the span length.
 func (s Span) Dur() sim.Duration { return s.End.Sub(s.Start) }
+
+// Bandwidth reports the span's payload rate in bytes per second of virtual
+// time, guarding zero-duration and zero-byte spans (0, never ±Inf/NaN).
+func (s Span) Bandwidth() float64 {
+	d := s.Dur()
+	if s.Bytes <= 0 || d <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / d.Seconds()
+}
+
+// less is the deterministic span order: by start, then end, then track,
+// kind, label, and endpoints, so logs with equal-timestamp spans sort the
+// same way on every run and at every sweep worker count.
+func (s Span) less(o Span) bool {
+	if s.Start != o.Start {
+		return s.Start < o.Start
+	}
+	if s.End != o.End {
+		return s.End < o.End
+	}
+	if s.Track != o.Track {
+		return s.Track < o.Track
+	}
+	if s.Kind != o.Kind {
+		return s.Kind < o.Kind
+	}
+	if s.Label != o.Label {
+		return s.Label < o.Label
+	}
+	if s.Src != o.Src {
+		return s.Src < o.Src
+	}
+	return s.Dst < o.Dst
+}
+
+// SortSpans orders spans deterministically (see Span.less) in place, using a
+// stable sort so fully identical spans keep their insertion order.
+func SortSpans(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].less(spans[j]) })
+}
 
 // Log collects spans. The zero value is ready to use; a nil *Log discards
 // everything.
@@ -93,6 +141,15 @@ func (l *Log) Len() int {
 	return len(l.spans)
 }
 
+// Sorted returns a copy of the spans in deterministic order (SortSpans).
+// Analysis and export paths use it so output bytes do not depend on
+// producer interleaving.
+func (l *Log) Sorted() []Span {
+	out := append([]Span(nil), l.Spans()...)
+	SortSpans(out)
+	return out
+}
+
 // Filter returns the spans of one kind.
 func (l *Log) Filter(k Kind) []Span {
 	var out []Span
@@ -118,6 +175,16 @@ type SummaryRow struct {
 	Bytes int64
 }
 
+// Bandwidth reports the row's aggregate payload rate in bytes per second,
+// guarding zero busy time (0, never ±Inf/NaN — a log of only instantaneous
+// transfers summarizes cleanly).
+func (r SummaryRow) Bandwidth() float64 {
+	if r.Bytes <= 0 || r.Busy <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Busy.Seconds()
+}
+
 // Summarize aggregates the log per (kind, track), ordered by descending
 // busy time.
 func (l *Log) Summarize() Summary {
@@ -141,7 +208,7 @@ func (l *Log) Summarize() Summary {
 	for _, r := range acc {
 		rows = append(rows, *r)
 	}
-	sort.Slice(rows, func(i, j int) bool {
+	sort.SliceStable(rows, func(i, j int) bool {
 		if rows[i].Busy != rows[j].Busy {
 			return rows[i].Busy > rows[j].Busy
 		}
@@ -153,13 +220,15 @@ func (l *Log) Summarize() Summary {
 	return Summary{Rows: rows}
 }
 
-// Render formats the summary as a text table.
+// Render formats the summary as a text table. Bandwidth is per-row payload
+// over busy time, zero for byte-less or zero-duration rows.
 func (s Summary) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %-24s %8s %14s %12s\n", "kind", "track", "count", "busy", "bytes")
+	fmt.Fprintf(&b, "%-10s %-24s %8s %14s %12s %10s\n",
+		"kind", "track", "count", "busy", "bytes", "GB/s")
 	for _, r := range s.Rows {
-		fmt.Fprintf(&b, "%-10s %-24s %8d %14s %12d\n",
-			r.Kind, r.Track, r.Count, r.Busy, r.Bytes)
+		fmt.Fprintf(&b, "%-10s %-24s %8d %14s %12d %10.2f\n",
+			r.Kind, r.Track, r.Count, r.Busy, r.Bytes, r.Bandwidth()/1e9)
 	}
 	return b.String()
 }
@@ -177,24 +246,66 @@ type chromeEvent struct {
 }
 
 // WriteChromeTrace exports the log as a Chrome trace-event JSON array
-// (open with chrome://tracing or Perfetto).
+// (open with chrome://tracing or Perfetto). Spans are emitted in
+// deterministic sorted order.
 func (l *Log) WriteChromeTrace(w io.Writer) error {
-	events := make([]chromeEvent, 0, l.Len())
-	for _, s := range l.Spans() {
+	return writeChromeEvents(w, appendChromeEvents(nil, l.Sorted(), 1))
+}
+
+// ChromeCell is one process group of a multi-cell Chrome export: the spans
+// of one sweep cell (or one run), named so Perfetto's process rail shows
+// which cell a row belongs to.
+type ChromeCell struct {
+	Name  string
+	Spans []Span
+}
+
+// WriteChromeCells exports several cells into one Chrome trace, giving cell
+// i process id i+1 plus a process_name metadata record. Span order within a
+// cell is deterministic (SortSpans), so the export is byte-stable. The
+// caller keeps cells in index order; see internal/bench/runner.go for the
+// collector ownership rule.
+func WriteChromeCells(w io.Writer, cells []ChromeCell) error {
+	var events []chromeEvent
+	for i, c := range cells {
+		pid := i + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": c.Name},
+		})
+		spans := append([]Span(nil), c.Spans...)
+		SortSpans(spans)
+		events = appendChromeEvents(events, spans, pid)
+	}
+	return writeChromeEvents(w, events)
+}
+
+// appendChromeEvents converts sorted spans to complete events under one pid.
+// Bandwidth args are guarded against zero-duration spans (omitted rather
+// than ±Inf, which would poison the JSON).
+func appendChromeEvents(events []chromeEvent, spans []Span, pid int) []chromeEvent {
+	for _, s := range spans {
 		ev := chromeEvent{
 			Name: s.Label,
 			Cat:  s.Kind.String(),
 			Ph:   "X",
 			TS:   sim.Duration(s.Start).Micros(),
 			Dur:  s.Dur().Micros(),
-			PID:  1,
+			PID:  pid,
 			TID:  s.Track,
 		}
 		if s.Bytes > 0 {
 			ev.Args = map[string]any{"bytes": s.Bytes}
+			if bw := s.Bandwidth(); bw > 0 {
+				ev.Args["gbps"] = bw / 1e9
+			}
 		}
 		events = append(events, ev)
 	}
+	return events
+}
+
+func writeChromeEvents(w io.Writer, events []chromeEvent) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
 }
