@@ -11,6 +11,7 @@ package fabric
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -50,12 +51,18 @@ type LinkCost struct {
 	BytesPerSec float64
 }
 
-// Duration returns the port-occupancy time for a message of the given size.
+// Duration returns the port-occupancy time for a message of the given size,
+// rounded half-away-from-zero to the nearest nanosecond. The plain
+// float→integer conversion used previously truncated, systematically
+// shaving up to 1ns off every transfer and biasing long serialized chains
+// (a ring allreduce books thousands of back-to-back reservations) low by
+// the accumulated truncation. Rounding matches the repo's other
+// float-to-virtual-time conversions (bench.TrimmedMean).
 func (c LinkCost) Duration(bytes int64) sim.Duration {
 	if bytes <= 0 || c.BytesPerSec <= 0 {
 		return 0
 	}
-	return sim.Duration(float64(bytes) / c.BytesPerSec * float64(sim.Second))
+	return sim.Duration(math.Round(float64(bytes) / c.BytesPerSec * float64(sim.Second)))
 }
 
 // Config describes the shape of the cluster.
@@ -156,18 +163,21 @@ func (f *Fabric) PathBetween(src, dst int) Path {
 	return PathInter
 }
 
-// routePorts returns the timelines a transfer on the given route occupies.
-func (f *Fabric) routePorts(src, dst int, path Path) []*sim.Timeline {
+// routePorts returns the two timelines a transfer on the given route
+// occupies. Every route holds exactly one egress-side and one ingress-side
+// port, so the result is a pair, not a slice — the transfer hot path calls
+// this per message and must not allocate.
+func (f *Fabric) routePorts(src, dst int, path Path) (out, in *sim.Timeline) {
 	switch path {
 	case PathSelf:
 		// Device-local copy: occupy the GPU's own ports (one copy engine
 		// in, one out) so concurrent local copies serialize with each other
 		// and with incoming intra-node traffic, as on a real copy engine.
-		return []*sim.Timeline{f.egress[src], f.ingress[src]}
+		return f.egress[src], f.ingress[src]
 	case PathIntra:
-		return []*sim.Timeline{f.egress[src], f.ingress[dst]}
+		return f.egress[src], f.ingress[dst]
 	default:
-		return []*sim.Timeline{f.nicOut[f.nic(src)], f.nicIn[f.nic(dst)]}
+		return f.nicOut[f.nic(src)], f.nicIn[f.nic(dst)]
 	}
 }
 
@@ -206,20 +216,25 @@ func (f *Fabric) Transfer(at sim.Time, src, dst int, bytes int64, cost LinkCost)
 		}
 		track = track + "+failover"
 	}
-	start, end := sim.ReserveMulti(at, cost.Duration(bytes), f.routePorts(src, dst, path)...)
+	portOut, portIn := f.routePorts(src, dst, path)
+	start, end := sim.ReserveMulti(at, cost.Duration(bytes), portOut, portIn)
 	arrive := end.Add(cost.Latency)
 	if f.m != nil {
 		f.m.xfers[path].Inc()
 		f.m.bytes[path].Add(bytes)
 		f.m.wait[path].Add(int64(start.Sub(at)))
 	}
-	f.Trace.Add(trace.Span{
-		Kind:  trace.KindTransfer,
-		Label: fmt.Sprintf("gpu%d->gpu%d", src, dst),
-		Track: track,
-		Rank:  src, Src: src, Dst: dst,
-		Start: start, End: arrive, Bytes: bytes,
-	})
+	if f.Trace != nil {
+		// Label formatting is guarded: with tracing off (every benchmark and
+		// sweep cell) the hot path must not pay the Sprintf.
+		f.Trace.Add(trace.Span{
+			Kind:  trace.KindTransfer,
+			Label: fmt.Sprintf("gpu%d->gpu%d", src, dst),
+			Track: track,
+			Rank:  src, Src: src, Dst: dst,
+			Start: start, End: arrive, Bytes: bytes,
+		})
+	}
 	return arrive
 }
 
@@ -240,7 +255,8 @@ func (e *StallError) Error() string {
 // admitted may still queue behind earlier reservations as usual.
 func (f *Fabric) TryTransfer(at sim.Time, src, dst int, bytes int64, cost LinkCost) (sim.Time, *StallError) {
 	path := f.PathBetween(src, dst)
-	for _, tl := range f.routePorts(src, dst, path) {
+	portOut, portIn := f.routePorts(src, dst, path)
+	for _, tl := range [...]*sim.Timeline{portOut, portIn} {
 		if until, stalled := tl.StalledAt(at); stalled {
 			if f.m != nil {
 				f.m.stalls.Inc()

@@ -231,3 +231,37 @@ func TestDefaultNICCount(t *testing.T) {
 		t.Fatalf("default NICs = %d", f.Config().NICsPerNode)
 	}
 }
+
+// TestLinkCostDurationRounds pins the float→virtual-time conversion of port
+// occupancy: half-away-from-zero rounding to the nearest nanosecond, not
+// truncation. With truncation, a bandwidth that yields 2.9999…ns of wire
+// time booked 2ns, and the shave compounded across every reservation of a
+// long serialized chain.
+func TestLinkCostDurationRounds(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		bps   float64
+		want  sim.Duration
+	}{
+		// 3 bytes at 1 GB/s = exactly 3ns.
+		{3, 1e9, 3},
+		// 1 byte at 0.3 GB/s = 3.33…ns → 3ns (down).
+		{1, 0.3e9, 3},
+		// 1 byte at 0.4 GB/s = 2.5ns → 3ns (half rounds away from zero);
+		// truncation gave 2ns.
+		{1, 0.4e9, 3},
+		// 7 bytes at 2 GB/s = 3.5ns → 4ns; truncation gave 3ns.
+		{7, 2e9, 4},
+		// 999999999 bytes at 1 GB/s = 0.999999999s → just under a second.
+		{999999999, 1e9, sim.Duration(999999999)},
+		{0, 1e9, 0},
+		{-5, 1e9, 0},
+		{8, 0, 0},
+	}
+	for _, c := range cases {
+		got := LinkCost{BytesPerSec: c.bps}.Duration(c.bytes)
+		if got != c.want {
+			t.Errorf("Duration(%d bytes @ %.2g B/s) = %v, want %v", c.bytes, c.bps, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Tests for the staging arena behind View.Clone/Release: clones draw storage
+// from the owning cluster's buf.Pool, Release hands it back, and the
+// steady-state clone path allocates nothing but the envelope.
+
+func TestCloneDrawsFromArenaAndReleaseReturns(t *testing.T) {
+	c, _ := newTestCluster(t, 1)
+	b := AllocBuffer[float64](c.Devices[0], 100)
+	for i := range b.Data() {
+		b.Data()[i] = float64(i)
+	}
+
+	cl := b.Whole().Clone()
+	st := PoolStats[float64](c)
+	if st.Gets != 1 || st.Hits != 0 {
+		t.Fatalf("after first clone: %+v", st)
+	}
+	cl.Release()
+	st = PoolStats[float64](c)
+	if st.Puts != 1 || st.Pooled != 1 {
+		t.Fatalf("after release: %+v", st)
+	}
+
+	// Second clone of the same size class must reuse the released storage
+	// and carry the correct contents despite the unzeroed pool slice.
+	cl2 := b.View(0, 80).Clone()
+	st = PoolStats[float64](c)
+	if st.Gets != 2 || st.Hits != 1 {
+		t.Fatalf("after second clone: %+v", st)
+	}
+	dst := AllocBuffer[float64](c.Devices[0], 80)
+	Copy(dst.Whole(), cl2, 80)
+	for i, v := range dst.Data() {
+		if v != float64(i) {
+			t.Fatalf("clone contents corrupted at %d: %v", i, v)
+		}
+	}
+	cl2.Release()
+}
+
+func TestReleasePartialViewPanics(t *testing.T) {
+	c, _ := newTestCluster(t, 1)
+	b := AllocBuffer[float64](c.Devices[0], 16)
+	cl := b.Whole().Clone()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of a partial view did not panic")
+		}
+	}()
+	cl.Slice(0, 8).Release()
+}
+
+func TestReleasedCloneIsPoisoned(t *testing.T) {
+	c, _ := newTestCluster(t, 1)
+	b := AllocBuffer[float64](c.Devices[0], 16)
+	cl := b.Whole().Clone()
+	cl.Release()
+	dst := AllocBuffer[float64](c.Devices[0], 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("copy out of a released clone did not panic")
+		}
+	}()
+	Copy(dst.Whole(), cl, 16)
+}
+
+func TestZeroViewCloneReleaseNoop(t *testing.T) {
+	var v View
+	v.Clone().Release() // must not panic
+}
+
+// TestCloneReleaseAllocationGuard pins the steady-state staging cost: with a
+// warm arena, a clone+release cycle allocates only the envelope (one Buffer
+// header), never the payload. A regression here means eager sends are back
+// to copying through the garbage collector.
+func TestCloneReleaseAllocationGuard(t *testing.T) {
+	c, _ := newTestCluster(t, 1)
+	b := AllocBuffer[float64](c.Devices[0], 4096)
+	v := b.Whole()
+	v.Clone().Release() // warm the size class
+	avg := testing.AllocsPerRun(200, func() {
+		cl := v.Clone()
+		cl.Release()
+	})
+	if avg > 1.05 {
+		t.Errorf("clone+release allocates %.2f objects/op, want <= 1 (envelope only)", avg)
+	}
+	st := PoolStats[float64](c)
+	if st.Hits < st.Gets-1 {
+		t.Errorf("arena misses in steady state: %+v", st)
+	}
+}
+
+// TestArenaIsPerCluster verifies the ownership rule that makes pooling safe
+// under the parallel sweep runner: two clusters never share an arena.
+func TestArenaIsPerCluster(t *testing.T) {
+	c1, _ := newTestCluster(t, 1)
+	c2, _ := newTestCluster(t, 1)
+	if poolFor[float64](c1) == poolFor[float64](c2) {
+		t.Fatal("clusters share a staging arena")
+	}
+}
+
+func TestMemcpyAsyncStillWorks(t *testing.T) {
+	c, eng := newTestCluster(t, 1)
+	dev := c.Devices[0]
+	src := AllocBuffer[float64](dev, 8)
+	dst := AllocBuffer[float64](dev, 8)
+	for i := range src.Data() {
+		src.Data()[i] = float64(i + 1)
+	}
+	runMain(t, eng, func(p *sim.Proc) {
+		s := dev.DefaultStream()
+		s.MemcpyAsync(p, dst.Whole(), src.Whole(), 8)
+		s.Synchronize(p)
+	})
+	for i, v := range dst.Data() {
+		if v != float64(i+1) {
+			t.Fatalf("dst[%d] = %v", i, v)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package gpu
 
 import (
 	"fmt"
+	"reflect"
 
+	"repro/internal/buf"
 	"repro/internal/fabric"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -36,6 +38,42 @@ type Cluster struct {
 	mSlowed   *metrics.Counter // kernels stretched by a slow-rank fault
 	mKernels  *metrics.Counter
 	mStreamOp *metrics.Counter
+
+	// pools holds the cluster's staging arenas, one buf.Pool[T] per element
+	// type (keyed by reflect.Type, resolved through poolFor). Like the trace
+	// log and metrics registry, pools belong to one cell: parallel sweep
+	// cells each build their own cluster and so never share an arena.
+	pools map[reflect.Type]any
+
+	// costs memoizes machine.Model.Cost per (lib, api, path, bytes). The
+	// model is shared across sweep cells, so the cache lives here, on the
+	// per-cell cluster.
+	costs *machine.CostCache
+}
+
+// Cost resolves a transfer cost through the cluster's memoizing cache.
+// Steady-state communication resolves the same few (path, size) pairs over
+// and over; the cache makes repeat lookups a single map probe.
+func (c *Cluster) Cost(lib machine.Lib, api machine.API, path fabric.Path, bytes int64) fabric.LinkCost {
+	return c.costs.Cost(lib, api, path, bytes)
+}
+
+// poolFor returns the cluster's staging arena for element type T, creating
+// it on first use.
+func poolFor[T Elem](c *Cluster) *buf.Pool[T] {
+	t := reflect.TypeFor[T]()
+	if p, ok := c.pools[t]; ok {
+		return p.(*buf.Pool[T])
+	}
+	p := &buf.Pool[T]{}
+	c.pools[t] = p
+	return p
+}
+
+// PoolStats reports the staging arena's traffic counters for element type T
+// (tests pin the zero-allocation steady state with these).
+func PoolStats[T Elem](c *Cluster) buf.Stats {
+	return poolFor[T](c).Stats()
 }
 
 // computeScale resolves the compute-time multiplier for a device now.
@@ -70,7 +108,11 @@ func (c *Cluster) SetMetrics(r *metrics.Registry) {
 func NewCluster(eng *sim.Engine, model *machine.Model, nGPUs int) *Cluster {
 	nodes := model.NodesFor(nGPUs)
 	fab := fabric.New(model.FabricConfig(nodes))
-	c := &Cluster{Eng: eng, Model: model, Fabric: fab}
+	c := &Cluster{
+		Eng: eng, Model: model, Fabric: fab,
+		pools: make(map[reflect.Type]any),
+		costs: machine.NewCostCache(model),
+	}
 	for i := 0; i < nGPUs; i++ {
 		d := &Device{
 			ID:      i,
@@ -307,7 +349,7 @@ func (s *Stream) Launch(host *sim.Proc, k *Kernel, args any) {
 func (s *Stream) MemcpyAsync(host *sim.Proc, dst, src View, n int) {
 	host.Advance(s.dev.Model().HostOp)
 	s.Enqueue("memcpy", func(p *sim.Proc) {
-		cost := s.dev.Model().Cost(machine.LibMPI, machine.APIHost, fabric.PathSelf, dst.Slice(0, n).Bytes())
+		cost := s.dev.cluster.Cost(machine.LibMPI, machine.APIHost, fabric.PathSelf, dst.Slice(0, n).Bytes())
 		end := s.dev.cluster.Fabric.Transfer(p.Now(), s.dev.ID, s.dev.ID, int64(n)*int64(dst.ElemSize()), cost)
 		Copy(dst, src, n)
 		p.AdvanceTo(end)

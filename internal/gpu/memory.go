@@ -54,6 +54,7 @@ type mem interface {
 	copyFrom(src mem, dstOff, srcOff, n int)
 	reduceFrom(src mem, dstOff, srcOff, n int, op ReduceOp)
 	clone(off, n int) mem
+	recycle()
 }
 
 // Buffer is a typed allocation in one device's memory.
@@ -105,10 +106,31 @@ func (b *Buffer[T]) copyFrom(src mem, dstOff, srcOff, n int) {
 	copy(b.data[dstOff:dstOff+n], s.data[srcOff:srcOff+n])
 }
 
+// clone copies [off, off+n) into a detached buffer. The storage comes from
+// the owning cluster's staging arena when one is available: staging clones
+// (eager sends, rendezvous snapshots, collective scratch) are throwaways, and
+// drawing them from a pool keeps the steady-state data path allocation-free.
+// The pool returns unzeroed storage, which is safe here because the copy
+// overwrites all n elements before anything reads the clone.
 func (b *Buffer[T]) clone(off, n int) mem {
-	c := &Buffer[T]{dev: b.dev, data: make([]T, n)}
-	copy(c.data, b.data[off:off+n])
-	return c
+	var data []T
+	if b.dev != nil && b.dev.cluster != nil {
+		data = poolFor[T](b.dev.cluster).Get(n)
+	} else {
+		data = make([]T, n)
+	}
+	copy(data, b.data[off:off+n])
+	return &Buffer[T]{dev: b.dev, data: data}
+}
+
+// recycle returns the buffer's storage to the owning cluster's arena and
+// poisons the buffer. Only clones are recycled (via View.Release); the nil
+// data acts as a use-after-release trap.
+func (b *Buffer[T]) recycle() {
+	if b.dev != nil && b.dev.cluster != nil && b.data != nil {
+		poolFor[T](b.dev.cluster).Put(b.data)
+	}
+	b.data = nil
 }
 
 func (b *Buffer[T]) reduceFrom(src mem, dstOff, srcOff, n int, op ReduceOp) {
@@ -189,12 +211,29 @@ func (v View) DeviceID() int {
 
 // Clone copies the viewed elements into a detached buffer of the same
 // element type (used e.g. to stage eager-protocol messages). Cloning the
-// zero view returns the zero view.
+// zero view returns the zero view. A clone's storage comes from its
+// cluster's staging arena; callers that know the clone is dead should hand
+// the storage back with Release.
 func (v View) Clone() View {
 	if v.m == nil {
 		return View{}
 	}
 	return View{m: v.m.clone(v.off, v.n), off: 0, n: v.n}
+}
+
+// Release returns a staging clone's storage to its cluster's arena and
+// poisons the underlying buffer; later access through any view of it will
+// fault. Only whole-buffer views may be released — a partial view cannot
+// prove the rest of the buffer is dead — and releasing the zero view is a
+// no-op. Release is optional: unreleased clones are simply collected.
+func (v View) Release() {
+	if v.m == nil {
+		return
+	}
+	if v.off != 0 || v.n != v.m.length() {
+		panic(fmt.Sprintf("gpu: Release of partial view [%d,%d) of buffer of %d", v.off, v.off+v.n, v.m.length()))
+	}
+	v.m.recycle()
 }
 
 // Offset reports the view's element offset within its buffer.

@@ -354,12 +354,12 @@ func (c *Comm) runRing(p *sim.Proc, inst *instance, plan []ringStep) {
 	me := c.myWorld()
 	right := c.worldOf((c.rank + 1) % n)
 	fab := c.w.cluster.Fabric
-	m := c.model()
+	cl := c.w.cluster
 	for _, st := range plan {
 		inst.stepRdv.Arrive(p)
 		if st.send && st.bytes > 0 {
 			path := fab.PathBetween(me, right)
-			cost := m.Cost(machine.LibGPUCCL, machine.APIHost, path, st.bytes)
+			cost := cl.Cost(machine.LibGPUCCL, machine.APIHost, path, st.bytes)
 			end := fab.Transfer(p.Now(), me, right, st.bytes, cost)
 			p.AdvanceTo(end)
 		}
@@ -383,7 +383,7 @@ func chunkSizes(count, n int) []int {
 // library uses for latency-bound (small) collectives.
 func (c *Comm) runExchange(p *sim.Proc, inst *instance, rounds int, peerOf func(r int) int, bytes int64) {
 	fab := c.w.cluster.Fabric
-	m := c.model()
+	cl := c.w.cluster
 	me := c.myWorld()
 	for r := 0; r < rounds; r++ {
 		inst.stepRdv.Arrive(p)
@@ -391,7 +391,7 @@ func (c *Comm) runExchange(p *sim.Proc, inst *instance, rounds int, peerOf func(
 		if peer >= 0 && peer != c.rank && peer < c.Size() {
 			dst := c.worldOf(peer)
 			path := fab.PathBetween(me, dst)
-			cost := m.Cost(machine.LibGPUCCL, machine.APIHost, path, bytes)
+			cost := cl.Cost(machine.LibGPUCCL, machine.APIHost, path, bytes)
 			end := fab.Transfer(p.Now(), me, dst, bytes, cost)
 			p.AdvanceTo(end)
 		}

@@ -29,6 +29,7 @@ func (c *Comm) AllReduce(p *sim.Proc, s *gpu.Stream, sendBuf, recvBuf gpu.View, 
 			for r := 0; r < n; r++ {
 				gpu.Copy(inst.recvs[r], acc, count)
 			}
+			acc.Release()
 		})
 		if sendBuf.Bytes() <= allReduceTreeMax {
 			// Latency-bound: recursive-doubling exchange (the library's
@@ -68,6 +69,7 @@ func (c *Comm) Reduce(p *sim.Proc, s *gpu.Stream, sendBuf, recvBuf gpu.View, opr
 			if !inst.recvs[root].IsZero() {
 				gpu.Copy(inst.recvs[root], acc, count)
 			}
+			acc.Release()
 		})
 		c.runRing(sp, inst, c.pipelinePlan(sendBuf.Bytes(), root, false))
 	}})
@@ -130,6 +132,7 @@ func (c *Comm) ReduceScatter(p *sim.Proc, s *gpu.Stream, sendBuf, recvBuf gpu.Vi
 					gpu.Reduce(acc, inst.sends[src].Slice(r*count, count), count, opr)
 				}
 				gpu.Copy(inst.recvs[r], acc, count)
+				acc.Release()
 			}
 		})
 		plan := make([]ringStep, n-1)
@@ -245,7 +248,7 @@ func (c *Comm) Send(p *sim.Proc, s *gpu.Stream, buf gpu.View, peer int) {
 		fab := c.w.cluster.Fabric
 		bytes := buf.Bytes()
 		srcW, dstW := c.myWorld(), c.worldOf(peer)
-		cost := c.model().Cost(machine.LibGPUCCL, machine.APIHost, fab.PathBetween(srcW, dstW), bytes)
+		cost := c.w.cluster.Cost(machine.LibGPUCCL, machine.APIHost, fab.PathBetween(srcW, dstW), bytes)
 		end := fab.Transfer(sp.Now(), srcW, dstW, bytes, cost)
 		eng := sp.Engine()
 		eng.After(end.Sub(eng.Now()), func() {

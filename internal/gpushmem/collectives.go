@@ -68,14 +68,14 @@ func (pe *PE) exchangeRounds(p *sim.Proc, inst *collInst, api machine.API,
 	rounds int, peerOf func(round int) int, bytesOf func(round int) int64) {
 
 	fab := pe.w.cluster.Fabric
-	m := pe.model()
+	cl := pe.w.cluster
 	for r := 0; r < rounds; r++ {
 		inst.stepRdv.Arrive(p)
 		peer := peerOf(r)
 		bytes := bytesOf(r)
 		if peer != pe.rank && peer >= 0 {
 			path := fab.PathBetween(pe.rank, peer)
-			cost := m.Cost(machine.LibGPUSHMEM, api, path, bytes)
+			cost := cl.Cost(machine.LibGPUSHMEM, api, path, bytes)
 			end := fab.Transfer(p.Now(), pe.rank, peer, bytes, cost)
 			p.AdvanceTo(end)
 		}
@@ -123,6 +123,7 @@ func (pe *PE) allReduceBody(p *sim.Proc, key instKey, send, recv gpu.View, opr g
 		for r := 0; r < n; r++ {
 			gpu.Copy(inst.recvs[r], acc, count)
 		}
+		acc.Release()
 	})
 	bytes := send.Bytes()
 	pe.exchangeRounds(p, inst, api, log2Ceil(n),
@@ -153,7 +154,7 @@ func (pe *PE) broadcastBody(p *sim.Proc, key instKey, buf gpu.View, root int, ap
 		}
 	})
 	fab := pe.w.cluster.Fabric
-	m := pe.model()
+	cl := pe.w.cluster
 	if pe.rank == root {
 		var last sim.Time = p.Now()
 		for r := 0; r < n; r++ {
@@ -161,7 +162,7 @@ func (pe *PE) broadcastBody(p *sim.Proc, key instKey, buf gpu.View, root int, ap
 				continue
 			}
 			path := fab.PathBetween(pe.rank, r)
-			cost := m.Cost(machine.LibGPUSHMEM, api, path, buf.Bytes())
+			cost := cl.Cost(machine.LibGPUSHMEM, api, path, buf.Bytes())
 			end := fab.Transfer(p.Now(), pe.rank, r, buf.Bytes(), cost)
 			if end > last {
 				last = end
@@ -191,13 +192,13 @@ func (pe *PE) allGathervBody(p *sim.Proc, key instKey, send, recv gpu.View, coun
 		}
 	})
 	fab := pe.w.cluster.Fabric
-	m := pe.model()
+	cl := pe.w.cluster
 	bytes := send.Bytes()
 	var last = p.Now()
 	for off := 1; off < n; off++ {
 		dst := (me + off) % n
 		path := fab.PathBetween(me, dst)
-		cost := m.Cost(machine.LibGPUSHMEM, api, path, bytes)
+		cost := cl.Cost(machine.LibGPUSHMEM, api, path, bytes)
 		end := fab.Transfer(p.Now(), me, dst, bytes, cost)
 		if end > last {
 			last = end

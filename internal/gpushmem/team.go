@@ -199,7 +199,7 @@ func (inst *collInst) arriveTeam(p *sim.Proc, t *Team, send, recv gpu.View, key 
 func (t *Team) exchangeRounds(p *sim.Proc, inst *collInst, rounds int, peerOf func(round int) int, bytesOf func(round int) int64) {
 	pe := t.pe
 	fab := pe.w.cluster.Fabric
-	m := pe.model()
+	cl := pe.w.cluster
 	meWorld := pe.rank
 	for r := 0; r < rounds; r++ {
 		inst.stepRdv.Arrive(p)
@@ -207,7 +207,7 @@ func (t *Team) exchangeRounds(p *sim.Proc, inst *collInst, rounds int, peerOf fu
 		if peer >= 0 && peer < t.Size() && peer != t.myIdx {
 			dst := t.World(peer)
 			path := fab.PathBetween(meWorld, dst)
-			cost := m.Cost(machine.LibGPUSHMEM, machine.APIHost, path, bytesOf(r))
+			cost := cl.Cost(machine.LibGPUSHMEM, machine.APIHost, path, bytesOf(r))
 			end := fab.Transfer(p.Now(), meWorld, dst, bytesOf(r), cost)
 			p.AdvanceTo(end)
 		}
@@ -243,6 +243,7 @@ func (t *Team) AllReduceOnStream(p *sim.Proc, s *gpu.Stream, send, recv gpu.View
 			for r := 0; r < n; r++ {
 				gpu.Copy(inst.recvs[r], acc, count)
 			}
+			acc.Release()
 		})
 		bytes := send.Bytes()
 		t.exchangeRounds(sp, inst, log2Ceil(n),
@@ -272,7 +273,7 @@ func (t *Team) BroadcastOnStream(p *sim.Proc, s *gpu.Stream, buf gpu.View, root 
 			}
 		})
 		fab := t.pe.w.cluster.Fabric
-		m := t.pe.model()
+		cl := t.pe.w.cluster
 		if t.myIdx == root {
 			last := sp.Now()
 			for r := 0; r < n; r++ {
@@ -281,7 +282,7 @@ func (t *Team) BroadcastOnStream(p *sim.Proc, s *gpu.Stream, buf gpu.View, root 
 				}
 				dst := t.World(r)
 				path := fab.PathBetween(t.pe.rank, dst)
-				cost := m.Cost(machine.LibGPUSHMEM, machine.APIHost, path, buf.Bytes())
+				cost := cl.Cost(machine.LibGPUSHMEM, machine.APIHost, path, buf.Bytes())
 				end := fab.Transfer(sp.Now(), t.pe.rank, dst, buf.Bytes(), cost)
 				if end > last {
 					last = end
@@ -307,13 +308,13 @@ func (t *Team) AllGathervOnStream(p *sim.Proc, s *gpu.Stream, send, recv gpu.Vie
 			}
 		})
 		fab := t.pe.w.cluster.Fabric
-		m := t.pe.model()
+		cl := t.pe.w.cluster
 		bytes := send.Bytes()
 		last := sp.Now()
 		for off := 1; off < n; off++ {
 			dst := t.World((t.myIdx + off) % n)
 			path := fab.PathBetween(t.pe.rank, dst)
-			cost := m.Cost(machine.LibGPUSHMEM, machine.APIHost, path, bytes)
+			cost := cl.Cost(machine.LibGPUSHMEM, machine.APIHost, path, bytes)
 			end := fab.Transfer(sp.Now(), t.pe.rank, dst, bytes, cost)
 			if end > last {
 				last = end

@@ -1,0 +1,48 @@
+package machine
+
+import "repro/internal/fabric"
+
+// CostCache memoizes Model.Cost by exact (lib, api, path, bytes) key.
+//
+// Cost itself is a map probe plus floating-point curve evaluation; what makes
+// it hot is repetition. Steady-state communication — a ring allreduce, a halo
+// exchange, a sweep cell — resolves the same handful of (path, size) pairs
+// for every message of every iteration, so after warm-up every lookup is one
+// map probe. Keying on the exact byte count (not a size class) keeps cached
+// results bit-identical to direct Cost calls: memoization must be invisible
+// to virtual time.
+//
+// A CostCache is single-threaded, like everything else a simulation cell
+// owns. The Model is shared across parallel sweep cells, which is exactly why
+// the cache does NOT live on the Model: each cell's gpu.Cluster carries its
+// own CostCache over the shared model.
+type CostCache struct {
+	m     *Model
+	cache map[costKey]fabric.LinkCost
+}
+
+type costKey struct {
+	lib   Lib
+	api   API
+	path  fabric.Path
+	bytes int64
+}
+
+// NewCostCache creates an empty cache over the model.
+func NewCostCache(m *Model) *CostCache {
+	return &CostCache{m: m, cache: make(map[costKey]fabric.LinkCost)}
+}
+
+// Cost returns m.Cost(lib, api, path, bytes), memoized.
+func (c *CostCache) Cost(lib Lib, api API, path fabric.Path, bytes int64) fabric.LinkCost {
+	k := costKey{lib, api, path, bytes}
+	if lc, ok := c.cache[k]; ok {
+		return lc
+	}
+	lc := c.m.Cost(lib, api, path, bytes)
+	c.cache[k] = lc
+	return lc
+}
+
+// Model returns the underlying machine model.
+func (c *CostCache) Model() *Model { return c.m }

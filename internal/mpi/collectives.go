@@ -131,6 +131,7 @@ func (c *Comm) Reduce(p *sim.Proc, sendBuf, recvBuf gpu.View, op gpu.ReduceOp, r
 				tmp := acc.Clone()
 				c.Recv(p, tmp, (peer+root)%n, c.collTag(bitsOf(mask)))
 				gpu.Reduce(acc, tmp, count, op)
+				tmp.Release()
 			}
 			mask <<= 1
 		}
@@ -138,6 +139,7 @@ func (c *Comm) Reduce(p *sim.Proc, sendBuf, recvBuf gpu.View, op gpu.ReduceOp, r
 	if c.rank == root {
 		gpu.Copy(recvBuf, acc, count)
 	}
+	acc.Release()
 }
 
 func bitsOf(mask int) int {
@@ -222,6 +224,7 @@ func (c *Comm) allreduceRecursiveDoubling(p *sim.Proc, buf gpu.View, op gpu.Redu
 			c.Recv(p, buf, me-1, c.collTag(201))
 		}
 	}
+	tmp.Release()
 }
 
 // allreduceRing implements reduce-scatter + allgather over a ring; it needs
@@ -262,6 +265,7 @@ func (c *Comm) allreduceRing(p *sim.Proc, buf gpu.View, op gpu.ReduceOp) {
 		c.Sendrecv(p, chunk(sendIdx), right, c.collTag(100+step),
 			chunk(recvIdx), left, c.collTag(100+step))
 	}
+	tmp.Release()
 }
 
 // tmpSlice returns the window of tmp that corresponds to the window rv of

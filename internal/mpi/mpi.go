@@ -42,6 +42,11 @@ type World struct {
 	mRetries    *metrics.Counter // rendezvous transfers re-issued after a stall
 	mMatchDepth *metrics.Gauge   // high-water tag-match queue depth (posted+unexpected)
 
+	// prof is the host-MPI cost profile, resolved once at construction: the
+	// point-to-point hot path consults it on every call and the underlying
+	// model map never changes.
+	prof machine.LibProfile
+
 	// Per-collective virtual-time histograms ("mpi.coll.<kind>", in ns).
 	// Vector variants share their base collective's histogram.
 	mColl struct {
@@ -69,6 +74,7 @@ var nopEnd = func() {}
 // instruments are resolved here.
 func NewWorld(cluster *gpu.Cluster) *World {
 	w := &World{cluster: cluster}
+	w.prof = cluster.Model.Profile(machine.LibMPI, machine.APIHost)
 	r := cluster.Metrics
 	w.mEager = r.Counter("mpi.sends.eager")
 	w.mRendezvous = r.Counter("mpi.sends.rendezvous")
@@ -129,9 +135,9 @@ type pairKey struct {
 }
 
 type pairState struct {
-	nextSend uint64 // next sequence to assign (on the sender's view)
-	nextRecv uint64 // next sequence to admit into matching
-	held     map[uint64]*header
+	nextSend uint64             // next sequence to assign (on the sender's view)
+	nextRecv uint64             // next sequence to admit into matching
+	held     map[uint64]*header // lazily allocated: only out-of-order arrivals need it
 }
 
 // Status describes a completed receive.
@@ -182,7 +188,9 @@ type header struct {
 	eager  bool
 	staged gpu.View // eager: payload snapshot taken at send time
 	srcBuf gpu.View // rendezvous: live sender buffer
-	sGate  *sim.Gate
+	// sGate completes the send. Embedded by value (the Gate zero value is a
+	// valid unfired gate) so the envelope is a single allocation.
+	sGate sim.Gate
 }
 
 type postedRecv struct {
@@ -190,8 +198,10 @@ type postedRecv struct {
 	count    int
 	src, tag int
 	ctx      int
-	done     *sim.Gate
-	status   *Status
+	// done and status are embedded for the same single-allocation reason as
+	// header.sGate; Request points into the envelope.
+	done   sim.Gate
+	status Status
 }
 
 func (pr *postedRecv) matches(h *header) bool {
@@ -235,9 +245,7 @@ func (c *Comm) Device() *gpu.Device { return c.ep.dev }
 
 func (c *Comm) model() *machine.Model { return c.ep.world.cluster.Model }
 
-func (c *Comm) profile() machine.LibProfile {
-	return c.model().Profile(machine.LibMPI, machine.APIHost)
-}
+func (c *Comm) profile() machine.LibProfile { return c.ep.world.prof }
 
 // Isend starts a non-blocking standard-mode send of buf to dst (comm rank)
 // with the given tag.
@@ -261,11 +269,11 @@ func (c *Comm) Isend(p *sim.Proc, buf gpu.View, dst, tag int) *Request {
 	h := &header{
 		src: srcWorld, dst: dstWorld, ctx: c.ctx, tag: tag, seq: seq,
 		count: buf.Len(), elemSize: buf.ElemSize(),
-		sGate: sim.NewGate(fmt.Sprintf("send %d->%d tag %d", srcWorld, dstWorld, tag)),
 	}
+	h.sGate.SetLabel("gate send")
 	bytes := buf.Bytes()
 	path := w.cluster.Fabric.PathBetween(srcWorld, dstWorld)
-	cost := c.model().Cost(machine.LibMPI, machine.APIHost, path, bytes)
+	cost := w.cluster.Cost(machine.LibMPI, machine.APIHost, path, bytes)
 
 	if bytes <= prof.EagerMax {
 		// Eager: snapshot the payload, inject, and complete locally once
@@ -276,7 +284,7 @@ func (c *Comm) Isend(p *sim.Proc, buf gpu.View, dst, tag int) *Request {
 		arrive := w.cluster.Fabric.Transfer(p.Now(), srcWorld, dstWorld, bytes, cost)
 		eng.After(arrive.Sub(eng.Now()), func() { dstEp.admit(h) })
 		h.sGate.Fire(eng) // send buffer reusable immediately after staging
-		return &Request{done: h.sGate}
+		return &Request{done: &h.sGate}
 	}
 
 	// Rendezvous: ship the RTS envelope; the payload moves once the
@@ -286,7 +294,7 @@ func (c *Comm) Isend(p *sim.Proc, buf gpu.View, dst, tag int) *Request {
 	h.srcBuf = buf
 	half := prof.RendezvousOverhead / 2
 	eng.After(sim.Duration(half)+cost.Latency, func() { dstEp.admit(h) })
-	return &Request{done: h.sGate}
+	return &Request{done: &h.sGate}
 }
 
 // Irecv starts a non-blocking receive into buf from src (comm rank or
@@ -304,21 +312,20 @@ func (c *Comm) Irecv(p *sim.Proc, buf gpu.View, src, tag int) *Request {
 	}
 	pr := &postedRecv{
 		buf: buf, count: buf.Len(), src: srcWorld, tag: tag, ctx: c.ctx,
-		done:   sim.NewGate(fmt.Sprintf("recv %d<-%d tag %d", c.group[c.rank], srcWorld, tag)),
-		status: &Status{},
 	}
+	pr.done.SetLabel("gate recv")
 	// Try the unexpected queue first (arrival order), then post.
 	ep := c.ep
 	for i, h := range ep.unexpected {
 		if pr.matches(h) {
 			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
 			ep.deliver(h, pr)
-			return &Request{done: pr.done, status: pr.status}
+			return &Request{done: &pr.done, status: &pr.status}
 		}
 	}
 	ep.posted = append(ep.posted, pr)
 	ep.noteQueueDepth()
-	return &Request{done: pr.done, status: pr.status}
+	return &Request{done: &pr.done, status: &pr.status}
 }
 
 // Send is the blocking standard-mode send.
@@ -344,7 +351,7 @@ func (c *Comm) Sendrecv(p *sim.Proc, sendBuf gpu.View, dst, sendTag int, recvBuf
 func (ep *Endpoint) pair(pk pairKey) *pairState {
 	ps := ep.pairs[pk]
 	if ps == nil {
-		ps = &pairState{held: map[uint64]*header{}}
+		ps = &pairState{}
 		ep.pairs[pk] = ps
 	}
 	return ps
@@ -352,9 +359,19 @@ func (ep *Endpoint) pair(pk pairKey) *pairState {
 
 // admit enforces per-pair arrival ordering: headers enter matching strictly
 // in sequence order, preserving MPI's non-overtaking guarantee even if the
-// fabric delivered them out of order.
+// fabric delivered them out of order. In-order arrival with nothing buffered
+// — the overwhelmingly common case on a healthy fabric — bypasses the held
+// map entirely.
 func (ep *Endpoint) admit(h *header) {
 	ps := ep.pair(pairKey{src: h.src, ctx: h.ctx})
+	if h.seq == ps.nextRecv && len(ps.held) == 0 {
+		ps.nextRecv++
+		ep.match(h)
+		return
+	}
+	if ps.held == nil {
+		ps.held = map[uint64]*header{}
+	}
 	ps.held[h.seq] = h
 	for {
 		next, ok := ps.held[ps.nextRecv]
@@ -394,11 +411,13 @@ func (ep *Endpoint) deliver(h *header, pr *postedRecv) {
 	}
 	w := ep.world
 	eng := w.cluster.Eng
-	*pr.status = Status{Source: h.src, Tag: h.tag, Count: h.count}
+	pr.status = Status{Source: h.src, Tag: h.tag, Count: h.count}
 
 	if h.eager {
-		// Payload already arrived with the envelope: unpack and complete.
+		// Payload already arrived with the envelope: unpack, hand the
+		// staging buffer back to the arena, and complete.
 		gpu.Copy(pr.buf, h.staged, h.count)
+		h.staged.Release()
 		pr.done.Fire(eng)
 		return
 	}
@@ -407,11 +426,10 @@ func (ep *Endpoint) deliver(h *header, pr *postedRecv) {
 	// stall window (fault injection) rejects the transfer, the handshake is
 	// retried with exponential backoff — as a real rendezvous protocol
 	// re-issues the RTS/CTS exchange when the NIC reports the port down.
-	prof := w.cluster.Model.Profile(machine.LibMPI, machine.APIHost)
-	half := prof.RendezvousOverhead / 2
+	half := w.prof.RendezvousOverhead / 2
 	bytes := h.srcBuf.Bytes()
 	path := w.cluster.Fabric.PathBetween(h.src, h.dst)
-	cost := w.cluster.Model.Cost(machine.LibMPI, machine.APIHost, path, bytes)
+	cost := w.cluster.Cost(machine.LibMPI, machine.APIHost, path, bytes)
 	var attempt func(backoff sim.Duration)
 	attempt = func(backoff sim.Duration) {
 		arrive, stall := w.cluster.Fabric.TryTransfer(eng.Now(), h.src, h.dst, bytes, cost)

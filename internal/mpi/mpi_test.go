@@ -564,3 +564,46 @@ func TestRendezvousRetriesThroughNICStall(t *testing.T) {
 		t.Fatalf("stalled rendezvous nondeterministic: %v vs %v", again, stalled)
 	}
 }
+
+// TestEagerStagingReusesArena pins the zero-copy staging path: after the
+// first eager send warms the size class, every further eager snapshot must
+// be served from the cluster's arena (a pool hit) and every delivery must
+// hand the staging buffer back (puts track gets). A regression here means
+// each message allocates its payload again.
+func TestEagerStagingReusesArena(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	cl := gpu.NewCluster(eng, machine.Perlmutter(), 2)
+	w := NewWorld(cl)
+	const rounds = 50
+	for r := 0; r < 2; r++ {
+		c := w.CommWorld(r)
+		eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			b := gpu.AllocBuffer[float64](c.Device(), 64)
+			// Ping-pong, so exactly one staging buffer is in flight at a
+			// time and rounds 2..N must all be arena hits.
+			for i := 0; i < rounds; i++ {
+				if c.Rank() == 0 {
+					c.Send(p, b.Whole(), 1, 7)
+					c.Recv(p, b.Whole(), 1, 8)
+				} else {
+					c.Recv(p, b.Whole(), 0, 7)
+					c.Send(p, b.Whole(), 0, 8)
+				}
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := gpu.PoolStats[float64](cl)
+	if st.Gets != 2*rounds {
+		t.Fatalf("expected %d staging gets, got %+v", 2*rounds, st)
+	}
+	if st.Hits < 2*rounds-2 {
+		t.Errorf("expected at least %d arena hits (all but the first per direction), got %+v", 2*rounds-2, st)
+	}
+	if st.Puts != 2*rounds {
+		t.Errorf("expected every delivery to release its staging buffer, got %+v", st)
+	}
+}

@@ -98,7 +98,7 @@ func (win *Win) rmaTransfer(p *sim.Proc, origin, srcRank, dstRank int, bytes int
 	eng := w.cluster.Eng
 	srcW, dstW := c.group[srcRank], c.group[dstRank]
 	path := w.cluster.Fabric.PathBetween(srcW, dstW)
-	cost := w.cluster.Model.Cost(machine.LibMPI, machine.APIHost, path, bytes)
+	cost := w.cluster.Cost(machine.LibMPI, machine.APIHost, path, bytes)
 	arrive := w.cluster.Fabric.Transfer(p.Now(), srcW, dstW, bytes, cost)
 	done := sim.NewGate(fmt.Sprintf("win%d rma %d->%d", win.obj.id, srcW, dstW))
 	eng.After(arrive.Sub(eng.Now()), func() {
@@ -115,6 +115,7 @@ func (win *Win) Put(p *sim.Proc, src gpu.View, n int, target, targetOff int) {
 	staged := src.Slice(0, n).Clone() // origin buffer reusable immediately
 	win.rmaTransfer(p, win.comm.rank, win.comm.rank, target, staged.Bytes(), func() {
 		gpu.Copy(dst, staged, n)
+		staged.Release()
 	})
 }
 
@@ -138,6 +139,7 @@ func (win *Win) Accumulate(p *sim.Proc, src gpu.View, n int, target, targetOff i
 	staged := src.Slice(0, n).Clone()
 	win.rmaTransfer(p, win.comm.rank, win.comm.rank, target, staged.Bytes(), func() {
 		gpu.Reduce(dst, staged, n, op)
+		staged.Release()
 	})
 }
 

@@ -8,20 +8,35 @@ import "sort"
 
 // Gate is a one-shot event: processes wait until it fires. Waiting on an
 // already-fired gate returns immediately. The zero value is a valid, unfired
-// gate.
+// gate, which lets hot-path owners (MPI message envelopes) embed gates by
+// value instead of allocating them; SetLabel attaches a diagnostic label to
+// such a gate without formatting cost.
 type Gate struct {
-	fired   bool
-	at      Time
+	fired bool
+	at    Time
+	// w0 is the inline first-waiter slot. Almost every gate in the
+	// communication layers has exactly one waiter (the poster of the request),
+	// so the common case parks and fires without ever allocating the overflow
+	// slice. FIFO order is w0 first, then waiters.
+	w0      *Proc
 	waiters []*Proc
 	label   string
-	reason  string // "gate <label>", built once instead of per wait
+	reason  string // "gate <label>", built lazily; or set whole via SetLabel
 }
 
 // NewGate returns an unfired gate with a label used in deadlock diagnostics.
 func NewGate(label string) *Gate { return &Gate{label: label, reason: "gate " + label} }
 
+// SetLabel sets the full diagnostic string a zero-value (embedded) gate
+// reports in deadlock traces and wake reasons. Callers pass a constant
+// ("gate send"), trading per-instance detail for a formatting-free hot path.
+func (g *Gate) SetLabel(reason string) { g.reason = reason }
+
 func (g *Gate) why() string {
 	if g.reason == "" {
+		if g.label == "" {
+			return "gate"
+		}
 		g.reason = "gate " + g.label
 	}
 	return g.reason
@@ -42,6 +57,10 @@ func (g *Gate) Fire(e *Engine) {
 	}
 	g.fired = true
 	g.at = e.now
+	if w := g.w0; w != nil {
+		g.w0 = nil
+		e.wake(w, e.now, g.why())
+	}
 	for _, w := range g.waiters {
 		e.wake(w, e.now, g.why())
 	}
@@ -55,12 +74,28 @@ func (g *Gate) Wait(p *Proc) {
 	if g.fired {
 		return
 	}
-	g.waiters = append(g.waiters, p)
+	if g.w0 == nil && len(g.waiters) == 0 {
+		g.w0 = p
+	} else {
+		g.waiters = append(g.waiters, p)
+	}
 	p.parkOn(g.why(), g, true)
 	p.checkInterrupt()
 }
 
-func (g *Gate) drop(p *Proc) { g.waiters = removeWaiter(g.waiters, p) }
+func (g *Gate) drop(p *Proc) {
+	if g.w0 == p {
+		// Promote the next overflow waiter so FIFO release order survives.
+		if len(g.waiters) > 0 {
+			g.w0 = g.waiters[0]
+			g.waiters = g.waiters[1:]
+		} else {
+			g.w0 = nil
+		}
+		return
+	}
+	g.waiters = removeWaiter(g.waiters, p)
+}
 
 // removeWaiter deletes p from a waiter slice, preserving FIFO order of the
 // remaining waiters. Used by the interrupt/kill cancelers.

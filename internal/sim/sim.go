@@ -8,10 +8,17 @@
 // Procs are ordered by (virtual time, sequence number), so a simulation is
 // bit-for-bit deterministic across runs and platforms. Virtual time is kept
 // in integer nanoseconds.
+//
+// Scheduling uses a direct handoff: the goroutine that holds the run token
+// (the "ball") pops the next event itself and either continues running (its
+// own wake — zero scheduler transfers), runs an engine callback inline, or
+// hands the ball straight to the next process with a single channel send.
+// The Run goroutine only parks until the simulation stops; it is not an
+// intermediary on the event path. See DESIGN.md §11 for the protocol and
+// its invariants.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -75,59 +82,39 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a scheduled occurrence. Exactly one of proc/fn is set: proc
-// events resume a parked process; fn events run a callback in engine
-// context (callbacks must not block).
-type event struct {
-	at   Time
-	seq  uint64
-	proc *Proc
-	fn   func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) peek() *event     { return h[0] }
-func (h *eventHeap) pushEv(e *event) { heap.Push(h, e) }
-func (h *eventHeap) popEv() *event   { return heap.Pop(h).(*event) }
-
-// ballMsg is how a Proc returns control to the engine.
-type ballMsg struct {
-	proc       *Proc
-	finished   bool
-	killedProc bool
-	panicked   any
-	aborted    error // an Abort that unwound out of the process with no Protect
-}
+// freePoolCap bounds the recycled-event free list. A burst of scheduling
+// (a wide collective fan-out, a chaos storm) may transiently allocate many
+// events, but once dispatched only this many are kept for reuse; the rest
+// become garbage instead of pinning memory for the life of the engine.
+const freePoolCap = 1024
 
 // Engine owns the virtual clock and the event queue.
 type Engine struct {
-	now      Time
-	seq      uint64
-	events   eventHeap
-	free     []*event // recycled events; schedule reuses them (steady-state zero-alloc)
-	ball     chan ballMsg
-	live     int // non-daemon procs spawned and not yet finished
-	alive    map[*Proc]bool
-	dead     chan struct{}
-	closed   bool
+	now  Time
+	seq  uint64
+	q    eventQueue
+	free []*event // recycled events, capped at freePoolCap (steady-state zero-alloc)
+
+	live  int // non-daemon procs spawned and not yet finished
+	alive map[*Proc]bool
+
+	// Stop protocol. While processes run, the Run goroutine parks on driver;
+	// whichever goroutine ends the simulation (queue drained, watchdog,
+	// panic, abort) records stopErr and sends one token. stopLocal covers
+	// the case where Run's own dispatch call ends the simulation before any
+	// handoff happened, so no token is in flight. Both fields are only
+	// touched by the ball holder, and the driver channel send/receive orders
+	// stopErr between goroutines.
+	driver    chan struct{}
+	stopErr   error
+	stopLocal bool
+
+	// Teardown. dead is closed by Close to unwind parked goroutines; each
+	// acknowledges on exited without touching any other engine state.
+	dead   chan struct{}
+	exited chan struct{}
+	closed bool
+
 	running  bool
 	trace    func(string)
 	deadline Time           // virtual-time watchdog; 0 disables
@@ -137,9 +124,10 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
 	return &Engine{
-		ball:  make(chan ballMsg),
-		alive: map[*Proc]bool{},
-		dead:  make(chan struct{}),
+		alive:  map[*Proc]bool{},
+		driver: make(chan struct{}),
+		dead:   make(chan struct{}),
+		exited: make(chan struct{}),
 	}
 }
 
@@ -151,12 +139,14 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	close(e.dead)
-	for len(e.alive) > 0 {
-		msg := <-e.ball
-		if msg.finished {
-			delete(e.alive, msg.proc)
-		}
+	// Every remaining goroutine is parked in a select on its resume channel
+	// and e.dead; each unwinds via the killed sentinel and acknowledges
+	// here. The killed path mutates no engine state, so reading alive while
+	// they unwind is safe.
+	for n := len(e.alive); n > 0; n-- {
+		<-e.exited
 	}
+	clear(e.alive)
 }
 
 // Now reports the current virtual time.
@@ -190,6 +180,12 @@ type Proc struct {
 	id          uint64
 	daemon      bool
 	wakePending bool
+
+	// pendingEv is the process's outstanding wake (or spawn) event, if any.
+	// At most one exists at a time (wake enforces this). If the process
+	// finishes while one is pending, it is canceled in place rather than
+	// dug out of the heap.
+	pendingEv *event
 
 	// Park bookkeeping, kept as plain fields (not an engine-side map) so
 	// the park/wake hot path performs no map operations and no string
@@ -246,7 +242,11 @@ func (e *Engine) spawnAt(t Time, name string, fn func(p *Proc), daemon bool) *Pr
 	if t < e.now {
 		panic(fmt.Sprintf("sim: SpawnAt(%v) in the past (now %v)", t, e.now))
 	}
-	p := &Proc{eng: e, name: name, resume: make(chan struct{}), id: e.seq, daemon: daemon}
+	// resume is buffered so a handoff to a goroutine that has not yet
+	// reached its first select (spawn start) deposits the token without
+	// blocking the sender. At most one token is ever outstanding
+	// (wakePending invariant).
+	p := &Proc{eng: e, name: name, resume: make(chan struct{}, 1), id: e.seq, daemon: daemon}
 	if !daemon {
 		e.live++
 	}
@@ -256,24 +256,27 @@ func (e *Engine) spawnAt(t Time, name string, fn func(p *Proc), daemon bool) *Pr
 	e.alive[p] = true
 	go func() {
 		defer func() {
-			if r := recover(); r != nil {
-				switch r.(type) {
-				case killed:
-					e.ball <- ballMsg{proc: p, finished: true, killedProc: true}
-				case crashedProc:
-					// A killed (crashed) process counts as a clean finish:
-					// the simulation keeps running on the survivors.
-					e.ball <- ballMsg{proc: p, finished: true}
-				default:
-					if a, ok := r.(abortUnwind); ok {
-						e.ball <- ballMsg{proc: p, finished: true, aborted: a.err}
-						return
-					}
-					e.ball <- ballMsg{proc: p, finished: true, panicked: r}
-				}
+			r := recover()
+			if _, ok := r.(killed); ok {
+				// Unwound by Close: the engine is being torn down
+				// concurrently, so only acknowledge — no state changes.
+				e.exited <- struct{}{}
 				return
 			}
-			e.ball <- ballMsg{proc: p, finished: true}
+			// The goroutine still holds the ball here; procExit retires the
+			// process and continues dispatching on this stack.
+			switch v := r.(type) {
+			case nil:
+				e.procExit(p, nil, nil)
+			case crashedProc:
+				// A killed (crashed) process counts as a clean finish:
+				// the simulation keeps running on the survivors.
+				e.procExit(p, nil, nil)
+			case abortUnwind:
+				e.procExit(p, nil, v.err)
+			default:
+				e.procExit(p, v, nil)
+			}
 		}()
 		select {
 		case <-p.resume:
@@ -291,7 +294,8 @@ func (e *Engine) spawnAt(t Time, name string, fn func(p *Proc), daemon bool) *Pr
 
 // schedule enqueues an event. Exactly one of proc/fn must be non-nil.
 // Events come from the engine's free list when possible, so steady-state
-// scheduling does not allocate.
+// scheduling does not allocate; same-instant events take the FIFO ring
+// instead of the heap.
 func (e *Engine) schedule(t Time, p *Proc, fn func(), why string) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v (%s)", t, e.now, why))
@@ -302,17 +306,26 @@ func (e *Engine) schedule(t Time, p *Proc, fn func(), why string) {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.proc, ev.fn = t, e.seq, p, fn
+		ev.at, ev.seq, ev.proc, ev.fn, ev.canceled = t, e.seq, p, fn, false
 	} else {
 		ev = &event{at: t, seq: e.seq, proc: p, fn: fn}
 	}
-	e.events.pushEv(ev)
+	if p != nil {
+		p.pendingEv = ev
+	}
+	if t == e.now {
+		e.q.pushNow(ev)
+	} else {
+		e.q.pushHeap(ev)
+	}
 }
 
-// release returns a popped event to the free list.
+// release returns a popped event to the free list, unless the pool is full.
 func (e *Engine) release(ev *event) {
-	ev.proc, ev.fn = nil, nil
-	e.free = append(e.free, ev)
+	if len(e.free) < freePoolCap {
+		ev.proc, ev.fn = nil, nil
+		e.free = append(e.free, ev)
+	}
 }
 
 // After runs fn in engine context after delay d. fn must not block. It is
@@ -332,30 +345,139 @@ func (e *Engine) wake(p *Proc, t Time, why string) {
 	e.schedule(t, p, nil, why)
 }
 
-// park is called from a process goroutine: it returns the ball to the engine
-// and blocks until resumed. why is reported in deadlock diagnostics; it must
-// be a static string (parkFor carries a duration detail without formatting).
+// dispatch runs the event loop on the calling goroutine until the ball is
+// handed to another process or the simulation stops. self identifies the
+// calling goroutine's process (nil for the Run goroutine). It returns true
+// when the next runnable event resumes self — the fast path: the caller
+// just keeps executing, with no scheduler transfer at all. Engine callbacks
+// (pure-delay timers, deferred deliveries) run inline on this stack, so
+// they never wake a goroutine either.
+func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
+	for {
+		ev := e.q.pop()
+		if ev == nil {
+			if e.live > 0 {
+				e.stop(self, &DeadlockError{At: e.now, Waiting: e.waitingList()})
+			} else {
+				e.stop(self, nil)
+			}
+			return false
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		if e.deadline > 0 && ev.at > e.deadline {
+			// The event is dropped, not released: a canceled proc event may
+			// still be referenced as a pendingEv, and the engine is done.
+			e.stop(self, &TimeoutError{Deadline: e.deadline, At: ev.at, Waiting: e.waitingList()})
+			return false
+		}
+		e.now = ev.at
+		if e.m != nil {
+			e.m.events.Inc()
+		}
+		if ev.canceled {
+			// Lazily-removed event (its process finished first). It still
+			// advances the clock and counts as dispatched, exactly like the
+			// old engine's stale-wakeup path.
+			e.release(ev)
+			continue
+		}
+		if fn := ev.fn; fn != nil {
+			e.release(ev)
+			if e.m != nil {
+				e.m.callbacks.Inc()
+			}
+			if err := e.runCallback(fn); err != nil {
+				e.stop(self, err)
+				return false
+			}
+			continue
+		}
+		p := ev.proc
+		p.pendingEv = nil
+		e.release(ev)
+		if e.trace != nil {
+			e.tracef("resume %s", p.name)
+		}
+		if p == self {
+			return true
+		}
+		p.resume <- struct{}{}
+		return false
+	}
+}
+
+// stop ends the run: it records the outcome and wakes the Run goroutine.
+// When Run's own dispatch is the caller (self == nil) no token is needed —
+// the outcome is read directly.
+func (e *Engine) stop(self *Proc, err error) {
+	e.stopErr = err
+	if self == nil {
+		e.stopLocal = true
+		return
+	}
+	e.driver <- struct{}{}
+}
+
+// procExit retires a finished process while its goroutine still holds the
+// ball, then either continues dispatching on this stack or ends the run.
+func (e *Engine) procExit(p *Proc, panicked any, aborted error) {
+	if !p.daemon {
+		e.live--
+	}
+	delete(e.alive, p)
+	if p.pendingEv != nil {
+		// Lazy cancellation: the wake outlives the process; flag it and let
+		// dispatch discard it when it surfaces.
+		p.pendingEv.canceled = true
+		p.pendingEv = nil
+	}
+	if e.trace != nil {
+		e.tracef("finish %s", p.name)
+	}
+	if panicked != nil {
+		e.stop(p, &PanicError{Proc: p.name, Value: panicked})
+		return
+	}
+	if aborted != nil {
+		// %w keeps errors.Is/As working on the typed failure
+		// (e.g. *RankFailedError) for callers of Run.
+		e.stop(p, fmt.Errorf("sim: process %q failed: %w", p.name, aborted))
+		return
+	}
+	e.dispatch(p)
+}
+
+// park is called from a process goroutine: it hands off the ball and blocks
+// until resumed. why is reported in deadlock diagnostics; it must be a
+// static string (parkFor carries a duration detail without formatting).
 func (p *Proc) park(why string) { p.parkFor(why, -1) }
 
 // parkFor parks with a duration detail that deadlock/timeout diagnostics
-// format lazily, keeping fmt out of the park hot path.
+// format lazily, keeping fmt out of the park hot path. The process itself
+// dispatches the next events: if the first non-callback event is its own
+// wake it simply returns (no goroutine switch); otherwise it hands the ball
+// to the next process and blocks.
 func (p *Proc) parkFor(why string, d Duration) {
+	e := p.eng
 	p.parked = true
 	p.parkWhy = why
 	p.parkDur = d
-	if p.eng.m != nil {
-		p.eng.m.countPark(why)
+	if e.m != nil {
+		e.m.countPark(why)
 	}
-	p.eng.ball <- ballMsg{proc: p}
-	select {
-	case <-p.resume:
-		p.wakePending = false
-		p.parked = false
-		if p.crashed {
-			panic(crashedProc{})
+	if !e.dispatch(p) {
+		select {
+		case <-p.resume:
+		case <-e.dead:
+			panic(killed{})
 		}
-	case <-p.eng.dead:
-		panic(killed{})
+	}
+	p.wakePending = false
+	p.parked = false
+	if p.crashed {
+		panic(crashedProc{})
 	}
 }
 
@@ -460,63 +582,21 @@ func (e *Engine) runCallback(fn func()) (err error) {
 // clean completion (all processes finished), a *DeadlockError if processes
 // remain blocked forever, or a *PanicError if a process (or an engine
 // callback) panicked.
+//
+// Run's goroutine is not on the event path: it starts the dispatch chain and
+// then parks until some goroutine ends the simulation. All intermediate
+// transfers go process-to-process.
 func (e *Engine) Run() error {
 	if e.running {
 		panic("sim: Engine.Run reentered")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.events.Len() > 0 {
-		ev := e.events.popEv()
-		if ev.at < e.now {
-			panic("sim: time went backwards")
-		}
-		if e.deadline > 0 && ev.at > e.deadline {
-			return &TimeoutError{Deadline: e.deadline, At: ev.at, Waiting: e.waitingList()}
-		}
-		e.now = ev.at
-		fn, proc := ev.fn, ev.proc
-		e.release(ev)
-		if e.m != nil {
-			e.m.events.Inc()
-		}
-		if fn != nil {
-			if e.m != nil {
-				e.m.callbacks.Inc()
-			}
-			if err := e.runCallback(fn); err != nil {
-				return err
-			}
-			continue
-		}
-		if !e.alive[proc] {
-			continue // stale wakeup for a finished process
-		}
-		if e.trace != nil {
-			e.tracef("resume %s", proc.name)
-		}
-		proc.resume <- struct{}{}
-		msg := <-e.ball
-		if msg.finished {
-			if !msg.proc.daemon {
-				e.live--
-			}
-			delete(e.alive, msg.proc)
-			if e.trace != nil {
-				e.tracef("finish %s", msg.proc.name)
-			}
-		}
-		if msg.panicked != nil {
-			return &PanicError{Proc: msg.proc.name, Value: msg.panicked}
-		}
-		if msg.aborted != nil {
-			// %w keeps errors.Is/As working on the typed failure
-			// (e.g. *RankFailedError) for callers of Run.
-			return fmt.Errorf("sim: process %q failed: %w", msg.proc.name, msg.aborted)
-		}
+	e.stopErr, e.stopLocal = nil, false
+	e.dispatch(nil)
+	if !e.stopLocal {
+		<-e.driver
 	}
-	if e.live > 0 {
-		return &DeadlockError{At: e.now, Waiting: e.waitingList()}
-	}
-	return nil
+	e.stopLocal = false
+	return e.stopErr
 }

@@ -42,6 +42,66 @@ func BenchmarkAfterCallback(b *testing.B) {
 	e.Close()
 }
 
+// BenchmarkEngineManyProcs models the scheduler profile of a many-rank cell:
+// 64 processes advancing in lock-step, so every event dispatch hands control
+// to a different goroutine (no self-resume fast path applies).
+func BenchmarkEngineManyProcs(b *testing.B) {
+	b.ReportAllocs()
+	const procs = 64
+	e := NewEngine()
+	iters := b.N/procs + 1
+	for k := 0; k < procs; k++ {
+		e.Spawn("p", func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				p.Advance(Nanosecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	e.Close()
+}
+
+// BenchmarkEngineSchedule stresses the priority queue: a deep backlog of
+// pending timers (1024 outstanding callbacks at all times), so every push
+// and pop walks the heap rather than the same-time fast path.
+func BenchmarkEngineSchedule(b *testing.B) {
+	b.ReportAllocs()
+	const depth = 1024
+	e := NewEngine()
+	var n int
+	var tick func()
+	tick = func() {
+		if n++; n < b.N {
+			// Re-arm far in the future so the queue stays deep.
+			e.After(depth*Nanosecond, tick)
+		}
+	}
+	for i := 0; i < depth && i < b.N; i++ {
+		e.After(Duration(i+1)*Nanosecond, tick)
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	e.Close()
+}
+
+// BenchmarkTimelineReserve pins the cost of booking one transfer on a port
+// timeline (the fabric's innermost operation).
+func BenchmarkTimelineReserve(b *testing.B) {
+	b.ReportAllocs()
+	tl := NewTimeline("port")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Reserve(Time(i), Nanosecond)
+	}
+}
+
 func BenchmarkGatePingPong(b *testing.B) {
 	b.ReportAllocs()
 	e := NewEngine()

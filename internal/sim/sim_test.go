@@ -591,3 +591,52 @@ func TestAdvanceAllocationGuard(t *testing.T) {
 			perAdvance, avg, iters)
 	}
 }
+
+// TestEventPoolCapBoundsRetention pins the free-list cap: a spike of
+// thousands of simultaneous pending events must not stay pinned as pooled
+// memory after the spike drains — retention is bounded by freePoolCap.
+func TestEventPoolCapBoundsRetention(t *testing.T) {
+	const spike = 4 * freePoolCap
+	e := NewEngine()
+	defer e.Close()
+	fired := 0
+	for i := 0; i < spike; i++ {
+		e.After(Duration(i+1)*Nanosecond, func() { fired++ })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != spike {
+		t.Fatalf("fired %d of %d callbacks", fired, spike)
+	}
+	if len(e.free) > freePoolCap {
+		t.Fatalf("event pool retained %d events after spike, cap is %d", len(e.free), freePoolCap)
+	}
+	// The pool must still recycle below the cap: a fresh schedule should
+	// come from the free list, not a new allocation.
+	before := len(e.free)
+	if before == 0 {
+		t.Fatal("pool empty after spike; recycling is broken")
+	}
+	e.After(Nanosecond, func() {})
+	if len(e.free) != before-1 {
+		t.Fatalf("schedule did not draw from the pool: %d -> %d", before, len(e.free))
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimelineReserveAllocationGuard pins the fabric's innermost booking
+// operation at zero allocations (paired with the CI bench-engine gate).
+func TestTimelineReserveAllocationGuard(t *testing.T) {
+	tl := NewTimeline("port")
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		tl.Reserve(Time(i), Nanosecond)
+		i++
+	})
+	if avg > 0.01 {
+		t.Fatalf("Timeline.Reserve allocates %.2f objects/op, want 0", avg)
+	}
+}
