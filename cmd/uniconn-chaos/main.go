@@ -153,6 +153,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "fault-plan seed (with -generate)")
 	workers := flag.Int("workers", 0,
 		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
+	shards := flag.Int("shards", 0,
+		"engine shards per cell (parallel-in-virtual-time); 0 = UNICONN_SHARDS env or serial engine; "+
+			"hard-fault plans (-recover) always run serial")
 	recover := flag.Bool("recover", false,
 		"recovery mode: hard-fault plans (rank crashes, dead links) under an iterative allreduce; "+
 			"reports completion and recovery latency per severity")
@@ -167,6 +170,9 @@ func main() {
 
 	if *workers > 0 {
 		os.Setenv(bench.WorkersEnv, strconv.Itoa(*workers))
+	}
+	if *shards > 0 {
+		os.Setenv(core.ShardsEnv, strconv.Itoa(*shards))
 	}
 
 	m := machine.ByName(*machineName)

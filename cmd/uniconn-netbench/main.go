@@ -34,6 +34,8 @@ func main() {
 	bw := flag.Bool("bw", false, "measure bandwidth instead of latency")
 	workers := flag.Int("workers", 0,
 		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
+	shards := flag.Int("shards", 0,
+		"engine shards per cell (parallel-in-virtual-time); 0 = UNICONN_SHARDS env or serial engine")
 	showMetrics := flag.Bool("metrics", false,
 		"collect per-cell metrics and print the merged snapshot after the table")
 	profilePath := flag.String("profile", "",
@@ -52,6 +54,9 @@ func main() {
 	}
 	if *workers > 0 {
 		os.Setenv(bench.WorkersEnv, strconv.Itoa(*workers))
+	}
+	if *shards > 0 {
+		os.Setenv(core.ShardsEnv, strconv.Itoa(*shards))
 	}
 
 	type col struct {

@@ -59,12 +59,17 @@ func main() {
 	iters := flag.Int("iters", 20, "timed iterations (jacobi, cg)")
 	workers := flag.Int("workers", 0,
 		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
+	shards := flag.Int("shards", 0,
+		"engine shards per cell (parallel-in-virtual-time); 0 = UNICONN_SHARDS env or serial engine")
 	jsonPath := flag.String("json", "", "write merged metrics JSON here")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON here")
 	flag.Parse()
 
 	if *workers > 0 {
 		os.Setenv(bench.WorkersEnv, strconv.Itoa(*workers))
+	}
+	if *shards > 0 {
+		os.Setenv(core.ShardsEnv, strconv.Itoa(*shards))
 	}
 	m := machine.ByName(*machineName)
 	if m == nil {

@@ -74,8 +74,50 @@ func TestPercentDiff(t *testing.T) {
 	if got := PercentDiff(102, 100); math.Abs(got-2) > 1e-12 {
 		t.Fatalf("diff = %v", got)
 	}
-	if PercentDiff(5, 0) != 0 {
-		t.Fatal("zero ref not handled")
+	if got := PercentDiff(5, 0); !math.IsInf(got, 1) {
+		t.Fatalf("PercentDiff(5, 0) = %v, want +Inf", got)
+	}
+	if got := PercentDiff(-5, 0); !math.IsInf(got, -1) {
+		t.Fatalf("PercentDiff(-5, 0) = %v, want -Inf", got)
+	}
+	if got := PercentDiff(0, 0); !math.IsNaN(got) {
+		t.Fatalf("PercentDiff(0, 0) = %v, want NaN", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(2.5); got != "2.50%" {
+		t.Fatalf("pct(2.5) = %q", got)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := pct(v); got != "n/a" {
+			t.Fatalf("pct(%v) = %q, want n/a", v, got)
+		}
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		b    int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1024, "1KiB"},
+		{1536, "1.5KiB"},
+		{2048, "2KiB"},
+		{1 << 20, "1MiB"},
+		{3 << 19, "1.5MiB"},
+		{1 << 30, "1GiB"},
+		{5 << 28, "1.2GiB"},
+		{-1536, "-1.5KiB"},
+		{-512, "-512B"},
+		{math.MinInt64, "-8589934592GiB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.b); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.b, got, c.want)
+		}
 	}
 }
 

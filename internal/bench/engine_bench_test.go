@@ -17,9 +17,10 @@ import (
 
 // runAllreduceCell launches one simulation cell: ranks processes on
 // Perlmutter, each running iters MPI allreduces over elems float64 elements.
-func runAllreduceCell(b *testing.B, ranks, elems, iters int) {
+// shards selects the engine shard count (0 = serial legacy engine).
+func runAllreduceCell(b *testing.B, ranks, elems, iters, shards int) {
 	b.Helper()
-	_, err := core.Launch(core.Config{Model: machine.Perlmutter(), NGPUs: ranks, Backend: core.MPIBackend},
+	_, err := core.Launch(core.Config{Model: machine.Perlmutter(), NGPUs: ranks, Backend: core.MPIBackend, Shards: shards},
 		func(env *core.Env) {
 			comm := env.MPIComm()
 			p := env.Proc()
@@ -44,7 +45,7 @@ func runAllreduceCell(b *testing.B, ranks, elems, iters int) {
 func BenchmarkCellLarge(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		runAllreduceCell(b, 64, 256, 20)
+		runAllreduceCell(b, 64, 256, 20, 0)
 	}
 }
 
@@ -54,7 +55,7 @@ func BenchmarkCellLarge(b *testing.B) {
 func BenchmarkCellLargeRing(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		runAllreduceCell(b, 64, 16<<10, 4)
+		runAllreduceCell(b, 64, 16<<10, 4, 0)
 	}
 }
 
@@ -62,6 +63,25 @@ func BenchmarkCellLargeRing(b *testing.B) {
 func BenchmarkCellMedium(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		runAllreduceCell(b, 8, 256, 20)
+		runAllreduceCell(b, 8, 256, 20, 0)
+	}
+}
+
+// BenchmarkCellLargeShards1/4 run the 64-rank cell on the windowed
+// parallel-in-virtual-time engine (BENCH_engine.json's shards column).
+// Shards1 isolates the windowing overhead against BenchmarkCellLarge;
+// Shards4 adds real parallelism on multi-core hosts (the 16 nodes are
+// spread over 4 worker goroutines).
+func BenchmarkCellLargeShards1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runAllreduceCell(b, 64, 256, 20, 1)
+	}
+}
+
+func BenchmarkCellLargeShards4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runAllreduceCell(b, 64, 256, 20, 4)
 	}
 }

@@ -287,10 +287,13 @@ func RunFig34(sc Scale, inter bool) ([]Figure, error) {
 			}
 			lat.Series = append(lat.Series, natL, ucL)
 			bw.Series = append(bw.Series, natB, ucB)
-			lat.Notes = append(lat.Notes, fmt.Sprintf("%s avg UNICONN latency overhead: %.2f%%",
-				lib.label, sumLat/float64(cnt)))
-			bw.Notes = append(bw.Notes, fmt.Sprintf("%s avg UNICONN bandwidth loss: %.2f%%",
-				lib.label, sumBw/float64(cnt)))
+			// pct renders "n/a" when any point had a zero reference
+			// (which poisons the average with NaN/Inf) instead of a
+			// bogus "0.00%".
+			lat.Notes = append(lat.Notes, fmt.Sprintf("%s avg UNICONN latency overhead: %s",
+				lib.label, pct(sumLat/float64(cnt))))
+			bw.Notes = append(bw.Notes, fmt.Sprintf("%s avg UNICONN bandwidth loss: %s",
+				lib.label, pct(sumBw/float64(cnt))))
 		}
 		figs = append(figs, lat, bw)
 	}
@@ -384,8 +387,8 @@ func RunFig5(sc Scale) ([]Figure, error) {
 			for j := range nat {
 				sum += (uc[j] - nat[j]) / nat[j] * 100
 			}
-			fig.Notes = append(fig.Notes, fmt.Sprintf("%s avg UNICONN diff: %.2f%%",
-				strings.Split(variants[i].label, ":")[0], sum/float64(len(nat))))
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s avg UNICONN diff: %s",
+				strings.Split(variants[i].label, ":")[0], pct(sum/float64(len(nat)))))
 		}
 		figs = append(figs, fig)
 	}
@@ -489,8 +492,8 @@ func RunFig6(sc Scale) ([]Figure, error) {
 				nat, okN := results[bk+":Native"]
 				uc, okU := results[bk+":Uniconn"]
 				if okN && okU {
-					fig.Notes = append(fig.Notes, fmt.Sprintf("%s UNICONN diff: %.2f%%",
-						bk, PercentDiff(uc, nat)))
+					fig.Notes = append(fig.Notes, fmt.Sprintf("%s UNICONN diff: %s",
+						bk, pct(PercentDiff(uc, nat))))
 				}
 			}
 			fig.Notes = append(fig.Notes, fmt.Sprintf(

@@ -39,6 +39,10 @@ type NetConfig struct {
 	// (default 64, as in the paper).
 	Window int
 
+	// Shards selects the engine shard count of the run (0 = the
+	// UNICONN_SHARDS environment default; see core.Config.Shards).
+	Shards int
+
 	// Faults, when non-nil, injects a fault plan into the run (chaos
 	// benchmarking; see internal/faults).
 	Faults *faults.Plan
@@ -122,7 +126,7 @@ func LatencyRun(cfg NetConfig) (sim.Duration, core.Report, error) {
 	iters, warmup, _ := cfg.counts(false)
 	var rt sim.Duration
 	rep, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend,
-		Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
+		Shards: cfg.Shards, Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
 		func(env *core.Env) {
 			d := cfg.latencyRank(env, iters, warmup)
 			if env.WorldRank() == 0 {
@@ -150,7 +154,7 @@ func BandwidthRun(cfg NetConfig) (float64, core.Report, error) {
 	iters, warmup, window := cfg.counts(true)
 	var total sim.Duration
 	rep, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend,
-		Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
+		Shards: cfg.Shards, Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
 		func(env *core.Env) {
 			d := cfg.bandwidthRank(env, iters, warmup, window)
 			if env.WorldRank() == 0 {

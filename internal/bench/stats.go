@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/sim"
@@ -38,12 +39,34 @@ func TrimmedMean(xs []sim.Duration) sim.Duration {
 }
 
 // PercentDiff reports (x-ref)/ref in percent — the quantity of the
-// embedded overhead plots in Figs. 3-4.
+// embedded overhead plots in Figs. 3-4. A zero reference makes the ratio
+// undefined: the result is NaN when x is also zero and ±Inf (matching the
+// sign of x) otherwise, never a silent 0% that would hide a real
+// difference. Plot paths render these as "n/a" (see pct).
 func PercentDiff(x, ref sim.Duration) float64 {
 	if ref == 0 {
-		return 0
+		if x == 0 {
+			return math.NaN()
+		}
+		return math.Inf(int(sign(x)))
 	}
 	return (float64(x) - float64(ref)) / float64(ref) * 100
+}
+
+func sign(d sim.Duration) sim.Duration {
+	if d < 0 {
+		return -1
+	}
+	return 1
+}
+
+// pct formats a percentage for report notes, rendering the undefined
+// values PercentDiff produces for zero references as "n/a".
+func pct(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", v)
 }
 
 // Sizes returns the power-of-two message sizes of an OSU sweep,
@@ -62,16 +85,33 @@ func Sizes(minBytes, maxBytes int64) []int64 {
 	return out
 }
 
-// HumanBytes formats a byte count with binary units.
+// HumanBytes formats a byte count with binary units. Exact multiples print
+// as integers ("2KiB"); everything else keeps one decimal ("1.5KiB") so a
+// value like 1536 is not silently truncated to "1KiB". Negative counts are
+// formatted by sign-prefixing the magnitude.
 func HumanBytes(b int64) string {
+	if b < 0 {
+		if b == math.MinInt64 {
+			// -b overflows; 2^63 bytes is exactly 2^33 GiB.
+			return "-8589934592GiB"
+		}
+		return "-" + HumanBytes(-b)
+	}
 	switch {
 	case b >= 1<<30:
-		return fmt.Sprintf("%dGiB", b>>30)
+		return humanUnit(b, 30, "GiB")
 	case b >= 1<<20:
-		return fmt.Sprintf("%dMiB", b>>20)
+		return humanUnit(b, 20, "MiB")
 	case b >= 1<<10:
-		return fmt.Sprintf("%dKiB", b>>10)
+		return humanUnit(b, 10, "KiB")
 	default:
 		return fmt.Sprintf("%dB", b)
 	}
+}
+
+func humanUnit(b int64, shift uint, unit string) string {
+	if b&((1<<shift)-1) == 0 {
+		return fmt.Sprintf("%d%s", b>>shift, unit)
+	}
+	return fmt.Sprintf("%.1f%s", float64(b)/float64(int64(1)<<shift), unit)
 }

@@ -14,14 +14,19 @@
 // fully overwrite the requested length, which every staging site does by
 // construction (the acquisition is immediately followed by the copy).
 //
-// Pools are single-threaded by design, like the rest of a simulation cell:
-// each gpu.Cluster owns its pools, so parallel sweep cells never share one
+// Each gpu.Cluster owns its pools, so parallel sweep cells never share one
 // (the same ownership rule as trace logs and metrics registries, see
-// internal/bench/runner.go). Pooling is invisible to virtual time and to
-// numerics — storage identity never influences simulation results.
+// internal/bench/runner.go). Within one cell, a sharded run
+// (core.Config.Shards) has several shard engines staging through the same
+// pools concurrently, so Get/Put are mutex-guarded. Pooling is invisible to
+// virtual time and to numerics — storage identity never influences
+// simulation results, so which shard reuses which slice cannot either.
 package buf
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 const (
 	// MinClassLen is the element count of the smallest size class; smaller
@@ -72,9 +77,10 @@ type Stats struct {
 }
 
 // Pool is a size-classed free list of []T slices. The zero value is ready
-// to use. Not safe for concurrent use: one pool belongs to one simulation
-// cell.
+// to use. One pool belongs to one simulation cell; a mutex covers the
+// shard engines of a sharded run sharing it.
 type Pool[T any] struct {
+	mu    sync.Mutex
 	free  [NumClasses][][]T
 	stats Stats
 }
@@ -82,6 +88,8 @@ type Pool[T any] struct {
 // Get returns a slice of length n whose capacity is n's size class.
 // Contents are unspecified: the caller must overwrite all n elements.
 func (p *Pool[T]) Get(n int) []T {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.stats.Gets++
 	c := classFor(n)
 	if c < 0 {
@@ -102,6 +110,8 @@ func (p *Pool[T]) Get(n int) []T {
 // capacity is not an exact class size (oversize requests, foreign slices)
 // and slices landing in a full class are dropped for the garbage collector.
 func (p *Pool[T]) Put(s []T) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	c := classFor(cap(s))
 	if c < 0 || cap(s) != MinClassLen<<c || len(p.free[c]) >= perClassCap {
 		p.stats.Drops++
@@ -113,4 +123,8 @@ func (p *Pool[T]) Put(s []T) {
 }
 
 // Stats returns a snapshot of the pool's traffic counters.
-func (p *Pool[T]) Stats() Stats { return p.stats }
+func (p *Pool[T]) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -26,6 +26,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 
 	"repro/internal/faults"
 	"repro/internal/gpu"
@@ -96,6 +98,53 @@ type Config struct {
 	// one registry per run, merged afterwards (see internal/bench/runner.go
 	// for the sweep ownership rule).
 	Metrics *metrics.Registry
+	// Shards selects parallel-in-virtual-time execution: the cell's ranks
+	// are partitioned by cluster node across this many engines, advanced in
+	// conservative lookahead windows (sim.Group; DESIGN.md §12). 0 (the
+	// default) consults the UNICONN_SHARDS environment variable and falls
+	// back to the classic serial engine; any positive count (clamped to the
+	// node count) runs the windowed protocol, whose virtual-time results
+	// are bit-identical at every shard count >= 1. Runs that the windowed
+	// protocol cannot express — hard-fault plans (crashes, link downs)
+	// and models without an inter-node latency floor — fall back to
+	// serial regardless of the setting, and non-MPI backends clamp to one
+	// shard (their transfer paths couple engines directly).
+	Shards int
+}
+
+// ShardsEnv is the environment variable consulted when Config.Shards is 0,
+// mirroring the sweep runner's UNICONN_WORKERS: the CLIs' -shards flags set
+// it, and the CI determinism tests toggle it per run.
+const ShardsEnv = "UNICONN_SHARDS"
+
+// shards resolves the effective shard count: 0 for the serial engine, or a
+// positive windowed shard count (before node-count clamping).
+func (cfg Config) shards() int {
+	s := cfg.Shards
+	if s == 0 {
+		if v, err := strconv.Atoi(os.Getenv(ShardsEnv)); err == nil {
+			s = v
+		}
+	}
+	if s <= 0 {
+		return 0
+	}
+	if f := cfg.Faults; f != nil && (len(f.Crashes) > 0 || len(f.LinkDowns) > 0) {
+		// Hard-fault survival (rank crash recovery, link failover) runs the
+		// coupled transfer model and engine-wide interrupts; neither has a
+		// split-protocol equivalent yet.
+		return 0
+	}
+	if cfg.Model.MinInterAlpha() <= 0 {
+		return 0 // no latency floor, no lookahead window
+	}
+	if cfg.Backend != MPIBackend {
+		// GPUCCL/GPUSHMEM move data with direct cross-node Transfer calls
+		// (and RMA windows); until those learn the conduit they run whole
+		// on one windowed engine.
+		s = 1
+	}
+	return s
 }
 
 // Validate reports whether the configuration is runnable.
@@ -145,6 +194,9 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return rep, err
 	}
+	if s := cfg.shards(); s > 0 {
+		return launchSharded(cfg, s, main)
+	}
 	eng := sim.NewEngine()
 	defer eng.Close()
 	job := &Job{cfg: cfg, eng: eng, cluster: gpu.NewCluster(eng, cfg.Model, cfg.NGPUs),
@@ -191,6 +243,81 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 	rep.End = eng.Now()
 	if cfg.Metrics != nil {
 		job.cluster.Fabric.PublishOccupancy(cfg.Metrics, rep.End)
+	}
+	return rep, nil
+}
+
+// launchSharded is Launch's parallel-in-virtual-time variant: one engine
+// per shard, ranks partitioned by cluster node, windows driven by a
+// sim.Group with the machine's minimum inter-node alpha as lookahead.
+// cfg.shards() has already excluded everything the windowed protocol
+// cannot express (hard faults, missing latency floor) and clamped non-MPI
+// backends to one shard; node-count clamping happens here, where the node
+// count is known.
+func launchSharded(cfg Config, shards int, main func(env *Env)) (Report, error) {
+	var rep Report
+	nodes := cfg.Model.NodesFor(cfg.NGPUs)
+	if shards > nodes {
+		shards = nodes
+	}
+	engines := make([]*sim.Engine, shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	// Nodes map to shards round-robin; any deterministic map works (the
+	// protocol is partition-independent), round-robin balances uneven
+	// node counts.
+	shardOf := make([]int, nodes)
+	for n := range shardOf {
+		shardOf[n] = n % shards
+	}
+	group := sim.NewGroup(engines, shardOf, cfg.Model.MinInterAlpha())
+	cluster := gpu.NewClusterOn(engines, shardOf, cfg.Model, cfg.NGPUs)
+	cluster.Conduit = group.Conduit()
+	job := &Job{cfg: cfg, eng: engines[0], cluster: cluster,
+		crashed: map[int]bool{}, failed: map[int]bool{}}
+	if cfg.Trace != nil {
+		cluster.SetTrace(cfg.Trace)
+	}
+	if cfg.Metrics != nil {
+		cluster.SetMetrics(cfg.Metrics)
+	}
+	if f := cfg.Faults; f != nil {
+		cluster.Fabric.LinkFault = f.LinkCostAt
+		f.ApplyStalls(cluster.Fabric)
+		cluster.ComputeFault = f.ComputeFactor
+		if f.Watchdog > 0 {
+			for _, e := range engines {
+				e.SetWatchdog(sim.Time(f.Watchdog))
+			}
+		}
+	}
+	job.mpiWorld = mpi.NewWorld(cluster)
+	switch cfg.Backend {
+	case GpucclBackend:
+		job.cclWorld = gpuccl.NewWorld(cluster)
+	case GpushmemBackend:
+		job.shmemWorld = gpushmem.NewWorld(cluster)
+	}
+	for r := 0; r < cfg.NGPUs; r++ {
+		r := r
+		job.rankProcs = append(job.rankProcs, cluster.Devices[r].Engine().Spawn(
+			fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+				env := newEnv(job, r, p)
+				main(env)
+			}))
+	}
+	if err := group.Run(); err != nil {
+		return rep, err
+	}
+	rep.End = group.End()
+	if cfg.Metrics != nil {
+		cluster.Fabric.PublishOccupancy(cfg.Metrics, rep.End)
 	}
 	return rep, nil
 }

@@ -267,6 +267,79 @@ func (f *Fabric) TryTransfer(at sim.Time, src, dst int, bytes int64, cost LinkCo
 	return f.Transfer(at, src, dst, bytes, cost), nil
 }
 
+// SendInter books only the source side of an inter-node message: the NIC
+// egress port serving src. It returns the departure time of the last byte
+// and the (possibly fault-rewritten) cost actually booked. The destination
+// side is booked separately by RecvInter, on the destination node's shard,
+// when the conduit delivers the message at depart + cost.Latency — this
+// split is what lets sharded runs (sim.Group) book each port from exactly
+// one shard. Relative to the coupled Transfer, the split model books the
+// two ports independently (pipelined store-and-forward) instead of finding
+// a common occupancy window, so contended inter-node timings differ between
+// the serial and windowed protocols; they are identical across windowed
+// shard counts, which is what the 1-vs-N byte-compares pin.
+//
+// Hard-faulted routes (LinkDownAt) are not supported here: core forces
+// hard-fault plans onto the serial engine, so a down route reaching
+// SendInter is a gating bug and panics.
+func (f *Fabric) SendInter(at sim.Time, src, dst int, bytes int64, cost LinkCost) (depart sim.Time, booked LinkCost) {
+	if f.LinkFault != nil {
+		healthy := cost
+		cost = f.LinkFault(at, src, dst, PathInter, cost)
+		if f.m != nil && cost != healthy {
+			f.m.faulted.Inc()
+		}
+	}
+	if len(f.downs) > 0 && f.LinkDownAt(at, src, dst, PathInter) {
+		panic("fabric: SendInter on a down route (hard-fault plans must run on the serial engine)")
+	}
+	start, end := f.nicOut[f.nic(src)].Reserve(at, cost.Duration(bytes))
+	if f.m != nil {
+		f.m.xfers[PathInter].Inc()
+		f.m.bytes[PathInter].Add(bytes)
+		f.m.wait[PathInter].Add(int64(start.Sub(at)))
+	}
+	return end, cost
+}
+
+// TrySendInter is SendInter, except that when the source NIC port is inside
+// a stall window at time at it books nothing and returns the stall so the
+// caller can retry with backoff (the rendezvous payload path). Destination-
+// side stalls are handled by RecvInter's booking, which pushes past them.
+func (f *Fabric) TrySendInter(at sim.Time, src, dst int, bytes int64, cost LinkCost) (depart sim.Time, booked LinkCost, stall *StallError) {
+	port := f.nicOut[f.nic(src)]
+	if until, stalled := port.StalledAt(at); stalled {
+		if f.m != nil {
+			f.m.stalls.Inc()
+		}
+		return 0, cost, &StallError{Port: port.Label(), Until: until}
+	}
+	depart, booked = f.SendInter(at, src, dst, bytes, cost)
+	return depart, booked, nil
+}
+
+// RecvInter books the destination side of an inter-node message whose last
+// byte reaches the destination NIC at deliver (= SendInter's depart plus
+// the booked latency), and returns when it clears the ingress port. The
+// booking is backdated by the occupancy duration so an uncontended receive
+// arrives at exactly deliver; a contended or stalled port pushes arrival
+// later. cost must be the booked cost returned by SendInter. The transfer's
+// trace span is recorded here, covering ingress occupancy through arrival.
+func (f *Fabric) RecvInter(deliver sim.Time, src, dst int, bytes int64, cost LinkCost) sim.Time {
+	dur := cost.Duration(bytes)
+	start, arrive := f.nicIn[f.nic(dst)].Reserve(deliver.Add(-dur), dur)
+	if f.Trace != nil {
+		f.Trace.Add(trace.Span{
+			Kind:  trace.KindTransfer,
+			Label: fmt.Sprintf("gpu%d->gpu%d", src, dst),
+			Track: PathInter.String(),
+			Rank:  src, Src: src, Dst: dst,
+			Start: start, End: arrive, Bytes: bytes,
+		})
+	}
+	return arrive
+}
+
 // StallNIC adds an admission blackout on one NIC port of a node, in both
 // directions, modeling a flapping network port. Transfers routed through the
 // port during [start, end) are pushed past the window (Transfer) or rejected

@@ -29,11 +29,15 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing int64. The nil counter discards
-// updates.
-type Counter struct{ v int64 }
+// updates. Updates are atomic: in a sharded run (core.Config.Shards) the
+// shard engines update shared instruments concurrently, and addition
+// commutes, so totals stay deterministic at any shard count.
+type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
 func (c *Counter) Inc() { c.Add(1) }
@@ -44,7 +48,7 @@ func (c *Counter) Add(n int64) {
 	if c == nil || n <= 0 {
 		return
 	}
-	c.v += n
+	c.v.Add(n)
 }
 
 // Value reports the current count (0 on nil).
@@ -52,11 +56,14 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Gauge is a last/extremum-valued float64. The nil gauge discards updates.
+// A mutex covers concurrent shard updates; Max is order-free, so extrema
+// stay deterministic at any shard count.
 type Gauge struct {
+	mu  sync.Mutex
 	v   float64
 	set bool
 }
@@ -66,7 +73,9 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
+	g.mu.Lock()
 	g.v, g.set = v, true
+	g.mu.Unlock()
 }
 
 // Max raises the gauge to v if v exceeds the current value (or the gauge is
@@ -75,9 +84,11 @@ func (g *Gauge) Max(v float64) {
 	if g == nil {
 		return
 	}
+	g.mu.Lock()
 	if !g.set || v > g.v {
 		g.v, g.set = v, true
 	}
+	g.mu.Unlock()
 }
 
 // Value reports the gauge value and whether it was ever set.
@@ -85,6 +96,8 @@ func (g *Gauge) Value() (float64, bool) {
 	if g == nil {
 		return 0, false
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.v, g.set
 }
 
@@ -95,8 +108,11 @@ const histBuckets = 65
 
 // Histogram accumulates non-negative int64 observations (virtual-time
 // nanoseconds by convention) into power-of-two buckets plus count/sum/
-// min/max. The nil histogram discards updates.
+// min/max. The nil histogram discards updates. A mutex covers concurrent
+// shard updates; all the aggregates are order-free functions of the
+// observation multiset, which is itself shard-count invariant.
 type Histogram struct {
+	mu       sync.Mutex
 	count    int64
 	sum      int64
 	min, max int64
@@ -111,6 +127,7 @@ func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
+	h.mu.Lock()
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -120,6 +137,7 @@ func (h *Histogram) Observe(v int64) {
 	h.count++
 	h.sum += v
 	h.buckets[bits.Len64(uint64(v))]++
+	h.mu.Unlock()
 }
 
 // Count reports the number of observations (0 on nil).
@@ -127,6 +145,8 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.count
 }
 
@@ -135,6 +155,8 @@ func (h *Histogram) Sum() int64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.sum
 }
 
@@ -250,15 +272,17 @@ func (r *Registry) Snapshot() Snapshot {
 		return s
 	}
 	for name, c := range r.counters {
-		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.v})
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
 	}
 	for name, g := range r.gauges {
-		if g.set {
-			s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.v})
+		if v, set := g.Value(); set {
+			s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: v})
 		}
 	}
 	for name, h := range r.hists {
+		h.mu.Lock()
 		if h.count == 0 {
+			h.mu.Unlock()
 			continue
 		}
 		hv := HistValue{Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
@@ -267,6 +291,7 @@ func (r *Registry) Snapshot() Snapshot {
 				hv.Buckets = append(hv.Buckets, HistBucket{Exp: exp, Count: n})
 			}
 		}
+		h.mu.Unlock()
 		s.Histograms = append(s.Histograms, hv)
 	}
 	s.sort()

@@ -12,6 +12,7 @@ package mpi
 import (
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/gpu"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -91,10 +92,11 @@ func NewWorld(cluster *gpu.Cluster) *World {
 	group := make([]int, len(cluster.Devices))
 	for i, dev := range cluster.Devices {
 		w.eps = append(w.eps, &Endpoint{
-			world: w,
-			rank:  i,
-			dev:   dev,
-			pairs: map[pairKey]*pairState{},
+			world:    w,
+			rank:     i,
+			dev:      dev,
+			pairs:    map[pairKey]*pairState{},
+			sendSeqs: map[pairKey]uint64{},
 		})
 		group[i] = i
 	}
@@ -124,20 +126,37 @@ type Endpoint struct {
 	posted     []*postedRecv
 	unexpected []*header
 	pairs      map[pairKey]*pairState
-	winSeq     uint64
+	// sendSeqs assigns the per-(destination, context) send sequence numbers
+	// this endpoint stamps on outgoing headers. It lives on the sender (not
+	// in the destination's pairState) so a send touches only sender-side
+	// state — under sharding (gpu.Cluster.Conduit) the destination endpoint
+	// may belong to another shard, and only the conduit may cross shards.
+	// The numbering is identical either way: monotonically increasing from
+	// zero per (src, dst, ctx).
+	sendSeqs map[pairKey]uint64
+	winSeq   uint64
 }
 
 // pairKey orders headers per (source rank, context) pair so that matching
-// preserves MPI's non-overtaking guarantee.
+// preserves MPI's non-overtaking guarantee. The sender's sendSeqs map reuses
+// the type with src holding the destination rank.
 type pairKey struct {
 	src int
 	ctx int
 }
 
 type pairState struct {
-	nextSend uint64             // next sequence to assign (on the sender's view)
 	nextRecv uint64             // next sequence to admit into matching
 	held     map[uint64]*header // lazily allocated: only out-of-order arrivals need it
+}
+
+// sendSeq returns and advances the next send sequence number for messages
+// from this endpoint to world rank dst in context ctx.
+func (ep *Endpoint) sendSeq(dst, ctx int) uint64 {
+	k := pairKey{src: dst, ctx: ctx}
+	s := ep.sendSeqs[k]
+	ep.sendSeqs[k] = s + 1
+	return s
 }
 
 // Status describes a completed receive.
@@ -257,23 +276,26 @@ func (c *Comm) Isend(p *sim.Proc, buf gpu.View, dst, tag int) *Request {
 	p.Advance(prof.CallOverhead)
 
 	w := c.ep.world
-	eng := w.cluster.Eng
+	eng := p.Engine()
 	srcWorld, dstWorld := c.group[c.rank], c.group[dst]
 	dstEp := w.eps[dstWorld]
 
-	pk := pairKey{src: srcWorld, ctx: c.ctx}
-	ps := dstEp.pair(pk)
-	seq := ps.nextSend
-	ps.nextSend++
-
 	h := &header{
-		src: srcWorld, dst: dstWorld, ctx: c.ctx, tag: tag, seq: seq,
+		src: srcWorld, dst: dstWorld, ctx: c.ctx, tag: tag,
+		seq:   c.ep.sendSeq(dstWorld, c.ctx),
 		count: buf.Len(), elemSize: buf.ElemSize(),
 	}
 	h.sGate.SetLabel("gate send")
 	bytes := buf.Bytes()
-	path := w.cluster.Fabric.PathBetween(srcWorld, dstWorld)
+	fab := w.cluster.Fabric
+	path := fab.PathBetween(srcWorld, dstWorld)
 	cost := w.cluster.Cost(machine.LibMPI, machine.APIHost, path, bytes)
+	// Inter-node messages of a sharded run cross shards through the
+	// conduit; everything else (and every serial run) stays on the direct
+	// same-engine path. Same-node traffic always shares a shard, so only
+	// PathInter can cross.
+	cd := w.cluster.Conduit
+	sharded := cd != nil && path == fabric.PathInter
 
 	if bytes <= prof.EagerMax {
 		// Eager: snapshot the payload, inject, and complete locally once
@@ -281,8 +303,19 @@ func (c *Comm) Isend(p *sim.Proc, buf gpu.View, dst, tag int) *Request {
 		w.mEager.Inc()
 		h.eager = true
 		h.staged = buf.Clone()
-		arrive := w.cluster.Fabric.Transfer(p.Now(), srcWorld, dstWorld, bytes, cost)
-		eng.After(arrive.Sub(eng.Now()), func() { dstEp.admit(h) })
+		if sharded {
+			// Split booking: the source shard books its NIC egress now;
+			// the destination shard books ingress when the conduit
+			// delivers the envelope one wire latency after departure.
+			depart, booked := fab.SendInter(p.Now(), srcWorld, dstWorld, bytes, cost)
+			cd.Post(fab.Node(srcWorld), fab.Node(dstWorld), depart.Add(booked.Latency), func(dstEng *sim.Engine) {
+				arrive := fab.RecvInter(dstEng.Now(), srcWorld, dstWorld, bytes, booked)
+				dstEng.After(arrive.Sub(dstEng.Now()), func() { dstEp.admit(h) })
+			})
+		} else {
+			arrive := fab.Transfer(p.Now(), srcWorld, dstWorld, bytes, cost)
+			eng.After(arrive.Sub(eng.Now()), func() { dstEp.admit(h) })
+		}
 		h.sGate.Fire(eng) // send buffer reusable immediately after staging
 		return &Request{done: &h.sGate}
 	}
@@ -293,7 +326,12 @@ func (c *Comm) Isend(p *sim.Proc, buf gpu.View, dst, tag int) *Request {
 	w.mRendezvous.Inc()
 	h.srcBuf = buf
 	half := prof.RendezvousOverhead / 2
-	eng.After(sim.Duration(half)+cost.Latency, func() { dstEp.admit(h) })
+	if sharded {
+		cd.Post(fab.Node(srcWorld), fab.Node(dstWorld), p.Now().Add(half+cost.Latency),
+			func(*sim.Engine) { dstEp.admit(h) })
+	} else {
+		eng.After(half+cost.Latency, func() { dstEp.admit(h) })
+	}
 	return &Request{done: &h.sGate}
 }
 
@@ -410,7 +448,7 @@ func (ep *Endpoint) deliver(h *header, pr *postedRecv) {
 			h.count, pr.count, h.src, h.tag))
 	}
 	w := ep.world
-	eng := w.cluster.Eng
+	eng := ep.dev.Engine()
 	pr.status = Status{Source: h.src, Tag: h.tag, Count: h.count}
 
 	if h.eager {
@@ -430,6 +468,10 @@ func (ep *Endpoint) deliver(h *header, pr *postedRecv) {
 	bytes := h.srcBuf.Bytes()
 	path := w.cluster.Fabric.PathBetween(h.src, h.dst)
 	cost := w.cluster.Cost(machine.LibMPI, machine.APIHost, path, bytes)
+	if cd := w.cluster.Conduit; cd != nil && path == fabric.PathInter {
+		ep.deliverRendezvousSharded(h, pr, cd, cost, bytes, half)
+		return
+	}
 	var attempt func(backoff sim.Duration)
 	attempt = func(backoff sim.Duration) {
 		arrive, stall := w.cluster.Fabric.TryTransfer(eng.Now(), h.src, h.dst, bytes, cost)
@@ -455,6 +497,55 @@ func (ep *Endpoint) deliver(h *header, pr *postedRecv) {
 		})
 	}
 	eng.After(sim.Duration(half), func() { attempt(rendezvousBackoffBase) })
+}
+
+// deliverRendezvousSharded is the rendezvous payload path of a sharded run:
+// src and dst live on different shards, so every leg crosses through the
+// conduit. The CTS travels back to the source node (paying the other half
+// of the handshake overhead plus one wire latency — the serial protocol
+// folds the CTS wire time into the coupled transfer, so sharded rendezvous
+// timings differ from serial ones; they are identical across shard counts,
+// which is what the 1-vs-N byte-compares pin). At the source the payload is
+// booked with the stall/backoff retry loop against the local NIC egress,
+// snapshotted when it departs, and shipped; the destination books ingress
+// on its own shard and completes the receive.
+func (ep *Endpoint) deliverRendezvousSharded(h *header, pr *postedRecv, cd *sim.Conduit, cost fabric.LinkCost, bytes int64, half sim.Duration) {
+	w := ep.world
+	fab := w.cluster.Fabric
+	srcNode, dstNode := fab.Node(h.src), fab.Node(h.dst)
+	cd.Post(dstNode, srcNode, ep.dev.Engine().Now().Add(half+cost.Latency), func(srcEng *sim.Engine) {
+		var attempt func(backoff sim.Duration)
+		attempt = func(backoff sim.Duration) {
+			depart, booked, stall := fab.TrySendInter(srcEng.Now(), h.src, h.dst, bytes, cost)
+			if stall != nil {
+				w.mRetries.Inc()
+				wait := backoff
+				if d := stall.Until.Sub(srcEng.Now()); d > wait {
+					wait = d
+				}
+				next := backoff * 2
+				if next > rendezvousBackoffMax {
+					next = rendezvousBackoffMax
+				}
+				srcEng.After(wait, func() { attempt(next) })
+				return
+			}
+			// Snapshot the payload as it leaves the send buffer: the source
+			// completes at departure, so the application may reuse the
+			// buffer before the bytes reach the destination.
+			staged := h.srcBuf.Clone()
+			srcEng.After(depart.Sub(srcEng.Now()), func() { h.sGate.Fire(srcEng) })
+			cd.Post(srcNode, dstNode, depart.Add(booked.Latency), func(dstEng *sim.Engine) {
+				arrive := fab.RecvInter(dstEng.Now(), h.src, h.dst, bytes, booked)
+				dstEng.After(arrive.Sub(dstEng.Now()), func() {
+					gpu.Copy(pr.buf, staged, h.count)
+					staged.Release()
+					pr.done.Fire(dstEng)
+				})
+			})
+		}
+		attempt(rendezvousBackoffBase)
+	})
 }
 
 // Rendezvous retry backoff bounds: the first retry after a rejected

@@ -119,6 +119,13 @@ type Engine struct {
 	trace    func(string)
 	deadline Time           // virtual-time watchdog; 0 disables
 	m        *engineMetrics // nil when metrics are disabled (see metrics.go)
+
+	// Windowed execution (see shard.go). limit, when nonzero, is the
+	// exclusive upper bound on event times the current RunWindow call may
+	// dispatch; paused records that the window ended with events (or live
+	// procs) remaining rather than the simulation finishing.
+	limit  Time
+	paused bool
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -354,6 +361,17 @@ func (e *Engine) wake(p *Proc, t Time, why string) {
 // they never wake a goroutine either.
 func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
 	for {
+		if e.limit != 0 {
+			// Windowed mode: never pop past the window boundary. An empty
+			// queue pauses rather than deadlocks — with multiple shards,
+			// events for our procs may still arrive through the conduit,
+			// so termination is decided by the group, not locally.
+			if next := e.q.peek(); next == nil || next.at >= e.limit {
+				e.paused = true
+				e.stop(self, nil)
+				return false
+			}
+		}
 		ev := e.q.pop()
 		if ev == nil {
 			if e.live > 0 {
@@ -599,4 +617,38 @@ func (e *Engine) Run() error {
 	}
 	e.stopLocal = false
 	return e.stopErr
+}
+
+// RunWindow executes the simulation until every remaining event lies at or
+// beyond limit (exclusive), or until it stops for a terminal reason
+// (watchdog, panic, abort). It is the windowed counterpart of Run used by
+// Group to advance shards in conservative-lookahead rounds: an empty queue
+// pauses instead of deadlocking, because with multiple shards new events may
+// still arrive through the conduit between windows. Processes parked at the
+// boundary stay blocked on their resume channels and continue seamlessly in
+// the next window. Termination (clean finish or deadlock) is decided by the
+// group across all shards, never by one window.
+func (e *Engine) RunWindow(limit Time) error {
+	if e.running {
+		panic("sim: Engine.RunWindow reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.limit = limit
+	e.stopErr, e.stopLocal, e.paused = nil, false, false
+	e.dispatch(nil)
+	if !e.stopLocal {
+		<-e.driver
+	}
+	e.stopLocal = false
+	e.limit = 0
+	return e.stopErr
+}
+
+// InjectAt schedules a cross-shard callback at absolute time t. Only the
+// shard group calls it, between windows, to merge conduit messages into the
+// destination shard's queue; t must not be in the past (guaranteed by the
+// conduit's window-boundary check).
+func (e *Engine) InjectAt(t Time, fn func()) {
+	e.schedule(t, nil, fn, "conduit")
 }

@@ -70,6 +70,10 @@ type Config struct {
 	Backend core.BackendID
 	Mode    core.LaunchMode
 
+	// Shards selects the engine shard count (0 = the UNICONN_SHARDS
+	// environment default; see core.Config.Shards).
+	Shards int
+
 	// Trace, when non-nil, records the run's execution spans.
 	Trace *trace.Log
 	// Metrics, when non-nil, collects the run's counters (see
@@ -111,7 +115,7 @@ func Run(cfg Config) (Result, error) {
 	perRank := make([]rankResult, cfg.NGPUs)
 	rep, err := core.Launch(core.Config{
 		Model: cfg.Model, NGPUs: cfg.NGPUs, Backend: cfg.backendOf(), Trace: cfg.Trace,
-		Metrics: cfg.Metrics,
+		Metrics: cfg.Metrics, Shards: cfg.Shards,
 	}, func(env *core.Env) {
 		var rr rankResult
 		switch cfg.Variant {

@@ -13,6 +13,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -108,8 +109,12 @@ func SortSpans(spans []Span) {
 }
 
 // Log collects spans. The zero value is ready to use; a nil *Log discards
-// everything.
+// everything. Appends are mutex-guarded so the shard engines of a sharded
+// run (core.Config.Shards) can share one log; every consumer that needs a
+// stable order sorts (Sorted/SortSpans), so producer interleaving never
+// reaches output bytes.
 type Log struct {
+	mu    sync.Mutex
 	spans []Span
 }
 
@@ -122,7 +127,9 @@ func (l *Log) Add(s Span) {
 	if l == nil {
 		return
 	}
+	l.mu.Lock()
 	l.spans = append(l.spans, s)
+	l.mu.Unlock()
 }
 
 // Spans returns the recorded spans in insertion order.
@@ -130,6 +137,8 @@ func (l *Log) Spans() []Span {
 	if l == nil {
 		return nil
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.spans
 }
 
@@ -138,6 +147,8 @@ func (l *Log) Len() int {
 	if l == nil {
 		return 0
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return len(l.spans)
 }
 
