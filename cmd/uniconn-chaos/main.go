@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -166,6 +167,8 @@ func main() {
 		"collect per-severity metrics and print the merged snapshot per backend (degrade/generate modes)")
 	profilePath := flag.String("profile", "",
 		"write a Chrome trace-event file of the profiled severity cells here (degrade/generate modes)")
+	topoFlag := flag.String("topology", "flat",
+		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -178,6 +181,17 @@ func main() {
 	m := machine.ByName(*machineName)
 	if m == nil {
 		log.Fatalf("unknown machine %q", *machineName)
+	}
+	tc, err := fabric.ParseTopology(*topoFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tc.Kind != fabric.TopoFlat {
+		// Clone the model so the topology applies to every workload the tool
+		// launches on it.
+		m2 := *m
+		m2.Topology = tc
+		m = &m2
 	}
 	severities, err := parseSeverities(*sevFlag)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
@@ -40,11 +41,24 @@ func main() {
 		"collect per-cell metrics and print the merged snapshot after the table")
 	profilePath := flag.String("profile", "",
 		"write a Chrome trace-event file of every cell here")
+	topoFlag := flag.String("topology", "flat",
+		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted)")
 	flag.Parse()
 
 	m := machine.ByName(*machineName)
 	if m == nil {
 		log.Fatalf("unknown machine %q", *machineName)
+	}
+	tc, err := fabric.ParseTopology(*topoFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tc.Kind != fabric.TopoFlat {
+		// Clone the model so the topology applies to every workload the tool
+		// launches on it.
+		m2 := *m
+		m2.Topology = tc
+		m = &m2
 	}
 	if *minSize < 1 {
 		log.Fatalf("-min %d: smallest message must be at least 1 byte", *minSize)

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/machine"
 	"repro/internal/solver/cg"
 	"repro/internal/solver/jacobi"
@@ -63,6 +64,8 @@ func main() {
 		"engine shards per cell (parallel-in-virtual-time); 0 = UNICONN_SHARDS env or serial engine")
 	jsonPath := flag.String("json", "", "write merged metrics JSON here")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON here")
+	topoFlag := flag.String("topology", "flat",
+		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -74,6 +77,17 @@ func main() {
 	m := machine.ByName(*machineName)
 	if m == nil {
 		log.Fatalf("unknown machine %q", *machineName)
+	}
+	tc, err := fabric.ParseTopology(*topoFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tc.Kind != fabric.TopoFlat {
+		// Clone the model so the topology applies to every workload the tool
+		// launches on it.
+		m2 := *m
+		m2.Topology = tc
+		m = &m2
 	}
 	backend, err := parseBackend(*backendName)
 	if err != nil {

@@ -1,0 +1,149 @@
+// uniconn-scale produces the rank-scaling curves behind BENCH_scale.json:
+// one allreduce cell per (topology, algorithm, rank count), timed in virtual
+// time, comparing the flat single-hop network against fat-tree and dragonfly
+// switch fabrics and the flat-ring allreduce against the hierarchical
+// (SMP-aware) algorithm.
+//
+// The flat-ring curve is capped separately (-ring-max-ranks, default 1024):
+// the ring's 2(n-1) serialized steps make its wall-clock cost quadratic in
+// total messages at 4096 ranks, while its virtual-time trend is already
+// decided by 1024.
+//
+// Usage:
+//
+//	uniconn-scale                                  # 64..4096, write BENCH_scale.json
+//	uniconn-scale -bytes 262144 -max-ranks 1024 -out /tmp/scale.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/fabric"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+// scalePoint is one (ranks, time) sample of a curve.
+type scalePoint struct {
+	Ranks     int     `json:"ranks"`
+	Nodes     int     `json:"nodes"`
+	PerIterNS int64   `json:"per_iter_ns"`
+	PerIterUS float64 `json:"per_iter_us"`
+	Seconds   float64 `json:"wall_seconds"`
+}
+
+// scaleCurve is one topology x algorithm sweep over the rank counts.
+type scaleCurve struct {
+	Topology string       `json:"topology"`
+	Resolved string       `json:"resolved"`
+	Alg      string       `json:"alg"`
+	Points   []scalePoint `json:"points"`
+}
+
+type scaleJSON struct {
+	Description string       `json:"description"`
+	Host        scaleHost    `json:"host"`
+	Machine     string       `json:"machine"`
+	Bytes       int64        `json:"bytes"`
+	Iters       int          `json:"iters"`
+	Shards      int          `json:"shards"`
+	RingCap     int          `json:"ring_max_ranks"`
+	RingCapNote string       `json:"ring_cap_note"`
+	Curves      []scaleCurve `json:"curves"`
+	Seconds     float64      `json:"total_seconds"`
+}
+
+type scaleHost struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+func main() {
+	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	bytes := flag.Int64("bytes", 64<<10, "allreduce vector size per rank (multiple of 8)")
+	iters := flag.Int("iters", 2, "timed iterations per cell")
+	shards := flag.Int("shards", 1, "engine shards per cell (windowed protocol; 0 = serial engine)")
+	maxRanks := flag.Int("max-ranks", 4096, "largest rank count of the sweep")
+	ringMax := flag.Int("ring-max-ranks", 1024, "largest rank count of the flat-ring curve")
+	out := flag.String("out", "BENCH_scale.json", "output path")
+	flag.Parse()
+
+	m := machine.ByName(*machineName)
+	if m == nil {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+
+	var ranks []int
+	for r := 64; r <= *maxRanks; r *= 4 {
+		ranks = append(ranks, r)
+	}
+
+	type curveSpec struct {
+		label string
+		topo  fabric.TopologyConfig
+		alg   mpi.AllreduceAlg
+		cap   int
+	}
+	specs := []curveSpec{
+		{"flat", fabric.TopologyConfig{}, mpi.AlgHierarchical, *maxRanks},
+		{"fattree", fabric.TopologyConfig{Kind: fabric.TopoFatTree}, mpi.AlgHierarchical, *maxRanks},
+		{"dragonfly", fabric.TopologyConfig{Kind: fabric.TopoDragonfly}, mpi.AlgHierarchical, *maxRanks},
+		{"flat", fabric.TopologyConfig{}, mpi.AlgRing, *ringMax},
+		{"fattree", fabric.TopologyConfig{Kind: fabric.TopoFatTree}, mpi.AlgRing, *ringMax},
+	}
+
+	report := scaleJSON{
+		Description: "Rank-scaling allreduce curves (cmd/uniconn-scale): flat vs fat-tree vs dragonfly inter-node topologies, hierarchical vs flat-ring algorithms, virtual time per iteration.",
+		Host:        scaleHost{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)},
+		Machine:     m.Name, Bytes: *bytes, Iters: *iters, Shards: *shards,
+		RingCap: *ringMax,
+		RingCapNote: fmt.Sprintf("ring curves stop at %d ranks: the ring's 2(n-1) serialized steps are wall-clock quadratic in simulated messages, and its virtual-time trend is already fixed there", *ringMax),
+	}
+	total := time.Now()
+	fmt.Printf("allreduce scaling on %s, %s per rank, %d iters, shards=%d\n",
+		m.Name, bench.HumanBytes(*bytes), *iters, *shards)
+	fmt.Printf("%-11s%-14s%8s%8s%14s%12s\n", "topology", "alg", "ranks", "nodes", "per-iter", "wall s")
+	for _, sp := range specs {
+		curve := scaleCurve{Topology: sp.label, Alg: sp.alg.String()}
+		for _, r := range ranks {
+			if r > sp.cap {
+				continue
+			}
+			start := time.Now()
+			d, run, err := bench.ScaleAllreduce(bench.ScaleConfig{
+				Model: m, Topology: sp.topo, Ranks: r, Bytes: *bytes,
+				Alg: sp.alg, Iters: *iters, Warmup: 1, Shards: *shards,
+			})
+			if err != nil {
+				log.Fatalf("%s/%s ranks=%d: %v", sp.label, sp.alg, r, err)
+			}
+			resolved := run.Topology.Describe()
+			curve.Resolved = resolved
+			wall := time.Since(start).Seconds()
+			curve.Points = append(curve.Points, scalePoint{
+				Ranks: r, Nodes: m.NodesFor(r),
+				PerIterNS: int64(d), PerIterUS: d.Micros(), Seconds: wall,
+			})
+			fmt.Printf("%-11s%-14s%8d%8d%14s%12.1f\n",
+				resolved, sp.alg, r, m.NodesFor(r), d.String(), wall)
+		}
+		report.Curves = append(report.Curves, curve)
+	}
+	report.Seconds = time.Since(total).Seconds()
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%.1fs)\n", *out, report.Seconds)
+}

@@ -113,6 +113,16 @@ func TestHumanBytes(t *testing.T) {
 		{-1536, "-1.5KiB"},
 		{-512, "-512B"},
 		{math.MinInt64, "-8589934592GiB"},
+		// Rounded values keep the decimal (distinguishing them from exact
+		// integer multiples), and rounding that reaches the radix carries
+		// into the next unit instead of printing "1024.0KiB".
+		{2047, "2.0KiB"},
+		{1<<20 - 1, "1.0MiB"},
+		{1<<30 - 1, "1.0GiB"},
+		{1<<20 - 51, "1.0MiB"},    // 1023.95015KiB rounds to the radix -> carry
+		{1<<20 - 52, "1023.9KiB"}, // 1023.94921KiB rounds below it -> stays
+
+		{-(1<<20 - 1), "-1.0MiB"},
 	}
 	for _, c := range cases {
 		if got := HumanBytes(c.b); got != c.want {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -42,6 +43,11 @@ type NetConfig struct {
 	// Shards selects the engine shard count of the run (0 = the
 	// UNICONN_SHARDS environment default; see core.Config.Shards).
 	Shards int
+
+	// Topology overrides the inter-node network of the run (flat, fat-tree,
+	// dragonfly; see fabric.TopologyConfig). The zero value keeps the
+	// model's own topology.
+	Topology fabric.TopologyConfig
 
 	// Faults, when non-nil, injects a fault plan into the run (chaos
 	// benchmarking; see internal/faults).
@@ -126,7 +132,8 @@ func LatencyRun(cfg NetConfig) (sim.Duration, core.Report, error) {
 	iters, warmup, _ := cfg.counts(false)
 	var rt sim.Duration
 	rep, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend,
-		Shards: cfg.Shards, Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
+		Shards: cfg.Shards, Topology: cfg.Topology,
+		Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
 		func(env *core.Env) {
 			d := cfg.latencyRank(env, iters, warmup)
 			if env.WorldRank() == 0 {
@@ -154,7 +161,8 @@ func BandwidthRun(cfg NetConfig) (float64, core.Report, error) {
 	iters, warmup, window := cfg.counts(true)
 	var total sim.Duration
 	rep, err := core.Launch(core.Config{Model: cfg.model(), NGPUs: 2, Backend: cfg.Backend,
-		Shards: cfg.Shards, Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
+		Shards: cfg.Shards, Topology: cfg.Topology,
+		Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
 		func(env *core.Env) {
 			d := cfg.bandwidthRank(env, iters, warmup, window)
 			if env.WorldRank() == 0 {

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build. The
+// 4096-rank memory-budget cell skips under race: instrumentation multiplies
+// both RSS and wall clock several-fold, which would turn a memory regression
+// gate into a flake.
+const raceEnabled = true

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Rank-scaling benchmark: one allreduce cell at a configurable rank count,
+// topology, and algorithm, timed in virtual time. This is the driver behind
+// BENCH_scale.json (cmd/uniconn-scale): the 64->4096 rank curves comparing
+// flat vs fat-tree vs dragonfly networks and flat-ring vs hierarchical
+// allreduce.
+
+// ScaleConfig selects one rank-scaling cell.
+type ScaleConfig struct {
+	Model *machine.Model
+	// Topology overrides the inter-node network (zero value keeps the
+	// model's own, normally flat).
+	Topology fabric.TopologyConfig
+	// Ranks is the GPU count; nodes follow from Model.GPUsPerNode.
+	Ranks int
+	// Bytes is the allreduce vector size per rank (float64 elements).
+	Bytes int64
+	// Alg forces an allreduce algorithm; mpi.AlgAuto selects by size/layout.
+	Alg mpi.AllreduceAlg
+	// Iters timed iterations after Warmup untimed ones (defaults 4 and 1).
+	Iters, Warmup int
+	// Shards selects the engine shard count (0 = environment default).
+	Shards int
+	// Compute additionally initializes the vectors with known values and
+	// verifies the reduction result on every rank. Off, the cell is a pure
+	// timing model — the mode the 4096-rank memory-budget check runs in.
+	Compute bool
+	// Metrics, when non-nil, collects the run's counters.
+	Metrics *metrics.Registry
+}
+
+// Validate reports configuration errors.
+func (cfg ScaleConfig) Validate() error {
+	if cfg.Model == nil {
+		return fmt.Errorf("bench: nil model")
+	}
+	if cfg.Ranks < 2 {
+		return fmt.Errorf("bench: scale cell needs >= 2 ranks (got %d)", cfg.Ranks)
+	}
+	if cfg.Bytes < 8 || cfg.Bytes%8 != 0 {
+		return fmt.Errorf("bench: vector size must be a positive multiple of 8 (got %d)", cfg.Bytes)
+	}
+	return nil
+}
+
+// ScaleAllreduce runs the cell and returns the mean per-iteration virtual
+// time plus the run report.
+func ScaleAllreduce(cfg ScaleConfig) (sim.Duration, core.Report, error) {
+	var rep core.Report
+	if err := cfg.Validate(); err != nil {
+		return 0, rep, err
+	}
+	iters, warmup := cfg.Iters, cfg.Warmup
+	if iters == 0 {
+		iters = 4
+	}
+	if warmup == 0 {
+		warmup = 1
+	}
+	elems := int(cfg.Bytes / 8)
+	var timed sim.Duration
+	rep, err := core.Launch(core.Config{
+		Model: cfg.Model, NGPUs: cfg.Ranks, Backend: core.MPIBackend,
+		Shards: cfg.Shards, Topology: cfg.Topology, Metrics: cfg.Metrics,
+	}, func(env *core.Env) {
+		comm := env.MPIComm()
+		p := env.Proc()
+		send := gpu.AllocBuffer[float64](env.Device(), elems)
+		recv := gpu.AllocBuffer[float64](env.Device(), elems)
+		if cfg.Compute {
+			// Integer-valued floats: the sum over ranks is exact, so the
+			// verification below is an equality check, not a tolerance.
+			for i := range send.Data() {
+				send.Data()[i] = float64(env.WorldRank() + i%17)
+			}
+		}
+		for w := 0; w < warmup; w++ {
+			comm.AllreduceAlg(p, send.Whole(), recv.Whole(), gpu.ReduceSum, cfg.Alg)
+		}
+		// A barrier aligns every rank in virtual time so the timed window
+		// measures the collective, not warmup skew.
+		comm.Barrier(p)
+		start := p.Now()
+		for it := 0; it < iters; it++ {
+			comm.AllreduceAlg(p, send.Whole(), recv.Whole(), gpu.ReduceSum, cfg.Alg)
+		}
+		if env.WorldRank() == 0 {
+			timed = p.Now().Sub(start)
+		}
+		if cfg.Compute {
+			n := float64(cfg.Ranks)
+			for i, got := range recv.Data() {
+				want := n*(n-1)/2 + n*float64(i%17)
+				if got != want {
+					panic(fmt.Sprintf("bench: scale allreduce rank %d elem %d = %v, want %v",
+						env.WorldRank(), i, got, want))
+				}
+			}
+		}
+	})
+	if err != nil {
+		return 0, rep, err
+	}
+	return timed / sim.Duration(iters), rep, nil
+}

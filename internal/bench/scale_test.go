@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// TestScaleAllreduceVerifies runs a 32-rank cell with Compute on for every
+// algorithm x topology combination: the in-run verification panics on any
+// wrong element, so a pass certifies the hierarchical data path (and the
+// topology plumbing) end to end against the analytic reduction.
+func TestScaleAllreduceVerifies(t *testing.T) {
+	topos := map[string]fabric.TopologyConfig{
+		"flat":      {},
+		"fattree":   {Kind: fabric.TopoFatTree},
+		"dragonfly": {Kind: fabric.TopoDragonfly},
+	}
+	algs := []mpi.AllreduceAlg{mpi.AlgAuto, mpi.AlgRecursiveDoubling, mpi.AlgRing, mpi.AlgHierarchical}
+	for name, tc := range topos {
+		for _, alg := range algs {
+			d, _, err := ScaleAllreduce(ScaleConfig{
+				Model: machine.Perlmutter(), Topology: tc, Ranks: 32,
+				Bytes: 64 << 10, Alg: alg, Iters: 2, Warmup: 1,
+				Shards: 1, Compute: true,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, alg, err)
+			}
+			if d <= 0 {
+				t.Fatalf("%s/%v: non-positive per-iteration time %v", name, alg, d)
+			}
+		}
+	}
+}
+
+// TestHierarchicalBeatsRingOnFatTree pins the point of the hierarchical
+// algorithm: at scale, concentrating inter-node traffic beats pushing every
+// ring step across the network.
+func TestHierarchicalBeatsRingOnFatTree(t *testing.T) {
+	run := func(alg mpi.AllreduceAlg) sim.Duration {
+		d, _, err := ScaleAllreduce(ScaleConfig{
+			Model:    machine.Perlmutter(),
+			Topology: fabric.TopologyConfig{Kind: fabric.TopoFatTree},
+			Ranks:    256, Bytes: 64 << 10, Alg: alg,
+			Iters: 2, Warmup: 1, Shards: 1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		return d
+	}
+	hier, ring := run(mpi.AlgHierarchical), run(mpi.AlgRing)
+	if hier >= ring {
+		t.Fatalf("hierarchical %v not faster than ring %v at 256 ranks", hier, ring)
+	}
+}
+
+// runScaleCellShards is the BENCH_scale smoke cell: a 1024-rank hierarchical
+// allreduce on an auto-sized fat-tree, returning the finish time and every
+// rank's result vector for byte comparison across shard counts.
+func runScaleCellShards(t *testing.T, shards int) (sim.Time, [][]float64) {
+	t.Helper()
+	const ranks, elems = 1024, 8 << 10
+	out := make([][]float64, ranks)
+	rep, err := core.Launch(core.Config{
+		Model: machine.Perlmutter(), NGPUs: ranks,
+		Backend:  core.MPIBackend,
+		Shards:   shards,
+		Topology: fabric.TopologyConfig{Kind: fabric.TopoFatTree},
+	}, func(env *core.Env) {
+		comm := env.MPIComm()
+		p := env.Proc()
+		send := gpu.AllocBuffer[float64](env.Device(), elems)
+		recv := gpu.AllocBuffer[float64](env.Device(), elems)
+		for i := range send.Data() {
+			send.Data()[i] = float64(env.WorldRank()%23 + i%17)
+		}
+		comm.AllreduceAlg(p, send.Whole(), recv.Whole(), gpu.ReduceSum, mpi.AlgHierarchical)
+		// Each rank writes only its own slot: race-free across shards.
+		out[env.WorldRank()] = append([]float64(nil), recv.Data()...)
+	})
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return rep.End, out
+}
+
+// TestScaleHierarchicalShardsDeterministic is the CI bench-scale gate: the
+// 1024-rank hierarchical allreduce on a fat-tree must produce bit-identical
+// results and finish times at shards=1 and shards=4.
+func TestScaleHierarchicalShardsDeterministic(t *testing.T) {
+	end1, out1 := runScaleCellShards(t, 1)
+	end4, out4 := runScaleCellShards(t, 4)
+	if end1 != end4 {
+		t.Fatalf("finish time diverged: shards=1 %v, shards=4 %v", end1, end4)
+	}
+	for r := range out1 {
+		for i := range out1[r] {
+			if out1[r][i] != out4[r][i] {
+				t.Fatalf("rank %d elem %d diverged: shards=1 %v, shards=4 %v",
+					r, i, out1[r][i], out4[r][i])
+			}
+		}
+	}
+}
+
+// vmHWMBytes reads the process's peak resident set from /proc/self/status.
+func vmHWMBytes(t *testing.T) int64 {
+	t.Helper()
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		t.Skipf("no /proc/self/status: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 2 && fields[0] == "VmHWM:" {
+			kb, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("parsing VmHWM: %v", err)
+			}
+			return kb << 10
+		}
+	}
+	t.Skip("VmHWM not present in /proc/self/status")
+	return 0
+}
+
+// TestScaleMemoryBudget runs the full 4096-rank modeled (Compute off)
+// hierarchical allreduce on a fat-tree and fails if the process's peak RSS
+// exceeds a generous fixed budget. This is the O(ranks + switches) state
+// audit in executable form: an accidental O(ranks^2) structure (per-pair
+// routing tables, eager all-pairs endpoint state) blows through 4 GiB at
+// this scale immediately.
+func TestScaleMemoryBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation multiplies RSS; run without -race")
+	}
+	if runtime.GOOS != "linux" {
+		t.Skip("VmHWM is linux-only")
+	}
+	if testing.Short() {
+		t.Skip("4096-rank cell skipped in -short mode")
+	}
+	const budget = 4 << 30
+	d, _, err := ScaleAllreduce(ScaleConfig{
+		Model:    machine.Perlmutter(),
+		Topology: fabric.TopologyConfig{Kind: fabric.TopoFatTree},
+		Ranks:    4096, Bytes: 64 << 10, Alg: mpi.AlgHierarchical,
+		Iters: 1, Warmup: 0, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("non-positive per-iteration time %v", d)
+	}
+	if hwm := vmHWMBytes(t); hwm > budget {
+		t.Fatalf("peak RSS %s exceeds the %s budget for the 4096-rank modeled cell",
+			HumanBytes(hwm), HumanBytes(budget))
+	}
+}

@@ -85,9 +85,19 @@ func Sizes(minBytes, maxBytes int64) []int64 {
 	return out
 }
 
+// byteUnits orders the binary units largest first so humanUnit can carry a
+// value that rounds to the radix into the next unit up.
+var byteUnits = []struct {
+	shift uint
+	name  string
+}{{30, "GiB"}, {20, "MiB"}, {10, "KiB"}}
+
 // HumanBytes formats a byte count with binary units. Exact multiples print
-// as integers ("2KiB"); everything else keeps one decimal ("1.5KiB") so a
-// value like 1536 is not silently truncated to "1KiB". Negative counts are
+// as integers ("2KiB"); everything else keeps one decimal ("1.5KiB", and the
+// decimal marks the value as rounded — 2047 prints "2.0KiB", distinguishable
+// from an exact "2KiB") so a value like 1536 is not silently truncated to
+// "1KiB". Values whose decimal would round to the radix carry into the next
+// unit: 1<<20-1 is "1.0MiB", never "1024.0KiB". Negative counts are
 // formatted by sign-prefixing the magnitude.
 func HumanBytes(b int64) string {
 	if b < 0 {
@@ -97,21 +107,26 @@ func HumanBytes(b int64) string {
 		}
 		return "-" + HumanBytes(-b)
 	}
-	switch {
-	case b >= 1<<30:
-		return humanUnit(b, 30, "GiB")
-	case b >= 1<<20:
-		return humanUnit(b, 20, "MiB")
-	case b >= 1<<10:
-		return humanUnit(b, 10, "KiB")
-	default:
-		return fmt.Sprintf("%dB", b)
+	for i, u := range byteUnits {
+		if b >= 1<<u.shift {
+			return humanUnit(b, i)
+		}
 	}
+	return fmt.Sprintf("%dB", b)
 }
 
-func humanUnit(b int64, shift uint, unit string) string {
-	if b&((1<<shift)-1) == 0 {
-		return fmt.Sprintf("%d%s", b>>shift, unit)
+// humanUnit renders b in byteUnits[i], carrying into byteUnits[i-1] when
+// %.1f rounding would reach 1024.0 (b within half a decimal step below the
+// radix — the old code printed "1024.0KiB" for 1<<20-1).
+func humanUnit(b int64, i int) string {
+	u := byteUnits[i]
+	if b&(1<<u.shift-1) == 0 {
+		return fmt.Sprintf("%d%s", b>>u.shift, u.name)
 	}
-	return fmt.Sprintf("%.1f%s", float64(b)/float64(int64(1)<<shift), unit)
+	v := float64(b) / float64(int64(1)<<u.shift)
+	if math.Round(v*10) >= 10240 && i > 0 {
+		up := byteUnits[i-1]
+		return fmt.Sprintf("%.1f%s", float64(b)/float64(int64(1)<<up.shift), up.name)
+	}
+	return fmt.Sprintf("%.1f%s", v, u.name)
 }

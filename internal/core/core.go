@@ -29,6 +29,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/gpuccl"
@@ -98,6 +99,12 @@ type Config struct {
 	// one registry per run, merged afterwards (see internal/bench/runner.go
 	// for the sweep ownership rule).
 	Metrics *metrics.Registry
+	// Topology overrides the machine model's inter-node network topology
+	// (fat-tree, dragonfly; see fabric.TopologyConfig). The zero value
+	// keeps the model's own setting (flat unless the model says
+	// otherwise). The override is applied on a cloned model, so shared
+	// machine.Model values are never mutated.
+	Topology fabric.TopologyConfig
 	// Shards selects parallel-in-virtual-time execution: the cell's ranks
 	// are partitioned by cluster node across this many engines, advanced in
 	// conservative lookahead windows (sim.Group; DESIGN.md §12). 0 (the
@@ -147,6 +154,18 @@ func (cfg Config) shards() int {
 	return s
 }
 
+// effectiveModel resolves the machine to simulate: a Topology override
+// clones the model with the requested fabric topology, leaving the shared
+// model value (and its cost profiles) untouched.
+func (cfg Config) effectiveModel() *machine.Model {
+	if cfg.Topology.Kind == fabric.TopoFlat {
+		return cfg.Model
+	}
+	m := *cfg.Model
+	m.Topology = cfg.Topology
+	return &m
+}
+
 // Validate reports whether the configuration is runnable.
 func (cfg Config) Validate() error {
 	if cfg.Model == nil {
@@ -184,6 +203,9 @@ type Job struct {
 type Report struct {
 	// End is the virtual time at which the last rank finished.
 	End sim.Time
+	// Topology is the resolved inter-node topology the run used, with
+	// auto-sized parameters (fat-tree arity, dragonfly p/a/h) filled in.
+	Topology fabric.TopologyConfig
 }
 
 // Launch runs main once per rank, each in its own simulated process, and
@@ -194,6 +216,7 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return rep, err
 	}
+	cfg.Model = cfg.effectiveModel()
 	if s := cfg.shards(); s > 0 {
 		return launchSharded(cfg, s, main)
 	}
@@ -241,6 +264,7 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 		return rep, err
 	}
 	rep.End = eng.Now()
+	rep.Topology = job.cluster.Fabric.Topology()
 	if cfg.Metrics != nil {
 		job.cluster.Fabric.PublishOccupancy(cfg.Metrics, rep.End)
 	}
@@ -276,8 +300,13 @@ func launchSharded(cfg Config, shards int, main func(env *Env)) (Report, error) 
 	for n := range shardOf {
 		shardOf[n] = n % shards
 	}
-	group := sim.NewGroup(engines, shardOf, cfg.Model.MinInterAlpha())
 	cluster := gpu.NewClusterOn(engines, shardOf, cfg.Model, cfg.NGPUs)
+	// The lookahead window is the guaranteed lower bound on cross-shard
+	// delivery delay: the machine's minimum inter-node alpha plus, on a
+	// switched topology, the minimal per-route switch latency (every
+	// conduit post — payload or control envelope — carries both).
+	lookahead := cfg.Model.MinInterAlpha() + cluster.Fabric.MinInterExtra()
+	group := sim.NewGroup(engines, shardOf, lookahead)
 	cluster.Conduit = group.Conduit()
 	job := &Job{cfg: cfg, eng: engines[0], cluster: cluster,
 		crashed: map[int]bool{}, failed: map[int]bool{}}
@@ -316,6 +345,7 @@ func launchSharded(cfg Config, shards int, main func(env *Env)) (Report, error) 
 		return rep, err
 	}
 	rep.End = group.End()
+	rep.Topology = cluster.Fabric.Topology()
 	if cfg.Metrics != nil {
 		cluster.Fabric.PublishOccupancy(cfg.Metrics, rep.End)
 	}

@@ -71,8 +71,13 @@ type Config struct {
 	GPUsPerNode int
 	// NICsPerNode is the number of network ports per node. GPUs map to
 	// NICs by index (GPU local id * NICs / GPUsPerNode), so when NICs are
-	// scarcer than GPUs, neighbours share a port and contend.
+	// scarcer than GPUs, neighbours share a port and contend. It must be
+	// at least 1: New panics on an unset count instead of guessing
+	// (machine.Model.FabricConfig applies the default of one port).
 	NICsPerNode int
+	// Topology selects the inter-node network model beyond the NICs
+	// (topology.go). The zero value is the flat single-hop network.
+	Topology TopologyConfig
 }
 
 // LinkFaultFn rewrites the resolved cost of one transfer at booking time.
@@ -105,6 +110,16 @@ type Fabric struct {
 	failover      map[Path]Failover
 	failoverCount int
 
+	// topo is the inter-node switch fabric; nil on the flat topology, so
+	// the flat hot path keeps its pair-of-ports fast route.
+	topo topology
+	// routeScratch is the reusable port slice of coupled inter-node
+	// transfers. Safe without locking: inter-node Transfer only ever runs
+	// on one engine goroutine (the serial engine, or the single shard of a
+	// clamped windowed run) — sharded MPI runs book inter-node traffic
+	// through SendInter/RecvInter, which never route through switches.
+	routeScratch []*sim.Timeline
+
 	// m holds pre-resolved metrics instruments (SetMetrics); nil disables.
 	m *fabricMetrics
 }
@@ -112,14 +127,21 @@ type Fabric struct {
 // New builds the fabric for a cluster configuration.
 func New(cfg Config) *Fabric {
 	if cfg.Nodes < 1 || cfg.GPUsPerNode < 1 {
-		panic("fabric: invalid config")
+		panic(fmt.Sprintf("fabric: invalid config: Nodes=%d, GPUsPerNode=%d (both must be >= 1)",
+			cfg.Nodes, cfg.GPUsPerNode))
 	}
 	if cfg.NICsPerNode < 1 {
-		cfg.NICsPerNode = cfg.GPUsPerNode
+		// An unset NIC count used to silently alias GPUsPerNode; a zero or
+		// negative count then built empty port slices and crashed with an
+		// opaque index panic deep inside Transfer. Fail at construction
+		// instead — machine.Model.FabricConfig supplies the default.
+		panic(fmt.Sprintf("fabric: invalid config: NICsPerNode=%d (must be >= 1; machine.Model.FabricConfig defaults unset counts to 1)",
+			cfg.NICsPerNode))
 	}
 	nGPU := cfg.Nodes * cfg.GPUsPerNode
 	nNIC := cfg.Nodes * cfg.NICsPerNode
 	f := &Fabric{cfg: cfg, failover: defaultFailovers()}
+	f.topo = buildTopology(&f.cfg)
 	for i := 0; i < nGPU; i++ {
 		f.egress = append(f.egress, sim.NewTimeline(fmt.Sprintf("gpu%d.egress", i)))
 		f.ingress = append(f.ingress, sim.NewTimeline(fmt.Sprintf("gpu%d.ingress", i)))
@@ -131,8 +153,59 @@ func New(cfg Config) *Fabric {
 	return f
 }
 
-// Config returns the cluster shape.
+// Config returns the cluster shape, with auto-sized topology parameters
+// resolved to their chosen values.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// Topology returns the resolved inter-node topology configuration.
+func (f *Fabric) Topology() TopologyConfig { return f.cfg.Topology }
+
+// NumSwitches reports the switch count of the inter-node topology (0 on the
+// flat network).
+func (f *Fabric) NumSwitches() int {
+	if f.topo == nil {
+		return 0
+	}
+	return f.topo.switches()
+}
+
+// InterHops reports the switch count of the minimal route between two GPUs'
+// nodes: 0 on the flat topology or within a node.
+func (f *Fabric) InterHops(src, dst int) int {
+	if f.topo == nil {
+		return 0
+	}
+	sn, dn := f.Node(src), f.Node(dst)
+	if sn == dn {
+		return 0
+	}
+	return f.topo.minHops(sn, dn)
+}
+
+// InterExtraLatency reports the deterministic minimal-route switch latency
+// between two GPUs' nodes (zero on the flat topology or within a node). The
+// MPI layer adds it to every cross-shard control envelope (rendezvous
+// RTS/CTS) so conduit posts clear the enlarged lookahead window.
+func (f *Fabric) InterExtraLatency(src, dst int) sim.Duration {
+	if f.topo == nil {
+		return 0
+	}
+	sn, dn := f.Node(src), f.Node(dst)
+	if sn == dn {
+		return 0
+	}
+	return f.topo.extra(sn, dn)
+}
+
+// MinInterExtra bounds InterExtraLatency from below over all node pairs:
+// the topology's contribution to the conservative lookahead window of
+// sharded runs (zero on the flat topology).
+func (f *Fabric) MinInterExtra() sim.Duration {
+	if f.topo == nil {
+		return 0
+	}
+	return f.topo.minExtra()
+}
 
 // NumGPUs reports the total GPU count.
 func (f *Fabric) NumGPUs() int { return f.cfg.Nodes * f.cfg.GPUsPerNode }
@@ -148,12 +221,26 @@ func (f *Fabric) GlobalID(node, local int) int { return node*f.cfg.GPUsPerNode +
 
 // nic returns the NIC port index serving a GPU.
 func (f *Fabric) nic(gpu int) int {
+	f.checkGPU(gpu)
 	node, local := f.Node(gpu), f.Local(gpu)
 	return node*f.cfg.NICsPerNode + local*f.cfg.NICsPerNode/f.cfg.GPUsPerNode
 }
 
-// PathBetween classifies the route between two global GPU ids.
+// checkGPU validates a global GPU id. Out-of-range ids used to slip through
+// silently: a negative or too-large id misclassified the path (PathBetween)
+// or crashed with an index panic far from the offending call site.
+func (f *Fabric) checkGPU(id int) {
+	if id < 0 || id >= f.NumGPUs() {
+		panic(fmt.Sprintf("fabric: GPU id %d outside [0, %d) (%d nodes x %d GPUs)",
+			id, f.NumGPUs(), f.cfg.Nodes, f.cfg.GPUsPerNode))
+	}
+}
+
+// PathBetween classifies the route between two global GPU ids. Both ids
+// must be in range; out-of-range ids panic with a descriptive message.
 func (f *Fabric) PathBetween(src, dst int) Path {
+	f.checkGPU(src)
+	f.checkGPU(dst)
 	if src == dst {
 		return PathSelf
 	}
@@ -217,8 +304,21 @@ func (f *Fabric) Transfer(at sim.Time, src, dst int, bytes int64, cost LinkCost)
 		track = track + "+failover"
 	}
 	portOut, portIn := f.routePorts(src, dst, path)
-	start, end := sim.ReserveMulti(at, cost.Duration(bytes), portOut, portIn)
-	arrive := end.Add(cost.Latency)
+	var start, end sim.Time
+	var extra sim.Duration
+	if path == PathInter && f.topo != nil {
+		// Switched topology: book every output port of the adaptive route
+		// alongside the NIC pair (cut-through: one shared occupancy window)
+		// and delay arrival by the per-switch traversal latency.
+		ports := append(f.routeScratch[:0], portOut)
+		ports, extra = f.topo.route(ports, at, f.Node(src), f.Node(dst))
+		ports = append(ports, portIn)
+		f.routeScratch = ports[:0] // retain grown capacity across transfers
+		start, end = sim.ReserveMulti(at, cost.Duration(bytes), ports...)
+	} else {
+		start, end = sim.ReserveMulti(at, cost.Duration(bytes), portOut, portIn)
+	}
+	arrive := end.Add(cost.Latency + extra)
 	if f.m != nil {
 		f.m.xfers[path].Inc()
 		f.m.bytes[path].Add(bytes)
@@ -293,6 +393,13 @@ func (f *Fabric) SendInter(at sim.Time, src, dst int, bytes int64, cost LinkCost
 	if len(f.downs) > 0 && f.LinkDownAt(at, src, dst, PathInter) {
 		panic("fabric: SendInter on a down route (hard-fault plans must run on the serial engine)")
 	}
+	if f.topo != nil {
+		// Split path: the deterministic minimal-route switch latency folds
+		// into the booked cost, so the conduit delivery time (depart +
+		// booked.Latency) carries the topology and stays >= the enlarged
+		// lookahead window (MinInterAlpha + MinInterExtra).
+		cost.Latency += f.topo.extra(f.Node(src), f.Node(dst))
+	}
 	start, end := f.nicOut[f.nic(src)].Reserve(at, cost.Duration(bytes))
 	if f.m != nil {
 		f.m.xfers[PathInter].Inc()
@@ -361,6 +468,10 @@ type PortStats struct {
 	GPUIngressBusy []sim.Duration
 	NICOutBusy     []sim.Duration
 	NICInBusy      []sim.Duration
+	// SwitchBusy holds the busy time of every switch output port of the
+	// inter-node topology, in the topology's fixed port order (empty on
+	// the flat network).
+	SwitchBusy []sim.Duration
 }
 
 // Stats snapshots cumulative busy time on every port.
@@ -377,6 +488,11 @@ func (f *Fabric) Stats() PortStats {
 	}
 	for _, tl := range f.nicIn {
 		s.NICInBusy = append(s.NICInBusy, tl.BusySum())
+	}
+	if f.topo != nil {
+		f.topo.ports(func(tl *sim.Timeline) {
+			s.SwitchBusy = append(s.SwitchBusy, tl.BusySum())
+		})
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -225,10 +226,101 @@ func TestTryTransferRejectsDuringStall(t *testing.T) {
 	}
 }
 
-func TestDefaultNICCount(t *testing.T) {
-	f := New(Config{Nodes: 1, GPUsPerNode: 4}) // NICsPerNode defaults to GPUs
-	if f.Config().NICsPerNode != 4 {
-		t.Fatalf("default NICs = %d", f.Config().NICsPerNode)
+// TestZeroNICCountPanics pins the constructor contract: an unset (or
+// negative) NICsPerNode is a configuration bug and must fail loudly at
+// construction, not silently inherit the GPU count. Callers that want a
+// default go through machine.Model.FabricConfig, which fills in 1.
+func TestZeroNICCountPanics(t *testing.T) {
+	for _, nics := range []int{0, -3} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("New with NICsPerNode=%d did not panic", nics)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "NICsPerNode") {
+					t.Fatalf("New with NICsPerNode=%d panicked with %v, want a NICsPerNode message", nics, r)
+				}
+			}()
+			New(Config{Nodes: 1, GPUsPerNode: 4, NICsPerNode: nics})
+		}()
+	}
+}
+
+// TestTransferBoundsPanic pins the GPU-id validation of the booking API: an
+// out-of-range id must panic with a message naming the id and the valid
+// range, on Transfer and PathBetween alike.
+func TestTransferBoundsPanic(t *testing.T) {
+	f := New(Config{Nodes: 2, GPUsPerNode: 4, NICsPerNode: 1}) // ids [0, 8)
+	cost := LinkCost{Latency: 100, BytesPerSec: 1e9}
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"Transfer src", func() { f.Transfer(0, -1, 0, 8, cost) }},
+		{"Transfer dst", func() { f.Transfer(0, 0, 8, 8, cost) }},
+		{"PathBetween src", func() { f.PathBetween(8, 0) }},
+		{"PathBetween dst", func() { f.PathBetween(0, -2) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: no panic for out-of-range GPU id", tc.name)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "outside [0, 8)") {
+					t.Fatalf("%s: panic %v, want message naming range [0, 8)", tc.name, r)
+				}
+			}()
+			tc.call()
+		}()
+	}
+}
+
+// TestNICMappingBalanced sweeps every (GPUsPerNode, NICsPerNode) pair in
+// 1..8 — including NICs > GPUs and non-divisible ratios — and checks the
+// GPU→NIC assignment invariants: every index in range, the spread between
+// the most- and least-loaded NIC at most one, and min(GPUs, NICs) distinct
+// NICs in use (no port left idle while another is doubly loaded).
+func TestNICMappingBalanced(t *testing.T) {
+	for gpus := 1; gpus <= 8; gpus++ {
+		for nics := 1; nics <= 8; nics++ {
+			f := New(Config{Nodes: 3, GPUsPerNode: gpus, NICsPerNode: nics})
+			// Check node 1 (an interior node) so a global/local indexing
+			// slip cannot hide behind node 0's zero offsets.
+			load := make(map[int]int)
+			for l := 0; l < gpus; l++ {
+				idx := f.nic(f.GlobalID(1, l))
+				if idx < 1*nics || idx >= 2*nics {
+					t.Fatalf("G=%d N=%d: GPU %d mapped to NIC %d outside node 1's [%d, %d)",
+						gpus, nics, l, idx, nics, 2*nics)
+				}
+				load[idx-nics]++
+			}
+			min, max := gpus, 0
+			for i := 0; i < nics; i++ {
+				if load[i] < min {
+					min = load[i]
+				}
+				if load[i] > max {
+					max = load[i]
+				}
+			}
+			used := len(load)
+			want := gpus
+			if nics < want {
+				want = nics
+			}
+			if used != want {
+				t.Fatalf("G=%d N=%d: %d distinct NICs used, want %d", gpus, nics, used, want)
+			}
+			if nics <= gpus && max-min > 1 {
+				t.Fatalf("G=%d N=%d: NIC load spread %d (min %d, max %d)", gpus, nics, max-min, min, max)
+			}
+		}
 	}
 }
 

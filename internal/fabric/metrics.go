@@ -72,4 +72,15 @@ func (f *Fabric) PublishOccupancy(r *metrics.Registry, end sim.Time) {
 	}
 	r.Gauge("fabric.occ.max.gpu").Set(maxGPU)
 	r.Gauge("fabric.occ.max.nic").Set(maxNIC)
+	if f.topo != nil {
+		// Switched topologies publish only the per-class maximum: per-port
+		// gauges over thousands of switch ports would swamp the snapshot.
+		maxSwitch := 0.0
+		f.topo.ports(func(tl *sim.Timeline) {
+			if v := occ(tl); v > maxSwitch {
+				maxSwitch = v
+			}
+		})
+		r.Gauge("fabric.occ.max.switch").Set(maxSwitch)
+	}
 }

@@ -148,6 +148,12 @@ type Model struct {
 	HostOp  sim.Duration // generic host-side bookkeeping operation
 	Uniconn UniconnCosts
 
+	// Topology selects the inter-node network model of clusters built on
+	// this machine (flat, fat-tree, dragonfly; see fabric.TopologyConfig).
+	// The zero value keeps the paper's flat single-hop network. CLIs and
+	// core.Config.Topology override it on a cloned model.
+	Topology fabric.TopologyConfig
+
 	// HasGPUSHMEM reports whether a GPUSHMEM implementation exists on
 	// this machine (rocSHMEM was not mature: LUMI has none — Table I).
 	HasGPUSHMEM bool
@@ -205,12 +211,18 @@ func (m *Model) Cost(lib Lib, api API, path fabric.Path, bytes int64) fabric.Lin
 }
 
 // FabricConfig returns the fabric configuration for a cluster of the given
-// node count on this machine.
+// node count on this machine. A model that leaves NICsPerNode unset gets
+// one port per node (fabric.New rejects non-positive counts outright).
 func (m *Model) FabricConfig(nodes int) fabric.Config {
+	nics := m.NICsPerNode
+	if nics < 1 {
+		nics = 1
+	}
 	return fabric.Config{
 		Nodes:       nodes,
 		GPUsPerNode: m.GPUsPerNode,
-		NICsPerNode: m.NICsPerNode,
+		NICsPerNode: nics,
+		Topology:    m.Topology,
 	}
 }
 

@@ -155,9 +155,55 @@ func bitsOf(mask int) int {
 // from recursive doubling to the ring algorithm.
 const allreduceRingMin = 64 << 10
 
+// allreduceHierMin is the vector byte size above which Allreduce prefers
+// the hierarchical (SMP-aware) algorithm on multi-node communicators with a
+// regular node-block layout — the MPICH-style crossover: below it the
+// latency-bound recursive doubling wins, above it locality does.
+const allreduceHierMin = 32 << 10
+
+// AllreduceAlg forces one allreduce implementation (AllreduceAlg method).
+type AllreduceAlg int
+
+const (
+	// AlgAuto applies the size/layout-based selection of Allreduce.
+	AlgAuto AllreduceAlg = iota
+	// AlgRecursiveDoubling forces recursive doubling (any count, any n).
+	AlgRecursiveDoubling
+	// AlgRing forces ring reduce-scatter + allgather (needs count >= n).
+	AlgRing
+	// AlgHierarchical forces the SMP-aware algorithm: intra-node ring
+	// reduce-scatter, inter-node binomial-tree allreduce per chunk,
+	// intra-node ring allgather. Needs a regular node-block layout
+	// (hierLayout) and count >= ranks-per-node.
+	AlgHierarchical
+)
+
+func (a AllreduceAlg) String() string {
+	switch a {
+	case AlgAuto:
+		return "auto"
+	case AlgRecursiveDoubling:
+		return "rd"
+	case AlgRing:
+		return "ring"
+	case AlgHierarchical:
+		return "hierarchical"
+	default:
+		return fmt.Sprintf("AllreduceAlg(%d)", int(a))
+	}
+}
+
 // Allreduce combines sendBuf from all ranks elementwise into recvBuf on all
 // ranks. In-place operation is allowed (sendBuf == recvBuf).
 func (c *Comm) Allreduce(p *sim.Proc, sendBuf, recvBuf gpu.View, op gpu.ReduceOp) {
+	c.AllreduceAlg(p, sendBuf, recvBuf, op, AlgAuto)
+}
+
+// AllreduceAlg is Allreduce with an explicit algorithm selection; AlgAuto
+// reproduces Allreduce. Forcing an algorithm whose preconditions the call
+// does not meet (ring without count >= n, hierarchical without a regular
+// node layout) panics: the caller asked for something that cannot run.
+func (c *Comm) AllreduceAlg(p *sim.Proc, sendBuf, recvBuf gpu.View, op gpu.ReduceOp, alg AllreduceAlg) {
 	defer timeColl(p, c.ep.world.mColl.allreduce)()
 	c.enterColl()
 	n := c.Size()
@@ -167,6 +213,38 @@ func (c *Comm) Allreduce(p *sim.Proc, sendBuf, recvBuf gpu.View, op gpu.ReduceOp
 	}
 	if n == 1 {
 		return
+	}
+	switch alg {
+	case AlgRecursiveDoubling:
+		c.allreduceRecursiveDoubling(p, recvBuf, op)
+		return
+	case AlgRing:
+		if count < n {
+			panic(fmt.Sprintf("mpi: ring allreduce needs count >= size (%d < %d)", count, n))
+		}
+		c.allreduceRing(p, recvBuf, op)
+		return
+	case AlgHierarchical:
+		hl := c.hierLayout()
+		if !hl.ok {
+			panic("mpi: hierarchical allreduce requires a regular node-block layout (equal-size contiguous node blocks)")
+		}
+		if count < hl.local {
+			panic(fmt.Sprintf("mpi: hierarchical allreduce needs count >= ranks per node (%d < %d)", count, hl.local))
+		}
+		c.allreduceHierarchical(p, recvBuf, op, hl)
+		return
+	}
+	// AlgAuto, MPICH-style: the SMP-aware hierarchical algorithm for large
+	// vectors on multi-node communicators whose ranks pack regularly onto
+	// nodes (it needs real node locality to exploit: one rank per node
+	// degenerates to a plain tree, which the ring beats at these sizes),
+	// then ring for large vectors, recursive doubling for the rest.
+	if sendBuf.Bytes() >= allreduceHierMin {
+		if hl := c.hierLayout(); hl.ok && hl.local > 1 && count >= hl.local {
+			c.allreduceHierarchical(p, recvBuf, op, hl)
+			return
+		}
 	}
 	if sendBuf.Bytes() >= allreduceRingMin && count >= n {
 		c.allreduceRing(p, recvBuf, op)
@@ -247,6 +325,12 @@ func (c *Comm) allreduceRing(p *sim.Proc, buf gpu.View, op gpu.ReduceOp) {
 	}
 	tmp := buf.Clone()
 
+	// One tag per phase, not per step: each neighbour pair exchanges
+	// exactly one message per step and per-pair sequence admission keeps
+	// matching FIFO, so step-distinct tags add nothing — and per-step tags
+	// (the old scheme) overflowed the collRounds=1024 round space past 924
+	// ranks.
+	//
 	// Reduce-scatter: after n-1 steps rank r holds the full reduction of
 	// chunk (r+1) mod n.
 	for step := 0; step < n-1; step++ {
@@ -254,16 +338,16 @@ func (c *Comm) allreduceRing(p *sim.Proc, buf gpu.View, op gpu.ReduceOp) {
 		recvIdx := me - step - 1
 		rv := chunk(recvIdx)
 		tmpChunk := tmpSlice(tmp, buf, rv)
-		c.Sendrecv(p, chunk(sendIdx), right, c.collTag(step),
-			tmpChunk, left, c.collTag(step))
+		c.Sendrecv(p, chunk(sendIdx), right, c.collTag(0),
+			tmpChunk, left, c.collTag(0))
 		gpu.Reduce(rv, tmpChunk, rv.Len(), op)
 	}
 	// Allgather: circulate the finished chunks.
 	for step := 0; step < n-1; step++ {
 		sendIdx := me + 1 - step
 		recvIdx := me - step
-		c.Sendrecv(p, chunk(sendIdx), right, c.collTag(100+step),
-			chunk(recvIdx), left, c.collTag(100+step))
+		c.Sendrecv(p, chunk(sendIdx), right, c.collTag(1),
+			chunk(recvIdx), left, c.collTag(1))
 	}
 	tmp.Release()
 }
@@ -272,6 +356,149 @@ func (c *Comm) allreduceRing(p *sim.Proc, buf gpu.View, op gpu.ReduceOp) {
 // buf (tmp is a clone of buf, so offsets align relative to the view starts).
 func tmpSlice(tmp, buf, rv gpu.View) gpu.View {
 	return tmp.Slice(rv.Offset()-buf.Offset(), rv.Len())
+}
+
+// hierMaxLocal caps the detected ranks-per-node block size so the intra-node
+// ring tag ranges (300+step, 700+step) stay inside the reserved round space.
+const hierMaxLocal = 128
+
+// hierLayout describes a communicator whose ranks form equal-size contiguous
+// single-node blocks: ranks [b*local, (b+1)*local) all live on one node, for
+// nodes >= 2 blocks. This is the layout packed GPU assignment produces, and
+// the precondition of the hierarchical allreduce.
+type hierLayout struct {
+	ok    bool
+	local int // ranks per node block (L)
+	nodes int // number of node blocks (N)
+}
+
+// hierLayout detects (and caches per handle) the node-block structure of the
+// communicator. Detection is O(size) once; the group never changes after
+// construction, so the cache never invalidates.
+func (c *Comm) hierLayout() hierLayout {
+	if c.hier != nil {
+		return *c.hier
+	}
+	hl := c.computeHierLayout()
+	c.hier = &hl
+	return hl
+}
+
+func (c *Comm) computeHierLayout() hierLayout {
+	n := c.Size()
+	fab := c.ep.world.cluster.Fabric
+	node := func(r int) int { return fab.Node(c.group[r]) }
+	local := 1
+	for local < n && node(local) == node(0) {
+		local++
+	}
+	if local > hierMaxLocal || n%local != 0 || n/local < 2 {
+		return hierLayout{}
+	}
+	for b := 1; b < n/local; b++ {
+		nb := node(b * local)
+		for i := 1; i < local; i++ {
+			if node(b*local+i) != nb {
+				return hierLayout{}
+			}
+		}
+	}
+	return hierLayout{ok: true, local: local, nodes: n / local}
+}
+
+// allreduceHierarchical is the SMP-aware allreduce for hierLayout
+// communicators: an intra-node ring reduce-scatter concentrates each node's
+// reduction into per-rank chunks, an inter-node binomial tree (reduce to
+// block 0, then broadcast) finishes each chunk across nodes — every local
+// rank drives its own chunk's tree concurrently, so the expensive inter-node
+// wire carries count/L elements per rank instead of count — and an
+// intra-node ring allgather redistributes the result. Wire traffic per rank:
+// 2*(L-1)/L vectors intra-node + 2*log2(N)/L vectors inter-node, versus the
+// flat ring's 2*(n-1)/n vectors all crossing node boundaries.
+//
+// Tag layout (all < collRounds=1024): reduce-scatter 300+step (L <= 128),
+// tree reduce 600+level, tree broadcast 680, allgather 700+step.
+func (c *Comm) allreduceHierarchical(p *sim.Proc, buf gpu.View, op gpu.ReduceOp, hl hierLayout) {
+	count := buf.Len()
+	L, N := hl.local, hl.nodes
+	l := c.rank % L       // local index within the node block
+	b := c.rank / L       // node block index
+	base := b * L         // comm rank of the block's first member
+	right := base + (l+1)%L
+	left := base + (l-1+L)%L
+
+	// Chunk boundaries over the local block: chunk i is [starts[i], starts[i+1]).
+	starts := make([]int, L+1)
+	for i := 0; i <= L; i++ {
+		starts[i] = i * count / L
+	}
+	chunk := func(i int) gpu.View {
+		i = (i%L + L) % L
+		return buf.Slice(starts[i], starts[i+1]-starts[i])
+	}
+	tmp := buf.Clone()
+
+	// Phase 1 — intra-node ring reduce-scatter: after L-1 steps local rank l
+	// holds the node-local reduction of chunk (l+1) mod L.
+	for step := 0; step < L-1; step++ {
+		sendIdx := l - step
+		recvIdx := l - step - 1
+		rv := chunk(recvIdx)
+		tmpChunk := tmpSlice(tmp, buf, rv)
+		c.Sendrecv(p, chunk(sendIdx), right, c.collTag(300+step),
+			tmpChunk, left, c.collTag(300+step))
+		gpu.Reduce(rv, tmpChunk, rv.Len(), op)
+	}
+
+	// Phase 2 — inter-node binomial tree per chunk, among the N co-local
+	// peers {b'*L + l}: reduce toward block 0, then broadcast back down.
+	cv := chunk(l + 1)
+	mask := 1
+	for mask < N {
+		if b&mask != 0 {
+			parent := (b&^mask)*L + l
+			c.Send(p, cv, parent, c.collTag(600+bitsOf(mask)))
+			break
+		}
+		peer := b | mask
+		if peer < N {
+			tmpChunk := tmpSlice(tmp, buf, cv)
+			c.Recv(p, tmpChunk, peer*L+l, c.collTag(600+bitsOf(mask)))
+			gpu.Reduce(cv, tmpChunk, cv.Len(), op)
+		}
+		mask <<= 1
+	}
+	top := 1
+	for top < N {
+		top <<= 1
+	}
+	recvMask := 1
+	for b != 0 && b&recvMask == 0 {
+		recvMask <<= 1
+	}
+	if b != 0 {
+		c.Recv(p, cv, (b&^recvMask)*L+l, c.collTag(680))
+	}
+	childMask := recvMask >> 1
+	if b == 0 {
+		childMask = top >> 1
+	}
+	for ; childMask > 0; childMask >>= 1 {
+		child := b | childMask
+		if child < N && child != b {
+			c.Send(p, cv, child*L+l, c.collTag(680))
+		}
+	}
+
+	// Phase 3 — intra-node ring allgather: circulate the finished chunks
+	// (rank l starts owning chunk (l+1) mod L, mirroring allreduceRing).
+	for step := 0; step < L-1; step++ {
+		sendIdx := l + 1 - step
+		recvIdx := l - step
+		c.Sendrecv(p, chunk(sendIdx), right, c.collTag(700+step),
+			chunk(recvIdx), left, c.collTag(700+step))
+	}
+	tmp.Release()
 }
 
 // Gather collects equal-size contributions into recvBuf on root (recvBuf
@@ -368,12 +595,14 @@ func (c *Comm) Allgatherv(p *sim.Proc, sendBuf, recvBuf gpu.View, counts, displs
 	}
 	right := (me + 1) % n
 	left := (me - 1 + n) % n
+	// One tag for the whole ring: per-pair FIFO admission orders the steps
+	// (per-step tags overflowed the round space past 1024 ranks).
 	for step := 0; step < n-1; step++ {
 		sendIdx := (me - step + n) % n
 		recvIdx := (me - step - 1 + n) % n
 		c.Sendrecv(p,
-			recvBuf.Slice(displs[sendIdx], counts[sendIdx]), right, c.collTag(step),
-			recvBuf.Slice(displs[recvIdx], counts[recvIdx]), left, c.collTag(step))
+			recvBuf.Slice(displs[sendIdx], counts[sendIdx]), right, c.collTag(0),
+			recvBuf.Slice(displs[recvIdx], counts[recvIdx]), left, c.collTag(0))
 	}
 }
 
@@ -385,12 +614,15 @@ func (c *Comm) Alltoall(p *sim.Proc, sendBuf, recvBuf gpu.View, count int) {
 	n := c.Size()
 	me := c.rank
 	gpu.Copy(recvBuf.Slice(me*count, count), sendBuf.Slice(me*count, count), count)
+	// One tag for every round: each ordered rank pair exchanges exactly one
+	// message per Alltoall, so round-distinct tags added nothing and
+	// overflowed the round space past 1024 ranks.
 	for round := 1; round < n; round++ {
 		dst := (me + round) % n
 		src := (me - round + n) % n
 		c.Sendrecv(p,
-			sendBuf.Slice(dst*count, count), dst, c.collTag(round),
-			recvBuf.Slice(src*count, count), src, c.collTag(round))
+			sendBuf.Slice(dst*count, count), dst, c.collTag(0),
+			recvBuf.Slice(src*count, count), src, c.collTag(0))
 	}
 }
 
@@ -409,8 +641,8 @@ func (c *Comm) Alltoallv(p *sim.Proc, sendBuf, recvBuf gpu.View, sendCounts, sen
 		dst := (me + round) % n
 		src := (me - round + n) % n
 		c.Sendrecv(p,
-			sendBuf.Slice(sendDispls[dst], sendCounts[dst]), dst, c.collTag(round),
-			recvBuf.Slice(recvDispls[src], recvCounts[src]), src, c.collTag(round))
+			sendBuf.Slice(sendDispls[dst], sendCounts[dst]), dst, c.collTag(0),
+			recvBuf.Slice(recvDispls[src], recvCounts[src]), src, c.collTag(0))
 	}
 }
 

@@ -248,6 +248,10 @@ type Comm struct {
 	// reserved tags. It requires every rank to use a single handle per
 	// communicator (CommWorld and Split hand out exactly one).
 	coll uint64
+
+	// hier caches the node-block layout detection (hierLayout); the group
+	// is immutable after construction so it never invalidates.
+	hier *hierLayout
 }
 
 // Rank reports the calling rank within the communicator.
@@ -322,15 +326,18 @@ func (c *Comm) Isend(p *sim.Proc, buf gpu.View, dst, tag int) *Request {
 
 	// Rendezvous: ship the RTS envelope; the payload moves once the
 	// receiver matches and returns a CTS. The handshake costs the
-	// profile's rendezvous overhead split across RTS and CTS.
+	// profile's rendezvous overhead split across RTS and CTS, plus — on a
+	// switched topology — the minimal-route switch latency, which keeps
+	// cross-shard envelope posts past the enlarged lookahead window.
 	w.mRendezvous.Inc()
 	h.srcBuf = buf
 	half := prof.RendezvousOverhead / 2
+	rtsWire := half + cost.Latency + fab.InterExtraLatency(srcWorld, dstWorld)
 	if sharded {
-		cd.Post(fab.Node(srcWorld), fab.Node(dstWorld), p.Now().Add(half+cost.Latency),
+		cd.Post(fab.Node(srcWorld), fab.Node(dstWorld), p.Now().Add(rtsWire),
 			func(*sim.Engine) { dstEp.admit(h) })
 	} else {
-		eng.After(half+cost.Latency, func() { dstEp.admit(h) })
+		eng.After(rtsWire, func() { dstEp.admit(h) })
 	}
 	return &Request{done: &h.sGate}
 }
@@ -513,7 +520,8 @@ func (ep *Endpoint) deliverRendezvousSharded(h *header, pr *postedRecv, cd *sim.
 	w := ep.world
 	fab := w.cluster.Fabric
 	srcNode, dstNode := fab.Node(h.src), fab.Node(h.dst)
-	cd.Post(dstNode, srcNode, ep.dev.Engine().Now().Add(half+cost.Latency), func(srcEng *sim.Engine) {
+	ctsWire := half + cost.Latency + fab.InterExtraLatency(h.dst, h.src)
+	cd.Post(dstNode, srcNode, ep.dev.Engine().Now().Add(ctsWire), func(srcEng *sim.Engine) {
 		var attempt func(backoff sim.Duration)
 		attempt = func(backoff sim.Duration) {
 			depart, booked, stall := fab.TrySendInter(srcEng.Now(), h.src, h.dst, bytes, cost)
