@@ -8,12 +8,16 @@
 // identical numbers at any UNICONN_WORKERS setting.
 //
 // With -recover the tool switches to hard-fault mode: plans from
-// faults.GenerateHard additionally crash ranks (severity >= 0.5) and kill a
-// link for good (severity >= 0.75) under an -ranks-GPU iterative allreduce
+// faults.GenerateHard additionally crash ranks (severity >= 0.5) and kill
+// links — and, on a switched -topology, an aggregation switch or global
+// channel (severity >= 0.5/0.75) — under an -ranks-GPU iterative allreduce
 // workload, and the sweep reports whether the survivors completed by
 // revoking and shrinking the communicator, plus the failure-detection and
-// recovery latencies. -benchjson records the recovery sweep's wall clock and
-// completion rate.
+// recovery latencies and the adaptive-routing failover count. -topology
+// accepts a comma-separated list in this mode, one table section (and one
+// BENCH JSON entry) per topology; -shards runs the hard-fault cells on the
+// sharded engine, bit-identical at every shard count >= 1. -benchjson
+// records the recovery sweep's wall clock and completion rate.
 //
 // Usage:
 //
@@ -21,6 +25,8 @@
 //	uniconn-chaos -machine LUMI -bytes 1048576
 //	uniconn-chaos -generate -seed 7 -severities 0,0.5,1
 //	uniconn-chaos -recover -ranks 8 -benchjson BENCH_recovery.json
+//	uniconn-chaos -recover -topology fattree -shards 4
+//	uniconn-chaos -recover -topology flat,fattree,dragonfly:1,2,2
 package main
 
 import (
@@ -63,21 +69,29 @@ type backendChoice struct {
 	backend core.BackendID
 }
 
-// recoveryJSON is the -benchjson record of one recovery sweep.
+// recoveryJSON is the -benchjson record of one recovery sweep: per-topology
+// survival curves, each holding the per-backend severity ramps.
 type recoveryJSON struct {
-	Description string               `json:"description"`
-	Host        recoveryHost         `json:"host"`
-	Machine     string               `json:"machine"`
-	Ranks       int                  `json:"ranks"`
-	Seed        uint64               `json:"seed"`
-	Severities  []float64            `json:"severities"`
-	Backends    []recoveryBackendRun `json:"backends"`
-	Seconds     float64              `json:"total_seconds"`
+	Description string                `json:"description"`
+	Host        recoveryHost          `json:"host"`
+	Machine     string                `json:"machine"`
+	Ranks       int                   `json:"ranks"`
+	Seed        uint64                `json:"seed"`
+	Shards      int                   `json:"shards"`
+	Severities  []float64             `json:"severities"`
+	Topologies  []recoveryTopologyRun `json:"topologies"`
+	Seconds     float64               `json:"total_seconds"`
 }
 
 type recoveryHost struct {
 	NumCPU     int `json:"num_cpu"`
 	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+type recoveryTopologyRun struct {
+	// Topology is the resolved description ("flat", "fattree(k=4)", ...).
+	Topology string               `json:"topology"`
+	Backends []recoveryBackendRun `json:"backends"`
 }
 
 type recoveryBackendRun struct {
@@ -87,48 +101,62 @@ type recoveryBackendRun struct {
 	Points         []bench.RecoveryPoint `json:"points"`
 }
 
-// recoveryMode runs the hard-fault severity sweep per backend, prints the
-// table, and optionally records wall-clock + completion-rate JSON.
-func recoveryMode(m *machine.Model, backends []backendChoice, severities []float64, ranks int, seed uint64, benchJSON string) error {
-	fmt.Printf("recovery sweep on %s, %d ranks, seed %d (crashes from severity 0.5, link down from 0.75)\n",
+// recoveryMode runs the hard-fault severity sweep per topology and backend,
+// prints one table section per topology, and optionally records wall-clock +
+// completion-rate JSON. The printed table carries virtual-time quantities
+// only, so its bytes are identical at every -shards count >= 1 (the CI
+// determinism gate compares them with cmp).
+func recoveryMode(m *machine.Model, backends []backendChoice, severities []float64, ranks int, seed uint64, benchJSON string, topologies []fabric.TopologyConfig, shards int) error {
+	fmt.Printf("recovery sweep on %s, %d ranks, seed %d (crashes from severity 0.5, link/switch faults from 0.5-0.75)\n",
 		m.Name, ranks, seed)
-	fmt.Printf("%-10s%10s%9s%11s%11s%12s%13s%14s%12s\n",
-		"backend", "severity", "crashes", "survivors", "completed", "recoveries", "detect lat", "recovery lat", "end")
 	report := recoveryJSON{
-		Description: "Recovery-aware chaos sweep (cmd/uniconn-chaos -recover): iterative allreduce under hard-fault plans; completion via communicator Revoke+Shrink.",
+		Description: "Recovery-aware chaos sweep (cmd/uniconn-chaos -recover): iterative allreduce under hard-fault plans; completion via communicator Revoke+Shrink, per-topology survival curves with adaptive-routing failovers.",
 		Host:        recoveryHost{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)},
-		Machine:     m.Name, Ranks: ranks, Seed: seed, Severities: severities,
+		Machine:     m.Name, Ranks: ranks, Seed: seed, Shards: shards, Severities: severities,
 	}
 	total := time.Now()
-	for _, b := range backends {
-		start := time.Now()
-		points, err := bench.RecoverySweep(m, b.backend, ranks, severities, seed)
-		if err != nil {
-			return fmt.Errorf("%s: %w", b.label, err)
+	for _, tc := range topologies {
+		// Clone the model so the sweep's generated plans and launched runs
+		// agree on the topology. Resolve auto-sized parameters up front so
+		// the section header names the actual fabric (fattree(k=4), not k=0).
+		mt := *m
+		mt.Topology = tc
+		resolved := fabric.ResolveTopology(tc, m.NodesFor(ranks))
+		tr := recoveryTopologyRun{Topology: resolved.Describe()}
+		fmt.Printf("\ntopology %s\n", resolved.Describe())
+		fmt.Printf("%-10s%10s%9s%11s%11s%12s%11s%13s%14s%12s\n",
+			"backend", "severity", "crashes", "survivors", "completed", "recoveries", "failovers", "detect lat", "recovery lat", "end")
+		for _, b := range backends {
+			start := time.Now()
+			points, err := bench.RecoverySweep(&mt, b.backend, ranks, severities, seed)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", tc.Describe(), b.label, err)
+			}
+			completed := 0
+			for _, p := range points {
+				done := "no"
+				if p.Completed {
+					done = "yes"
+					completed++
+				}
+				if p.Err != "" {
+					done = "ERR"
+				}
+				fmt.Printf("%-10s%10.2f%9d%11d%11s%12d%11d%13v%14v%12v\n",
+					b.label, p.Severity, p.Crashes, p.Survivors, done, p.Recoveries,
+					p.Failovers, p.DetectLatency, p.RecoveryLatency, sim.Duration(p.End))
+				if p.Err != "" {
+					fmt.Printf("  %s severity %.2f error: %s\n", b.label, p.Severity, p.Err)
+				}
+			}
+			tr.Backends = append(tr.Backends, recoveryBackendRun{
+				Backend:        b.label,
+				Seconds:        time.Since(start).Seconds(),
+				CompletionRate: float64(completed) / float64(len(points)),
+				Points:         points,
+			})
 		}
-		completed := 0
-		for _, p := range points {
-			done := "no"
-			if p.Completed {
-				done = "yes"
-				completed++
-			}
-			if p.Err != "" {
-				done = "ERR"
-			}
-			fmt.Printf("%-10s%10.2f%9d%11d%11s%12d%13v%14v%12v\n",
-				b.label, p.Severity, p.Crashes, p.Survivors, done, p.Recoveries,
-				p.DetectLatency, p.RecoveryLatency, sim.Duration(p.End))
-			if p.Err != "" {
-				fmt.Printf("  %s severity %.2f error: %s\n", b.label, p.Severity, p.Err)
-			}
-		}
-		report.Backends = append(report.Backends, recoveryBackendRun{
-			Backend:        b.label,
-			Seconds:        time.Since(start).Seconds(),
-			CompletionRate: float64(completed) / float64(len(points)),
-			Points:         points,
-		})
+		report.Topologies = append(report.Topologies, tr)
 	}
 	report.Seconds = time.Since(total).Seconds()
 	if benchJSON != "" {
@@ -144,6 +172,31 @@ func recoveryMode(m *machine.Model, backends []backendChoice, severities []float
 	return nil
 }
 
+// parseTopologyList splits a comma-separated topology list, keeping numeric
+// dragonfly parameters attached to their spec: "flat,fattree:4,dragonfly:1,2,2"
+// is three topologies, not six. Topology names never start with a digit, so a
+// purely numeric segment always continues the previous spec.
+func parseTopologyList(s string) ([]fabric.TopologyConfig, error) {
+	var specs []string
+	for _, seg := range strings.Split(s, ",") {
+		seg = strings.TrimSpace(seg)
+		if len(specs) > 0 && seg != "" && seg[0] >= '0' && seg[0] <= '9' {
+			specs[len(specs)-1] += "," + seg
+			continue
+		}
+		specs = append(specs, seg)
+	}
+	out := make([]fabric.TopologyConfig, 0, len(specs))
+	for _, spec := range specs {
+		tc, err := fabric.ParseTopology(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
 func main() {
 	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
 	inter := flag.Bool("inter", true, "benchmark across two nodes")
@@ -156,7 +209,7 @@ func main() {
 		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
 	shards := flag.Int("shards", 0,
 		"engine shards per cell (parallel-in-virtual-time); 0 = UNICONN_SHARDS env or serial engine; "+
-			"hard-fault plans (-recover) always run serial")
+			"results are bit-identical at every shard count >= 1, hard-fault plans (-recover) included")
 	recover := flag.Bool("recover", false,
 		"recovery mode: hard-fault plans (rank crashes, dead links) under an iterative allreduce; "+
 			"reports completion and recovery latency per severity")
@@ -168,7 +221,8 @@ func main() {
 	profilePath := flag.String("profile", "",
 		"write a Chrome trace-event file of the profiled severity cells here (degrade/generate modes)")
 	topoFlag := flag.String("topology", "flat",
-		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted)")
+		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted); "+
+			"-recover accepts a comma-separated list and sweeps each topology")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -182,16 +236,9 @@ func main() {
 	if m == nil {
 		log.Fatalf("unknown machine %q", *machineName)
 	}
-	tc, err := fabric.ParseTopology(*topoFlag)
+	topologies, err := parseTopologyList(*topoFlag)
 	if err != nil {
 		log.Fatal(err)
-	}
-	if tc.Kind != fabric.TopoFlat {
-		// Clone the model so the topology applies to every workload the tool
-		// launches on it.
-		m2 := *m
-		m2.Topology = tc
-		m = &m2
 	}
 	severities, err := parseSeverities(*sevFlag)
 	if err != nil {
@@ -204,10 +251,39 @@ func main() {
 	}
 
 	if *recover {
-		if err := recoveryMode(m, backends, severities, *ranks, *seed, *benchJSON); err != nil {
+		switched := false
+		for _, tc := range topologies {
+			if tc.Kind != fabric.TopoFlat {
+				switched = true
+			}
+		}
+		ranksSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "ranks" {
+				ranksSet = true
+			}
+		})
+		if switched && !ranksSet {
+			// The 8-rank default spans two nodes — too few for redundant
+			// fat-tree pods or >= 3 dragonfly groups. 32 ranks on a 4-GPU
+			// machine is 8 nodes: a k=4 fat-tree with spare aggregations,
+			// and four dragonfly:1,2,2 groups with a Valiant escape.
+			*ranks = 32
+		}
+		if err := recoveryMode(m, backends, severities, *ranks, *seed, *benchJSON, topologies, *shards); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if len(topologies) != 1 {
+		log.Fatalf("topology lists are for -recover; pick one of %q", *topoFlag)
+	}
+	if tc := topologies[0]; tc.Kind != fabric.TopoFlat {
+		// Clone the model so the topology applies to every workload the tool
+		// launches on it.
+		m2 := *m
+		m2.Topology = tc
+		m = &m2
 	}
 
 	where, mode := "intra-node", "degrade ramp"

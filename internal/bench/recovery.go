@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/machine"
@@ -40,14 +41,25 @@ type RecoveryConfig struct {
 	// Horizon/Iters before communicating (default 4 ms), which also scales
 	// the generated plan's fault windows.
 	Horizon sim.Duration
+	// Topology overrides the model's inter-node topology for this run
+	// (core.Config.Topology); the zero value keeps the model's own setting.
+	Topology fabric.TopologyConfig
+	// Shards selects parallel-in-virtual-time execution (core.Config.Shards):
+	// 0 consults UNICONN_SHARDS or runs serial; any positive count runs the
+	// windowed protocol, bit-identical at every shard count >= 1 — hard-fault
+	// plans included, since the failure timetable is shard-invariant.
+	Shards int
 }
 
 // RecoveryPoint is one measurement of a recovery sweep.
 type RecoveryPoint struct {
 	Backend  string
 	Severity float64
-	// Crashes is the number of distinct ranks the plan kills; Survivors is
-	// the rest.
+	// Topology is the run's resolved inter-node topology
+	// (fabric.TopologyConfig.Describe: "flat", "fattree(k=4)", ...).
+	Topology string
+	// Crashes is the number of distinct ranks the run declared failed;
+	// Survivors is the rest.
 	Crashes   int
 	Survivors int
 	// Completed reports whether every survivor finished all iterations
@@ -57,8 +69,12 @@ type RecoveryPoint struct {
 	// survivor ran.
 	Recoveries int
 	// DetectLatency is the failure detector's delay for the earliest
-	// crash: declaration time minus crash time (in [lease, 1.5*lease)).
+	// crash: declaration time minus crash time (in [lease/2, lease)).
 	DetectLatency sim.Duration
+	// Failovers counts transfers the fabric redirected onto fallback routes
+	// or steered around dead switches/inter-switch links; on a switched
+	// topology with an injected switch crash it must be positive.
+	Failovers int
 	// RecoveryLatency is the longest Revoke+Shrink+realign span measured
 	// on any survivor, from catching the failure to resuming iterations.
 	RecoveryLatency sim.Duration
@@ -107,25 +123,6 @@ func RunRecovery(cfg RecoveryConfig) (RecoveryPoint, error) {
 		wp.Watchdog = 200 * cfg.Horizon
 		plan = &wp
 	}
-	dead := map[int]bool{}
-	if plan != nil {
-		firstCrash := sim.Time(-1)
-		lease := plan.Lease
-		if lease <= 0 {
-			lease = faults.DefaultLease
-		}
-		for _, cr := range plan.Crashes {
-			dead[cr.Rank] = true
-			if firstCrash < 0 || cr.At < firstCrash {
-				firstCrash = cr.At
-			}
-		}
-		pt.Crashes = len(dead)
-		if firstCrash >= 0 {
-			pt.DetectLatency = core.DetectAt(firstCrash, lease).Sub(firstCrash)
-		}
-	}
-	pt.Survivors = cfg.NGPUs - pt.Crashes
 
 	ranks := make([]recoveryRank, cfg.NGPUs)
 	pace := cfg.Horizon / sim.Duration(cfg.Iters)
@@ -203,12 +200,26 @@ func RunRecovery(cfg RecoveryConfig) (RecoveryPoint, error) {
 
 	rep, err := core.Launch(core.Config{
 		Model: cfg.Model, NGPUs: cfg.NGPUs, Backend: cfg.Backend, Faults: plan,
+		Topology: cfg.Topology, Shards: cfg.Shards,
 	}, main)
 	if err != nil {
 		pt.Err = err.Error()
 		return pt, nil
 	}
 	pt.End = rep.End
+
+	// Fault accounting comes from the report — the run's own record of who
+	// crashed, when the detector declared it, and how often the fabric
+	// rerouted — instead of re-deriving it from the plan.
+	pt.Topology = rep.Topology.Describe()
+	dead := map[int]bool{}
+	for _, r := range rep.Faults.CrashedRanks {
+		dead[r] = true
+	}
+	pt.Crashes = len(rep.Faults.CrashedRanks)
+	pt.Survivors = cfg.NGPUs - pt.Crashes
+	pt.DetectLatency = rep.Faults.FirstDetectLatency
+	pt.Failovers = rep.Faults.Failovers
 
 	completed := true
 	for r := 0; r < cfg.NGPUs; r++ {
@@ -241,7 +252,9 @@ func RunRecovery(cfg RecoveryConfig) (RecoveryPoint, error) {
 
 // RecoverySweep measures one backend's recovery behaviour across a severity
 // ramp: each severity builds its hard-fault plan with faults.GenerateHard
-// (crashes appear from severity 0.5, a dead link from 0.75) and runs
+// (crashes appear from severity 0.5, a dead link from 0.75; on a switched
+// topology — carried by m.Topology — also a crashed aggregation switch or
+// dead global channel for adaptive routing to steer around) and runs
 // RunRecovery. Cells fan out over the deterministic sweep runner; results
 // are bit-identical at any worker count. Broken cells are reported in their
 // point's Err field rather than aborting the sweep.

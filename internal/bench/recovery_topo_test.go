@@ -1,0 +1,118 @@
+package bench
+
+// Topology-aware recovery tests: Shrink during a hierarchical-size allreduce
+// on every backend, and the shards 1-vs-N byte-compare for hard-fault runs
+// on switched topologies (run under -race in CI).
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestShrinkDuringHierarchicalAllreduce crashes rank 1 of 16 (4 Perlmutter
+// nodes x 4 GPUs) under a 64 KiB allreduce — past the MPI hierarchical
+// crossover, so the pre-crash iterations run the SMP-aware algorithm. The
+// survivor set straddles node 0, so after Shrink the hierarchical layout is
+// gone and auto-selection must re-check its thresholds on the shrunk
+// communicator instead of reducing over a stale node map. The survivors'
+// checksum proves the post-shrink reduction is over exactly the 15 live
+// ranks, on all three backends.
+func TestShrinkDuringHierarchicalAllreduce(t *testing.T) {
+	const nGPUs, elems = 16, 8 << 10 // 64 KiB of float64
+	m := machine.Perlmutter()
+	plan := &faults.Plan{
+		Crashes:  []faults.RankCrash{{Rank: 1, At: sim.Time(sim.Millisecond)}},
+		Lease:    sim.Millisecond,
+		Watchdog: sim.Second,
+	}
+	// The recovery workload fills in[i] = rank + i%7 and reports the lowest
+	// survivor's final allreduce sum.
+	want := 0.0
+	for i := 0; i < elems; i++ {
+		for r := 0; r < nGPUs; r++ {
+			if r != 1 {
+				want += float64(r + i%7)
+			}
+		}
+	}
+	for _, backend := range []core.BackendID{core.MPIBackend, core.GpucclBackend, core.GpushmemBackend} {
+		t.Run(backend.String(), func(t *testing.T) {
+			pt, err := RunRecovery(RecoveryConfig{
+				Model: m, Backend: backend, NGPUs: nGPUs, Plan: plan, Count: elems,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pt.Err != "" || !pt.Completed {
+				t.Fatalf("run did not complete: %+v", pt)
+			}
+			if pt.Crashes != 1 || pt.Survivors != nGPUs-1 {
+				t.Fatalf("survivor accounting: %+v", pt)
+			}
+			if pt.Checksum != want {
+				t.Fatalf("post-shrink checksum %v, want %v (reduction not over the 15 survivors)",
+					pt.Checksum, want)
+			}
+		})
+	}
+}
+
+// topoRecoveryPoint runs one hard-fault recovery cell on the given topology
+// and shard count and returns its point.
+func topoRecoveryPoint(t *testing.T, tc fabric.TopologyConfig, shards int) RecoveryPoint {
+	t.Helper()
+	const nGPUs = 32
+	m := machine.Perlmutter()
+	horizon := 4 * sim.Millisecond
+	mt := *m
+	mt.Topology = tc
+	fc := mt.FabricConfig(mt.NodesFor(nGPUs))
+	plan := faults.GenerateHard(11, 1, fc, horizon)
+	pt, err := RunRecovery(RecoveryConfig{
+		Model: &mt, Backend: core.MPIBackend, NGPUs: nGPUs,
+		Plan: plan, Horizon: horizon, Shards: shards,
+	})
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", tc.Describe(), shards, err)
+	}
+	if pt.Err != "" || !pt.Completed {
+		t.Fatalf("%s shards=%d did not complete: %+v", tc.Describe(), shards, pt)
+	}
+	return pt
+}
+
+// TestRecoveryShardDeterminismSwitchedTopologies is the sharded hard-fault
+// acceptance check (run under -race in CI): a 32-rank recovery cell with
+// crashes, a crashed aggregation switch / dead global channel, and a dead
+// intra-node route must produce bit-identical results at shards=1 and
+// shards=4 on both switched topologies — the failure timetable, detector
+// declarations, and liveness-aware route latencies are all pure functions of
+// virtual time, never of shard interleaving. The failover counter proves the
+// plan actually forced detours.
+func TestRecoveryShardDeterminismSwitchedTopologies(t *testing.T) {
+	topos := []fabric.TopologyConfig{
+		{Kind: fabric.TopoFatTree}, // 8 nodes -> k=4, spare aggregations
+		{Kind: fabric.TopoDragonfly, DragonflyHosts: 1, DragonflyRouters: 2, DragonflyGlobal: 2}, // 4 groups
+	}
+	for _, tc := range topos {
+		t.Run(tc.Kind.String(), func(t *testing.T) {
+			one := topoRecoveryPoint(t, tc, 1)
+			four := topoRecoveryPoint(t, tc, 4)
+			if !reflect.DeepEqual(one, four) {
+				t.Fatalf("hard-fault run diverged across shard counts:\nshards=1: %+v\nshards=4: %+v", one, four)
+			}
+			if one.Failovers == 0 {
+				t.Fatalf("no failovers on %s despite injected switch/link faults: %+v", tc.Describe(), one)
+			}
+			if one.Crashes == 0 || one.Recoveries == 0 {
+				t.Fatalf("plan crashed no ranks or survivors never recovered: %+v", one)
+			}
+		})
+	}
+}

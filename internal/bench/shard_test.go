@@ -117,8 +117,8 @@ func TestFigureSweepShardsDeterministic(t *testing.T) {
 
 // TestChaosSweepShardsDeterministic runs a soft-fault severity ramp at
 // shards=1 and shards=2 (the inter-node chaos cell spans two nodes) and
-// asserts identical points. Hard-fault plans fall back to the serial engine
-// by design and are covered by the existing chaos tests.
+// asserts identical points. Hard-fault plans run sharded too — their
+// determinism is covered by TestRecoveryShardDeterminismSwitchedTopologies.
 func TestChaosSweepShardsDeterministic(t *testing.T) {
 	cfg := chaosConfig(chaosBackends[0].backend)
 	severities := []float64{0, 0.25, 0.5, 0.75, 1}

@@ -42,8 +42,9 @@ var ErrRevoked = errors.New("core: communicator revoked")
 // blocking against a dead rank.
 func (c *Communicator) check() {
 	j := c.env.job
-	if j.epoch() != c.epoch {
-		if ferr := j.lastFailure(); ferr != nil {
+	now := c.env.p.Now()
+	if j.epochAt(now) != c.epoch {
+		if ferr := j.lastFailureAt(now); ferr != nil {
 			sim.Abort(ferr)
 		}
 	}
@@ -56,7 +57,7 @@ func (c *Communicator) check() {
 // (Communicator<Backend> comm in the paper's Listing 4).
 func NewCommunicator(env *Env) *Communicator {
 	env.dispatch()
-	c := &Communicator{env: env, epoch: env.job.epoch()}
+	c := &Communicator{env: env, epoch: env.job.epochAt(env.p.Now())}
 	c.mpic = env.job.mpiWorld.CommWorld(env.rank)
 	switch env.Backend() {
 	case GpucclBackend:
@@ -193,7 +194,7 @@ func (c *Communicator) Shrink() *Communicator {
 	env.dispatch()
 	env.p.ClearInterrupt()
 	j := env.job
-	epoch := j.epoch()
+	epoch := j.epochAt(env.p.Now())
 	if epoch == c.epoch && !c.revoked {
 		return c
 	}

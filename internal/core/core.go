@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 
 	"repro/internal/fabric"
@@ -111,11 +112,13 @@ type Config struct {
 	// default) consults the UNICONN_SHARDS environment variable and falls
 	// back to the classic serial engine; any positive count (clamped to the
 	// node count) runs the windowed protocol, whose virtual-time results
-	// are bit-identical at every shard count >= 1. Runs that the windowed
-	// protocol cannot express — hard-fault plans (crashes, link downs)
-	// and models without an inter-node latency floor — fall back to
-	// serial regardless of the setting, and non-MPI backends clamp to one
-	// shard (their transfer paths couple engines directly).
+	// are bit-identical at every shard count >= 1. Hard-fault plans shard
+	// too: the failure timetable is precomputed at launch and pre-armed on
+	// every shard, so detector leases and interrupt delivery are shard-
+	// deterministic (DESIGN.md §14). Models without an inter-node latency
+	// floor fall back to serial regardless of the setting, and non-MPI
+	// backends clamp to one shard (their transfer paths couple engines
+	// directly).
 	Shards int
 }
 
@@ -134,12 +137,6 @@ func (cfg Config) shards() int {
 		}
 	}
 	if s <= 0 {
-		return 0
-	}
-	if f := cfg.Faults; f != nil && (len(f.Crashes) > 0 || len(f.LinkDowns) > 0) {
-		// Hard-fault survival (rank crash recovery, link failover) runs the
-		// coupled transfer model and engine-wide interrupts; neither has a
-		// split-protocol equivalent yet.
 		return 0
 	}
 	if cfg.Model.MinInterAlpha() <= 0 {
@@ -191,12 +188,32 @@ type Job struct {
 	shmemWorld *gpushmem.World
 
 	// Hard-fault state (recovery.go): the rank processes for the crash
-	// scheduler, which ranks have crashed / been declared failed, and the
-	// declared failures in detection order (whose length is the epoch).
+	// scheduler, and the static failure timetable (nil on crash-free runs)
+	// every failure-state query is answered from.
 	rankProcs []*sim.Proc
-	crashed   map[int]bool
-	failed    map[int]bool
-	failures  []*sim.RankFailedError
+	sched     *failureSchedule
+}
+
+// FaultSummary summarises the hard faults of a completed run, so chaos CLIs
+// and benchmarks read the outcome from the report instead of re-deriving it
+// from the plan or metrics snapshots. Zero-valued on fault-free runs.
+type FaultSummary struct {
+	// CrashedRanks are the world ranks the plan killed, in ascending order.
+	CrashedRanks []int
+	// DeadSwitches, DeadInterLinks, and DeadRoutes count the plan's crashed
+	// topology switches, downed inter-switch links, and downed endpoint
+	// routes (LinkDowns).
+	DeadSwitches   int
+	DeadInterLinks int
+	DeadRoutes     int
+	// FirstDetectLatency is the failure detector's crash-to-declaration
+	// delay for the earliest crash; MaxDetectLatency the largest such delay
+	// across all crashes. Both zero without crashes.
+	FirstDetectLatency sim.Duration
+	MaxDetectLatency   sim.Duration
+	// Failovers counts transfers redirected onto fallback routes or steered
+	// around dead switches/links by adaptive routing.
+	Failovers int
 }
 
 // Report summarises a completed run.
@@ -206,6 +223,34 @@ type Report struct {
 	// Topology is the resolved inter-node topology the run used, with
 	// auto-sized parameters (fat-tree arity, dragonfly p/a/h) filled in.
 	Topology fabric.TopologyConfig
+	// Faults summarises the run's hard faults and their handling.
+	Faults FaultSummary
+}
+
+// faultSummary builds the report's hard-fault summary after a run completes.
+func (j *Job) faultSummary() FaultSummary {
+	var fs FaultSummary
+	if f := j.cfg.Faults; f != nil {
+		fs.DeadSwitches = len(f.SwitchCrashes)
+		fs.DeadInterLinks = len(f.InterLinkDowns)
+		fs.DeadRoutes = len(f.LinkDowns)
+	}
+	if j.sched != nil && len(j.sched.crashes) > 0 {
+		earliest := 0
+		for i, sc := range j.sched.crashes {
+			fs.CrashedRanks = append(fs.CrashedRanks, sc.rank)
+			if sc.latency > fs.MaxDetectLatency {
+				fs.MaxDetectLatency = sc.latency
+			}
+			if sc.at < j.sched.crashes[earliest].at {
+				earliest = i
+			}
+		}
+		sort.Ints(fs.CrashedRanks)
+		fs.FirstDetectLatency = j.sched.crashes[earliest].latency
+	}
+	fs.Failovers = j.cluster.Fabric.FailoverTransfers()
+	return fs
 }
 
 // Launch runs main once per rank, each in its own simulated process, and
@@ -222,8 +267,7 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 	}
 	eng := sim.NewEngine()
 	defer eng.Close()
-	job := &Job{cfg: cfg, eng: eng, cluster: gpu.NewCluster(eng, cfg.Model, cfg.NGPUs),
-		crashed: map[int]bool{}, failed: map[int]bool{}}
+	job := &Job{cfg: cfg, eng: eng, cluster: gpu.NewCluster(eng, cfg.Model, cfg.NGPUs)}
 	if cfg.Trace != nil {
 		job.cluster.SetTrace(cfg.Trace)
 	}
@@ -258,13 +302,15 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 		}))
 	}
 	if f := cfg.Faults; f != nil && len(f.Crashes) > 0 {
-		job.scheduleHardFaults(f)
+		job.sched = newFailureSchedule(f, cfg.NGPUs)
+		job.armHardFaults([]*sim.Engine{eng})
 	}
 	if err := eng.Run(); err != nil {
 		return rep, err
 	}
 	rep.End = eng.Now()
 	rep.Topology = job.cluster.Fabric.Topology()
+	rep.Faults = job.faultSummary()
 	if cfg.Metrics != nil {
 		job.cluster.Fabric.PublishOccupancy(cfg.Metrics, rep.End)
 	}
@@ -274,10 +320,12 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 // launchSharded is Launch's parallel-in-virtual-time variant: one engine
 // per shard, ranks partitioned by cluster node, windows driven by a
 // sim.Group with the machine's minimum inter-node alpha as lookahead.
-// cfg.shards() has already excluded everything the windowed protocol
-// cannot express (hard faults, missing latency floor) and clamped non-MPI
-// backends to one shard; node-count clamping happens here, where the node
-// count is known.
+// cfg.shards() has already excluded what the windowed protocol cannot
+// express (models without a latency floor) and clamped non-MPI backends to
+// one shard; node-count clamping happens here, where the node count is
+// known. Hard-fault plans run windowed too: the failure timetable is static,
+// so kills land on the crashed rank's own engine and declarations are
+// pre-armed on every engine at the same virtual time (recovery.go).
 func launchSharded(cfg Config, shards int, main func(env *Env)) (Report, error) {
 	var rep Report
 	nodes := cfg.Model.NodesFor(cfg.NGPUs)
@@ -308,8 +356,7 @@ func launchSharded(cfg Config, shards int, main func(env *Env)) (Report, error) 
 	lookahead := cfg.Model.MinInterAlpha() + cluster.Fabric.MinInterExtra()
 	group := sim.NewGroup(engines, shardOf, lookahead)
 	cluster.Conduit = group.Conduit()
-	job := &Job{cfg: cfg, eng: engines[0], cluster: cluster,
-		crashed: map[int]bool{}, failed: map[int]bool{}}
+	job := &Job{cfg: cfg, eng: engines[0], cluster: cluster}
 	if cfg.Trace != nil {
 		cluster.SetTrace(cfg.Trace)
 	}
@@ -319,6 +366,7 @@ func launchSharded(cfg Config, shards int, main func(env *Env)) (Report, error) 
 	if f := cfg.Faults; f != nil {
 		cluster.Fabric.LinkFault = f.LinkCostAt
 		f.ApplyStalls(cluster.Fabric)
+		f.ApplyHardFaults(cluster.Fabric)
 		cluster.ComputeFault = f.ComputeFactor
 		if f.Watchdog > 0 {
 			for _, e := range engines {
@@ -341,11 +389,16 @@ func launchSharded(cfg Config, shards int, main func(env *Env)) (Report, error) 
 				main(env)
 			}))
 	}
+	if f := cfg.Faults; f != nil && len(f.Crashes) > 0 {
+		job.sched = newFailureSchedule(f, cfg.NGPUs)
+		job.armHardFaults(engines)
+	}
 	if err := group.Run(); err != nil {
 		return rep, err
 	}
 	rep.End = group.End()
 	rep.Topology = cluster.Fabric.Topology()
+	rep.Faults = job.faultSummary()
 	if cfg.Metrics != nil {
 		cluster.Fabric.PublishOccupancy(cfg.Metrics, rep.End)
 	}

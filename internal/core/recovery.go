@@ -19,9 +19,19 @@ package core
 // and busy survivors get it at their next blocking operation. The crash
 // itself kills the rank's host process and its GPU streams instantly and
 // silently — peers only ever learn of it through the detector.
+//
+// The whole timetable — who crashes, when, and when each crash is declared —
+// is a pure function of the fault plan, precomputed at launch into a
+// failureSchedule. That makes every failure-state query (epoch, failed set,
+// last failure) a pure function of (schedule, virtual time) with no shared
+// mutable state, which is what lets hard-fault runs execute on the sharded
+// engine: each shard pre-arms the same declarations at the same virtual
+// times and reads the same schedule, so interrupt delivery is shard-
+// deterministic (DESIGN.md §14).
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/faults"
 	"repro/internal/gpu"
@@ -42,63 +52,144 @@ func DetectAt(crash sim.Time, lease sim.Duration) sim.Time {
 	return lastHB.Add(lease)
 }
 
-// scheduleHardFaults installs the plan's rank crashes and arms the failure
-// detector. Called once by Launch, before the rank processes start.
-func (j *Job) scheduleHardFaults(f *faults.Plan) {
+// scheduledCrash is one rank's entry in the static hard-fault timetable.
+type scheduledCrash struct {
+	rank    int
+	at      sim.Time     // the crash instant
+	detect  sim.Time     // when the detector declares the rank failed
+	latency sim.Duration // detect - at, the detector's declaration delay
+	err     *sim.RankFailedError
+}
+
+// failureSchedule is the static, shard-invariant hard-fault timetable of one
+// run, precomputed at launch from the fault plan: one entry per crashed rank
+// (the earliest crash wins when a plan lists a rank twice), ordered by
+// (detect time, rank). It is immutable once built, so concurrent shard
+// engines query it without synchronization.
+type failureSchedule struct {
+	crashes []scheduledCrash
+}
+
+func newFailureSchedule(f *faults.Plan, nGPUs int) *failureSchedule {
 	lease := f.Lease
 	if lease <= 0 {
 		lease = faults.DefaultLease
 	}
+	earliest := map[int]sim.Time{}
 	for _, cr := range f.Crashes {
-		cr := cr
-		if cr.Rank < 0 || cr.Rank >= j.cfg.NGPUs {
-			panic(fmt.Sprintf("core: crash rank %d outside %d ranks", cr.Rank, j.cfg.NGPUs))
+		if cr.Rank < 0 || cr.Rank >= nGPUs {
+			panic(fmt.Sprintf("core: crash rank %d outside %d ranks", cr.Rank, nGPUs))
 		}
-		j.eng.After(sim.Duration(cr.At), func() { j.crashRank(cr.Rank) })
-		detect := DetectAt(cr.At, lease)
-		latency := detect.Sub(sim.Time(cr.At))
-		j.eng.After(sim.Duration(detect), func() { j.declareFailed(cr.Rank, detect, latency) })
+		if at, ok := earliest[cr.Rank]; !ok || cr.At < at {
+			earliest[cr.Rank] = cr.At
+		}
 	}
+	s := &failureSchedule{}
+	for rank, at := range earliest {
+		detect := DetectAt(at, lease)
+		s.crashes = append(s.crashes, scheduledCrash{
+			rank: rank, at: at, detect: detect, latency: detect.Sub(at),
+			err: &sim.RankFailedError{Rank: rank, At: detect},
+		})
+	}
+	sort.Slice(s.crashes, func(i, k int) bool {
+		a, b := &s.crashes[i], &s.crashes[k]
+		if a.detect != b.detect {
+			return a.detect < b.detect
+		}
+		return a.rank < b.rank
+	})
+	return s
 }
 
-// crashRank kills a rank's host process and its GPU streams, silently.
-func (j *Job) crashRank(rank int) {
-	if j.crashed[rank] {
-		return
+// epochAt counts the failures declared by virtual time t — the failure epoch
+// as observed at t.
+func (s *failureSchedule) epochAt(t sim.Time) int {
+	n := 0
+	for _, sc := range s.crashes {
+		if sc.detect > t {
+			break
+		}
+		n++
 	}
-	j.crashed[rank] = true
-	j.cfg.Metrics.Counter("core.crashes").Inc()
-	j.rankProcs[rank].Kill()
-	j.cluster.Devices[rank].Crash()
+	return n
 }
 
-// declareFailed records the failure (bumping the epoch) and delivers the
-// typed error to every live process. latency is the detector's crash-to-
-// declaration delay, observed into the detect-latency histogram.
-func (j *Job) declareFailed(rank int, at sim.Time, latency sim.Duration) {
-	if j.failed[rank] {
-		return
+// lastFailureAt reports the most recent failure declared by t, nil if none.
+func (s *failureSchedule) lastFailureAt(t sim.Time) *sim.RankFailedError {
+	var last *sim.RankFailedError
+	for i := range s.crashes {
+		if s.crashes[i].detect > t {
+			break
+		}
+		last = s.crashes[i].err
 	}
-	j.failed[rank] = true
-	if r := j.cfg.Metrics; r != nil {
-		r.Counter("core.failures").Inc()
-		r.Histogram("core.detect.latency_ns").Observe(int64(latency))
-	}
-	ferr := &sim.RankFailedError{Rank: rank, At: at}
-	j.failures = append(j.failures, ferr)
-	j.eng.InterruptAll(ferr)
+	return last
 }
 
-// epoch counts declared failures; communicators stamp the epoch they were
-// built in and refuse (abort) operations once it moves on.
-func (j *Job) epoch() int { return len(j.failures) }
+// failedAt reports the ranks declared failed by t, in ascending rank order.
+func (s *failureSchedule) failedAt(t sim.Time) []int {
+	var out []int
+	for _, sc := range s.crashes {
+		if sc.detect <= t {
+			out = append(out, sc.rank)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
 
-// lastFailure reports the most recently declared failure, nil if none.
-func (j *Job) lastFailure() *sim.RankFailedError {
-	if len(j.failures) == 0 {
+// epochAt, lastFailureAt: failure-state queries indexed by the caller's
+// virtual time. Communicators stamp the epoch they were built in and refuse
+// (abort) operations once it moves on.
+func (j *Job) epochAt(t sim.Time) int {
+	if j.sched == nil {
+		return 0
+	}
+	return j.sched.epochAt(t)
+}
+
+func (j *Job) lastFailureAt(t sim.Time) *sim.RankFailedError {
+	if j.sched == nil {
 		return nil
 	}
-	return j.failures[len(j.failures)-1]
+	return j.sched.lastFailureAt(t)
+}
+
+// armHardFaults schedules the crash kills and the detector declarations onto
+// the engines (one engine for a serial run). Each rank's kill runs on the
+// engine owning its node — where the rank's process and GPU streams live —
+// and the declaration interrupts every engine at the same virtual detect
+// time. Fault events are pre-armed on each shard rather than routed through
+// the conduit: the timetable is known at launch, so no cross-shard message
+// (and no lookahead constraint) is involved, the detector being local to
+// every node. Only the owning engine observes the metrics, keeping counters
+// shard-invariant.
+func (j *Job) armHardFaults(engines []*sim.Engine) {
+	for i := range j.sched.crashes {
+		sc := &j.sched.crashes[i]
+		rank := sc.rank
+		owner := j.cluster.Devices[rank].Engine()
+		owner.After(sim.Duration(sc.at), func() {
+			j.cfg.Metrics.Counter("core.crashes").Inc()
+			j.rankProcs[rank].Kill()
+			j.cluster.Devices[rank].Crash()
+		})
+		latency, ferr := sc.latency, sc.err
+		for _, e := range engines {
+			e := e
+			isOwner := e == owner
+			e.After(sim.Duration(sc.detect), func() {
+				if isOwner {
+					if r := j.cfg.Metrics; r != nil {
+						r.Counter("core.failures").Inc()
+						r.Histogram("core.detect.latency_ns").Observe(int64(latency))
+					}
+				}
+				e.InterruptAll(ferr)
+			})
+		}
+	}
 }
 
 // Try runs fn and converts a delivered failure (or any sim.Abort) inside it
@@ -112,18 +203,15 @@ func (e *Env) Try(fn func()) error { return sim.Protect(fn) }
 
 // Failure reports the most recently declared rank failure, nil while all
 // ranks are healthy.
-func (e *Env) Failure() *sim.RankFailedError { return e.job.lastFailure() }
+func (e *Env) Failure() *sim.RankFailedError { return e.job.lastFailureAt(e.p.Now()) }
 
 // FailedRanks reports the world ranks declared failed so far, in ascending
 // order.
 func (e *Env) FailedRanks() []int {
-	var out []int
-	for r := 0; r < e.job.cfg.NGPUs; r++ {
-		if e.job.failed[r] {
-			out = append(out, r)
-		}
+	if e.job.sched == nil {
+		return nil
 	}
-	return out
+	return e.job.sched.failedAt(e.p.Now())
 }
 
 // ResetStream drains the stream and discards any abort recorded by a

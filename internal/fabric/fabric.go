@@ -12,6 +12,7 @@ package fabric
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -106,9 +107,11 @@ type Fabric struct {
 
 	// Hard-fault state: permanently dead routes and the per-path fallback
 	// penalties applied to transfers redirected around them (failover.go).
+	// The failover counter is atomic because sharded runs book inter-node
+	// legs (SendInter) from concurrent shard engines.
 	downs         []downLink
 	failover      map[Path]Failover
-	failoverCount int
+	failoverCount atomic.Int64
 
 	// topo is the inter-node switch fabric; nil on the flat topology, so
 	// the flat hot path keeps its pair-of-ports fast route.
@@ -297,10 +300,7 @@ func (f *Fabric) Transfer(at sim.Time, src, dst int, bytes int64, cost LinkCost)
 		// blocking. The same ports are occupied (the staged copy still moves
 		// through them) but the transfer pays the failover cost.
 		cost = f.failover[path].apply(cost)
-		f.failoverCount++
-		if f.m != nil {
-			f.m.failover.Inc()
-		}
+		f.noteFailover()
 		track = track + "+failover"
 	}
 	portOut, portIn := f.routePorts(src, dst, path)
@@ -309,9 +309,22 @@ func (f *Fabric) Transfer(at sim.Time, src, dst int, bytes int64, cost LinkCost)
 	if path == PathInter && f.topo != nil {
 		// Switched topology: book every output port of the adaptive route
 		// alongside the NIC pair (cut-through: one shared occupancy window)
-		// and delay arrival by the per-switch traversal latency.
+		// and delay arrival by the per-switch traversal latency. Dead
+		// switches/links steer the route onto live candidates (counted as a
+		// failover); a pair with no live route left aborts the calling proc
+		// with the typed *UnreachableError — a real partition, catchable via
+		// sim.Protect.
 		ports := append(f.routeScratch[:0], portOut)
-		ports, extra = f.topo.route(ports, at, f.Node(src), f.Node(dst))
+		ports, routeExtra, rerouted, rerr := f.topo.route(ports, at, f.Node(src), f.Node(dst))
+		if rerr != nil {
+			f.routeScratch = ports[:0]
+			sim.Abort(rerr)
+		}
+		extra = routeExtra
+		if rerouted {
+			f.noteFailover()
+			track = track + "+reroute"
+		}
 		ports = append(ports, portIn)
 		f.routeScratch = ports[:0] // retain grown capacity across transfers
 		start, end = sim.ReserveMulti(at, cost.Duration(bytes), ports...)
@@ -379,9 +392,12 @@ func (f *Fabric) TryTransfer(at sim.Time, src, dst int, bytes int64, cost LinkCo
 // the serial and windowed protocols; they are identical across windowed
 // shard counts, which is what the 1-vs-N byte-compares pin.
 //
-// Hard-faulted routes (LinkDownAt) are not supported here: core forces
-// hard-fault plans onto the serial engine, so a down route reaching
-// SendInter is a gating bug and panics.
+// Hard faults compose with the split model the same way they do with
+// Transfer, and every adjustment is a pure function of (at, src, dst) given
+// the run's static fault plan — the shard-determinism invariant: a dead
+// route (LinkDownAt) pays the path's failover penalty, a dead switch/link
+// folds the live-route detour latency into the booked cost, and a real
+// partition aborts the calling proc with the typed *UnreachableError.
 func (f *Fabric) SendInter(at sim.Time, src, dst int, bytes int64, cost LinkCost) (depart sim.Time, booked LinkCost) {
 	if f.LinkFault != nil {
 		healthy := cost
@@ -391,14 +407,24 @@ func (f *Fabric) SendInter(at sim.Time, src, dst int, bytes int64, cost LinkCost
 		}
 	}
 	if len(f.downs) > 0 && f.LinkDownAt(at, src, dst, PathInter) {
-		panic("fabric: SendInter on a down route (hard-fault plans must run on the serial engine)")
+		cost = f.failover[PathInter].apply(cost)
+		f.noteFailover()
 	}
 	if f.topo != nil {
-		// Split path: the deterministic minimal-route switch latency folds
-		// into the booked cost, so the conduit delivery time (depart +
+		// Split path: the deterministic minimal live-route switch latency
+		// folds into the booked cost, so the conduit delivery time (depart +
 		// booked.Latency) carries the topology and stays >= the enlarged
-		// lookahead window (MinInterAlpha + MinInterExtra).
-		cost.Latency += f.topo.extra(f.Node(src), f.Node(dst))
+		// lookahead window (MinInterAlpha + MinInterExtra; a live route
+		// always holds at least one switch, so the detour never undercuts
+		// MinInterExtra).
+		extra, rerouted, err := f.topo.liveExtra(f.Node(src), f.Node(dst), at)
+		if err != nil {
+			sim.Abort(err)
+		}
+		if rerouted {
+			f.noteFailover()
+		}
+		cost.Latency += extra
 	}
 	start, end := f.nicOut[f.nic(src)].Reserve(at, cost.Duration(bytes))
 	if f.m != nil {

@@ -98,6 +98,17 @@ func (f *Fabric) LinkDownAt(at sim.Time, src, dst int, path Path) bool {
 	return false
 }
 
+// noteFailover counts one transfer redirected onto a fallback route or
+// steered around a dead switch/link, in both the cumulative counter and the
+// metrics registry.
+func (f *Fabric) noteFailover() {
+	f.failoverCount.Add(1)
+	if f.m != nil {
+		f.m.failover.Inc()
+	}
+}
+
 // FailoverTransfers reports how many transfers have been redirected onto
-// fallback routes so far.
-func (f *Fabric) FailoverTransfers() int { return f.failoverCount }
+// fallback routes — or steered around dead switches and inter-switch links
+// by the topology's adaptive routing — so far.
+func (f *Fabric) FailoverTransfers() int { return int(f.failoverCount.Load()) }

@@ -148,14 +148,25 @@ func ParseTopology(s string) (TopologyConfig, error) {
 type topology interface {
 	// route appends the switch output-port timelines of the adaptive route
 	// between two distinct nodes to ports and returns the route's switch
-	// latency. Coupled path only: it consults and mutates shared port
-	// state, so it must run on a single engine goroutine at a time (the
-	// serial engine, or the inter-node-free shards of a windowed run never
-	// reach it).
-	route(ports []*sim.Timeline, at sim.Time, srcNode, dstNode int) ([]*sim.Timeline, sim.Duration)
-	// extra is the deterministic minimal-route switch latency between two
-	// distinct nodes: the split-path (sharded) latency model.
+	// latency, whether dead elements forced a detour, and a non-nil
+	// *UnreachableError when every live route is gone (a real partition).
+	// Coupled path only: it consults and mutates shared port state, so it
+	// must run on a single engine goroutine at a time (the serial engine,
+	// or the inter-node-free shards of a windowed run never reach it).
+	route(ports []*sim.Timeline, at sim.Time, srcNode, dstNode int) ([]*sim.Timeline, sim.Duration, bool, error)
+	// extra is the deterministic minimal healthy-route switch latency
+	// between two distinct nodes: the split-path (sharded) latency model,
+	// also the control-envelope (rendezvous RTS/CTS) wire time.
 	extra(srcNode, dstNode int) sim.Duration
+	// liveExtra is extra over live elements only: the deterministic
+	// minimal-route latency avoiding switches/links dead at time at, plus
+	// whether the detour differs from a healthy route, or an
+	// *UnreachableError when the pair is partitioned. A pure function of
+	// (srcNode, dstNode, at) given the run's static fault plan, so sharded
+	// runs stay bit-identical; it never undercuts extra (dead elements only
+	// remove candidates of equal cost or force longer routes), which keeps
+	// the conservative lookahead window valid.
+	liveExtra(srcNode, dstNode int, at sim.Time) (sim.Duration, bool, error)
 	// minHops is the switch count of the minimal route between two
 	// distinct nodes.
 	minHops(srcNode, dstNode int) int
@@ -167,6 +178,12 @@ type topology interface {
 	// ports calls fn for every switch output-port timeline in a fixed
 	// deterministic order (stats and occupancy reporting).
 	ports(fn func(*sim.Timeline))
+	// crashSwitch kills one switch from time at onward; panics on an
+	// out-of-range id (topofault.go documents each topology's numbering).
+	crashSwitch(sw int, at sim.Time)
+	// downInterLink kills the link between two adjacent switches from time
+	// at onward; panics when the ids are not adjacent in this topology.
+	downInterLink(a, b int, at sim.Time)
 }
 
 // buildTopology instantiates cfg.Topology for a cluster, resolving
@@ -239,9 +256,19 @@ type fatTree struct {
 	aggUp    [][]*sim.Timeline // [agg][j]: agg position a -> core a*half+j
 	aggDown  [][]*sim.Timeline // [agg][e]: agg -> edge position e of its pod
 	coreDown [][]*sim.Timeline // [core][pod]: core -> the pod's agg at position core/half
+
+	// Hard-fault state, installed before the run starts (ApplyHardFaults)
+	// and immutable afterwards, so concurrent shards may read it. Nil/empty
+	// means healthy; deadAt entries of aliveForever mean alive.
+	edgeDead, aggDead, coreDead []sim.Time
+	deadLink                    map[[2]int]sim.Time // normalized (lo, hi) global switch-id pair
 }
 
-func newFatTree(nodes, arity int, hop sim.Duration) *fatTree {
+// fatTreeArity resolves the fat-tree arity for a cluster: 0 auto-sizes the
+// smallest even k whose k^3/4 capacity covers the node count; explicit
+// arities are validated. Shared by New and ResolveTopology so fault
+// generators see the same sizing the fabric will build.
+func fatTreeArity(nodes, arity int) int {
 	k := arity
 	if k == 0 {
 		for k = 2; k*k*k/4 < nodes; k += 2 {
@@ -254,6 +281,11 @@ func newFatTree(nodes, arity int, hop sim.Duration) *fatTree {
 		panic(fmt.Sprintf("fabric: %d-ary fat-tree holds %d nodes, cluster has %d (raise the arity or auto-size with 0)",
 			k, k*k*k/4, nodes))
 	}
+	return k
+}
+
+func newFatTree(nodes, arity int, hop sim.Duration) *fatTree {
+	k := fatTreeArity(nodes, arity)
 	half := k / 2
 	t := &fatTree{k: k, half: half, hop: hop}
 	for e := 0; e < k*half; e++ {
@@ -306,32 +338,142 @@ func (t *fatTree) minExtra() sim.Duration { return t.hop }
 func (t *fatTree) switches() int { return len(t.edgeUp) + len(t.aggUp) + len(t.coreDown) }
 
 // route books the adaptive up*/down* route. The up phase selects the
-// least-loaded edge->agg (and agg->core) port; once the route peaks, the
-// down path is fully determined by the destination — every route strictly
-// climbs then descends, the classic deadlock-freedom argument for up/down
-// routing (asserted by the topology tests).
-func (t *fatTree) route(ports []*sim.Timeline, at sim.Time, src, dst int) ([]*sim.Timeline, sim.Duration) {
+// least-loaded edge->agg (and agg->core) port among candidates whose
+// switches and links are live at time at; once the route peaks, the down
+// path is fully determined by the destination — every route strictly climbs
+// then descends, the classic deadlock-freedom argument for up/down routing
+// (asserted by the topology tests). With no faults installed every candidate
+// is live, so the selection reduces to the original least-loaded policy and
+// healthy timings are unchanged. A dead switch/link only removes candidates
+// of equal hop count (the fat-tree's path diversity lives entirely in the
+// middle of the route), so a reachable pair always keeps its minimal length.
+func (t *fatTree) route(ports []*sim.Timeline, at sim.Time, src, dst int) ([]*sim.Timeline, sim.Duration, bool, error) {
 	se, de := t.edge(src), t.edge(dst)
+	if !t.edgeLive(se, at) || !t.edgeLive(de, at) {
+		// A dead edge switch severs its nodes completely: a real partition.
+		return ports, 0, false, unreachableErr(src, dst, at)
+	}
 	if se == de {
 		// Same edge switch: one traversal, no contended switch port beyond
 		// the NICs (the edge's node-facing ports are the NIC links).
-		return ports, t.hop
+		return ports, t.hop, false, nil
 	}
 	sp, dp := t.pod(src), t.pod(dst)
-	a := leastLoaded(t.edgeUp[se])
-	ports = append(ports, t.edgeUp[se][a])
+	rerouted := false
 	if sp == dp {
-		ports = append(ports, t.aggDown[sp*t.half+a][de%t.half])
-		return ports, 3 * t.hop
+		best := -1
+		for a := 0; a < t.half; a++ {
+			if !t.podAggOK(se, de, sp, a, at) {
+				rerouted = true
+				continue
+			}
+			if best < 0 || t.edgeUp[se][a].BusyUntil() < t.edgeUp[se][best].BusyUntil() {
+				best = a
+			}
+		}
+		if best < 0 {
+			return ports, 0, false, unreachableErr(src, dst, at)
+		}
+		ports = append(ports, t.edgeUp[se][best], t.aggDown[sp*t.half+best][de%t.half])
+		return ports, 3 * t.hop, rerouted, nil
 	}
-	sa := sp*t.half + a
-	j := leastLoaded(t.aggUp[sa])
-	core := a*t.half + j
+	bestA := -1
+	for a := 0; a < t.half; a++ {
+		if !t.upOK(se, de, sp, dp, a, at) {
+			rerouted = true
+			continue
+		}
+		sa, da := sp*t.half+a, dp*t.half+a
+		feasible := false
+		for j := 0; j < t.half; j++ {
+			if t.coreOK(sa, da, a, j, at) {
+				feasible = true
+				break
+			}
+		}
+		if !feasible {
+			rerouted = true
+			continue
+		}
+		if bestA < 0 || t.edgeUp[se][a].BusyUntil() < t.edgeUp[se][bestA].BusyUntil() {
+			bestA = a
+		}
+	}
+	if bestA < 0 {
+		return ports, 0, false, unreachableErr(src, dst, at)
+	}
+	sa, da := sp*t.half+bestA, dp*t.half+bestA
+	bestJ := -1
+	for j := 0; j < t.half; j++ {
+		if !t.coreOK(sa, da, bestA, j, at) {
+			rerouted = true
+			continue
+		}
+		if bestJ < 0 || t.aggUp[sa][j].BusyUntil() < t.aggUp[sa][bestJ].BusyUntil() {
+			bestJ = j
+		}
+	}
+	core := bestA*t.half + bestJ
 	ports = append(ports,
-		t.aggUp[sa][j],
+		t.edgeUp[se][bestA],
+		t.aggUp[sa][bestJ],
 		t.coreDown[core][dp],
-		t.aggDown[dp*t.half+a][de%t.half])
-	return ports, 5 * t.hop
+		t.aggDown[da][de%t.half])
+	return ports, 5 * t.hop, rerouted, nil
+}
+
+// liveExtra mirrors route's feasibility scan without touching port state: a
+// reachable fat-tree pair keeps its minimal hop count (path diversity is in
+// the middle of the route), so the live latency equals the healthy one and
+// only the rerouted flag and reachability can change.
+func (t *fatTree) liveExtra(src, dst int, at sim.Time) (sim.Duration, bool, error) {
+	if !t.faulty() {
+		return t.extra(src, dst), false, nil
+	}
+	se, de := t.edge(src), t.edge(dst)
+	if !t.edgeLive(se, at) || !t.edgeLive(de, at) {
+		return 0, false, unreachableErr(src, dst, at)
+	}
+	if se == de {
+		return t.hop, false, nil
+	}
+	sp, dp := t.pod(src), t.pod(dst)
+	rerouted, reachable := false, false
+	if sp == dp {
+		for a := 0; a < t.half; a++ {
+			if t.podAggOK(se, de, sp, a, at) {
+				reachable = true
+			} else {
+				rerouted = true
+			}
+		}
+		if !reachable {
+			return 0, false, unreachableErr(src, dst, at)
+		}
+		return 3 * t.hop, rerouted, nil
+	}
+	for a := 0; a < t.half; a++ {
+		if !t.upOK(se, de, sp, dp, a, at) {
+			rerouted = true
+			continue
+		}
+		sa, da := sp*t.half+a, dp*t.half+a
+		feasible := false
+		for j := 0; j < t.half; j++ {
+			if t.coreOK(sa, da, a, j, at) {
+				feasible = true
+			} else {
+				rerouted = true
+			}
+		}
+		if feasible {
+			reachable = true
+		}
+	}
+	if !reachable {
+		return 0, false, unreachableErr(src, dst, at)
+	}
+	return 5 * t.hop, rerouted, nil
 }
 
 func (t *fatTree) ports(fn func(*sim.Timeline)) {
@@ -356,9 +498,19 @@ type dragonfly struct {
 
 	localOut  [][]*sim.Timeline // [router][dst router local index]; self slot nil
 	globalOut [][]*sim.Timeline // [router][h]
+
+	// Hard-fault state, installed before the run starts (ApplyHardFaults)
+	// and immutable afterwards, so concurrent shards may read it.
+	routerDead []sim.Time
+	deadLocal  map[[2]int]sim.Time // normalized router pair within a group
+	deadGlobal map[[2]int]sim.Time // normalized group pair (the global channel)
 }
 
-func newDragonfly(nodes, p, a, h int, hop sim.Duration) *dragonfly {
+// dragonflySize resolves the dragonfly parameters and group count for a
+// cluster: all-zero auto-sizes a balanced a=2p, h=p configuration; explicit
+// parameters are validated. Shared by New and ResolveTopology so fault
+// generators see the same sizing the fabric will build.
+func dragonflySize(nodes, p, a, h int) (int, int, int, int) {
 	if p == 0 && a == 0 && h == 0 {
 		// Balanced sizing (a = 2p, h = p): smallest p whose maximal group
 		// count a*h+1 covers the cluster.
@@ -380,6 +532,11 @@ func newDragonfly(nodes, p, a, h int, hop sim.Duration) *dragonfly {
 		panic(fmt.Sprintf("fabric: dragonfly p=%d a=%d h=%d holds at most %d nodes (%d groups), cluster has %d",
 			p, a, h, (a*h+1)*a*p, a*h+1, nodes))
 	}
+	return p, a, h, groups
+}
+
+func newDragonfly(nodes, p, a, h int, hop sim.Duration) *dragonfly {
+	p, a, h, groups := dragonflySize(nodes, p, a, h)
 	t := &dragonfly{p: p, a: a, h: h, groups: groups, hop: hop}
 	for r := 0; r < groups*a; r++ {
 		lo := make([]*sim.Timeline, a)
@@ -460,29 +617,73 @@ func (t *dragonfly) globalLeg(ports []*sim.Timeline, cur, tg int) ([]*sim.Timeli
 // criterion — a Valiant route through a hash-chosen intermediate group (two
 // global hops). The intermediate group is a pure function of
 // (src, dst, at), never of per-pair mutable state.
-func (t *dragonfly) route(ports []*sim.Timeline, at sim.Time, src, dst int) ([]*sim.Timeline, sim.Duration) {
+//
+// Dead elements reshape the choice: a dead local link inside a group detours
+// through a live intermediate router; a dead global channel (or dead
+// gateway/entry router) forces the Valiant escape through the first live
+// intermediate group scanned from the hash-chosen start; only a dead
+// endpoint router — or a fault set leaving no live intermediate — is a real
+// partition. With no faults installed every check passes and the original
+// UGAL decision is reproduced exactly.
+func (t *dragonfly) route(ports []*sim.Timeline, at sim.Time, src, dst int) ([]*sim.Timeline, sim.Duration, bool, error) {
 	rs, rd := t.router(src), t.router(dst)
+	if !t.routerLive(rs, at) || !t.routerLive(rd, at) {
+		return ports, 0, false, unreachableErr(src, dst, at)
+	}
 	if rs == rd {
-		return ports, t.hop
+		return ports, t.hop, false, nil
 	}
 	gs, gd := t.group(rs), t.group(rd)
 	if gs == gd {
-		ports = append(ports, t.localOut[rs][rd%t.a])
-		return ports, 2 * t.hop
+		if !t.localDead(rs, rd, at) {
+			ports = append(ports, t.localOut[rs][rd%t.a])
+			return ports, 2 * t.hop, false, nil
+		}
+		// Dead local link: detour through the group's least-loaded live
+		// intermediate router (three traversals instead of two).
+		best := -1
+		for i := 0; i < t.a; i++ {
+			x := gs*t.a + i
+			if x == rs || x == rd || !t.routerLive(x, at) ||
+				t.localDead(rs, x, at) || t.localDead(x, rd, at) {
+				continue
+			}
+			if best < 0 || t.localOut[rs][i].BusyUntil() < t.localOut[rs][best%t.a].BusyUntil() {
+				best = x
+			}
+		}
+		if best < 0 {
+			return ports, 0, false, unreachableErr(src, dst, at)
+		}
+		ports = append(ports, t.localOut[rs][best%t.a], t.localOut[best][rd%t.a])
+		return ports, 3 * t.hop, true, nil
 	}
-	useValiant, via := false, 0
-	if t.groups > 2 {
+	minOK := t.minimalOK(rs, rd, gd, at)
+	useValiant, via := false, -1
+	if t.groups > 2 && minOK {
 		gwMin, portMin := t.gateway(gs, gd)
 		minDelay := t.globalOut[gwMin][portMin].BusyUntil().Sub(at)
 		if minDelay > 0 {
-			via = t.valiantGroup(src, dst, at, gs, gd)
-			gwVal, portVal := t.gateway(gs, via)
-			valDelay := t.globalOut[gwVal][portVal].BusyUntil().Sub(at)
-			if valDelay < 0 {
-				valDelay = 0
+			v := t.valiantGroup(src, dst, at, gs, gd)
+			if t.valiantOK(rs, rd, v, gd, at) {
+				gwVal, portVal := t.gateway(gs, v)
+				valDelay := t.globalOut[gwVal][portVal].BusyUntil().Sub(at)
+				if valDelay < 0 {
+					valDelay = 0
+				}
+				if minDelay > 2*valDelay+t.hop {
+					useValiant, via = true, v
+				}
 			}
-			useValiant = minDelay > 2*valDelay+t.hop
 		}
+	}
+	rerouted := false
+	if !minOK {
+		via = t.feasibleVia(src, dst, at, gs, gd, rs, rd)
+		if via < 0 {
+			return ports, 0, false, unreachableErr(src, dst, at)
+		}
+		useValiant, rerouted = true, true
 	}
 	hops := 1 // the source router
 	cur := rs
@@ -497,7 +698,68 @@ func (t *dragonfly) route(ports []*sim.Timeline, at sim.Time, src, dst int) ([]*
 		ports = append(ports, t.localOut[cur][rd%t.a])
 		hops++
 	}
-	return ports, sim.Duration(hops) * t.hop
+	return ports, sim.Duration(hops) * t.hop, rerouted, nil
+}
+
+// liveExtra mirrors route's feasibility logic without touching port state.
+// Unlike the fat-tree, a forced Valiant detour is longer than the minimal
+// route it replaces, so the live latency can exceed the healthy extra; it
+// never drops below minExtra (every live route holds at least one switch),
+// which is the bound the conservative lookahead window relies on.
+func (t *dragonfly) liveExtra(src, dst int, at sim.Time) (sim.Duration, bool, error) {
+	if !t.faulty() {
+		return t.extra(src, dst), false, nil
+	}
+	rs, rd := t.router(src), t.router(dst)
+	if !t.routerLive(rs, at) || !t.routerLive(rd, at) {
+		return 0, false, unreachableErr(src, dst, at)
+	}
+	if rs == rd {
+		return t.hop, false, nil
+	}
+	gs, gd := t.group(rs), t.group(rd)
+	if gs == gd {
+		if !t.localDead(rs, rd, at) {
+			return 2 * t.hop, false, nil
+		}
+		for i := 0; i < t.a; i++ {
+			x := gs*t.a + i
+			if x != rs && x != rd && t.routerLive(x, at) &&
+				!t.localDead(rs, x, at) && !t.localDead(x, rd, at) {
+				return 3 * t.hop, true, nil
+			}
+		}
+		return 0, false, unreachableErr(src, dst, at)
+	}
+	if t.minimalOK(rs, rd, gd, at) {
+		return t.extra(src, dst), false, nil
+	}
+	via := t.feasibleVia(src, dst, at, gs, gd, rs, rd)
+	if via < 0 {
+		return 0, false, unreachableErr(src, dst, at)
+	}
+	return sim.Duration(t.valiantHops(rs, rd, via, gs, gd)) * t.hop, true, nil
+}
+
+// valiantHops counts the router traversals of the Valiant route rs -> via ->
+// gd -> rd, mirroring route's booking arithmetic hop for hop.
+func (t *dragonfly) valiantHops(rs, rd, via, gs, gd int) int {
+	hops := 1 // the source router
+	cur := rs
+	if gw, _ := t.gateway(gs, via); gw != cur {
+		hops++
+	}
+	hops++ // entry router of via
+	cur, _ = t.gateway(via, gs)
+	if gw, _ := t.gateway(via, gd); gw != cur {
+		hops++
+	}
+	hops++ // entry router of gd
+	cur, _ = t.gateway(gd, via)
+	if cur != rd {
+		hops++
+	}
+	return hops
 }
 
 // valiantGroup picks the deterministic intermediate group of a Valiant

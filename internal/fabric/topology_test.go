@@ -127,7 +127,7 @@ func TestFatTreeUpDownRouting(t *testing.T) {
 			if src == dst {
 				continue
 			}
-			ports, extra := ft.route(nil, 0, src, dst)
+			ports, extra, _, _ := ft.route(nil, 0, src, dst)
 			if len(ports) != ft.minHops(src, dst)-1 {
 				t.Fatalf("route(%d,%d): %d switch ports, want minHops-1 = %d",
 					src, dst, len(ports), ft.minHops(src, dst)-1)
@@ -165,11 +165,11 @@ func TestFatTreeUpDownRouting(t *testing.T) {
 // aggregation switches once the first up-link is busy.
 func TestFatTreeAdaptiveSpraying(t *testing.T) {
 	ft := newFatTree(16, 4, 100)
-	ports1, _ := ft.route(nil, 0, 0, 8)
+	ports1, _, _, _ := ft.route(nil, 0, 0, 8)
 	for _, tl := range ports1 {
 		tl.Reserve(0, 1000)
 	}
-	ports2, _ := ft.route(nil, 0, 0, 8)
+	ports2, _, _, _ := ft.route(nil, 0, 0, 8)
 	if ports1[0] == ports2[0] {
 		t.Fatalf("second flow reused busy up-link %q instead of spraying", ports1[0].Label())
 	}
@@ -233,7 +233,7 @@ func TestDragonflyMinimalRouting(t *testing.T) {
 			if sameGroup && mh > 2 {
 				t.Fatalf("minHops(%d,%d) = %d within a group, want <= 2", src, dst, mh)
 			}
-			ports, extra := df.route(nil, 0, src, dst)
+			ports, extra, _, _ := df.route(nil, 0, src, dst)
 			if extra != df.extra(src, dst) {
 				t.Fatalf("route(%d,%d) on idle network took %d, want minimal %d",
 					src, dst, extra, df.extra(src, dst))
@@ -260,14 +260,14 @@ func TestDragonflyValiantEscape(t *testing.T) {
 	gwMin, portMin := df.gateway(0, 4)
 	df.globalOut[gwMin][portMin].Reserve(0, sim.Duration(1)*sim.Millisecond)
 
-	ports, extra := df.route(nil, 0, src, dst)
+	ports, extra, _, _ := df.route(nil, 0, src, dst)
 	if g := dfGlobals(ports); g != 2 {
 		t.Fatalf("congested route used %d global channels, want 2 (Valiant)", g)
 	}
 	if extra <= df.extra(src, dst) {
 		t.Fatalf("Valiant route latency %d not above minimal %d", extra, df.extra(src, dst))
 	}
-	ports2, _ := df.route(nil, 0, src, dst)
+	ports2, _, _, _ := df.route(nil, 0, src, dst)
 	if len(ports) != len(ports2) {
 		t.Fatalf("Valiant route not deterministic: %d vs %d ports", len(ports), len(ports2))
 	}

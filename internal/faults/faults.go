@@ -119,11 +119,15 @@ type Plan struct {
 
 	// Hard (terminal) faults; see hard.go. Crashes kill ranks outright,
 	// LinkDowns permanently fail routes (the fabric then reroutes onto its
-	// failover path), and Lease tunes the failure detector's heartbeat
-	// lease (0 means DefaultLease).
-	Crashes   []RankCrash
-	LinkDowns []LinkDown
-	Lease     sim.Duration
+	// failover path), SwitchCrashes and InterLinkDowns kill elements of the
+	// switched inter-node topology (adaptive routing steers around them),
+	// and Lease tunes the failure detector's heartbeat lease (0 means
+	// DefaultLease).
+	Crashes        []RankCrash
+	LinkDowns      []LinkDown
+	SwitchCrashes  []SwitchCrash
+	InterLinkDowns []InterLinkDown
+	Lease          sim.Duration
 
 	// Watchdog, when positive, arms the engine's virtual-time watchdog:
 	// a run whose clock would pass the deadline fails with a structured
@@ -215,7 +219,8 @@ func (p *Plan) ApplyStalls(f *fabric.Fabric) {
 // Empty reports whether the plan injects nothing (watchdog aside).
 func (p *Plan) Empty() bool {
 	return p == nil || (len(p.Links) == 0 && len(p.Stalls) == 0 && len(p.SlowRanks) == 0 &&
-		len(p.Crashes) == 0 && len(p.LinkDowns) == 0)
+		len(p.Crashes) == 0 && len(p.LinkDowns) == 0 &&
+		len(p.SwitchCrashes) == 0 && len(p.InterLinkDowns) == 0)
 }
 
 // ActiveLinks reports the indices (into p.Links) of the link faults matching

@@ -37,15 +37,36 @@ type LinkDown struct {
 	At       sim.Time
 }
 
+// SwitchCrash kills one switch of the inter-node topology at a virtual time:
+// a fat-tree edge/aggregation/core switch or a dragonfly router (see the
+// switch-id numbering in fabric/topofault.go). Adaptive routing steers
+// surviving traffic around the dead element; only a crash exhausting the
+// topology's path diversity — e.g. an edge switch, which is its nodes' sole
+// uplink — partitions nodes, surfaced as fabric.UnreachableError.
+type SwitchCrash struct {
+	Switch int
+	At     sim.Time
+}
+
+// InterLinkDown permanently fails the link between two adjacent switches of
+// the inter-node topology at a virtual time: a fat-tree edge-aggregation or
+// aggregation-core pair, or two dragonfly routers (same group: their local
+// link; different groups: the single global channel between the groups).
+type InterLinkDown struct {
+	A, B int
+	At   sim.Time
+}
+
 // DefaultLease is the failure detector's heartbeat lease when a plan leaves
 // Lease zero. Ranks heartbeat every DefaultLease/2 of virtual time; a crash
 // at time t is declared one full lease after its last delivered heartbeat,
 // so detection latency is in [lease/2, lease).
 const DefaultLease = sim.Millisecond
 
-// ApplyHardFaults installs the plan's dead links onto the fabric. Call once
-// per run, after the fabric is built (rank crashes are scheduled by
-// internal/core, not here).
+// ApplyHardFaults installs the plan's dead links, crashed switches, and dead
+// inter-switch links onto the fabric. Call once per run, after the fabric is
+// built and before it starts (rank crashes are scheduled by internal/core,
+// not here).
 func (p *Plan) ApplyHardFaults(f *fabric.Fabric) {
 	if p == nil {
 		return
@@ -53,11 +74,18 @@ func (p *Plan) ApplyHardFaults(f *fabric.Fabric) {
 	for _, ld := range p.LinkDowns {
 		f.DownLink(ld.Src, ld.Dst, ld.Path, ld.At)
 	}
+	for _, sc := range p.SwitchCrashes {
+		f.CrashSwitch(sc.Switch, sc.At)
+	}
+	for _, il := range p.InterLinkDowns {
+		f.DownInterLink(il.A, il.B, il.At)
+	}
 }
 
 // HasHardFaults reports whether the plan contains terminal faults.
 func (p *Plan) HasHardFaults() bool {
-	return p != nil && (len(p.Crashes) > 0 || len(p.LinkDowns) > 0)
+	return p != nil && (len(p.Crashes) > 0 || len(p.LinkDowns) > 0 ||
+		len(p.SwitchCrashes) > 0 || len(p.InterLinkDowns) > 0)
 }
 
 // GenerateHard extends Generate with terminal faults for recovery-aware
@@ -69,9 +97,22 @@ func (p *Plan) HasHardFaults() bool {
 //   - severity >= 0.75: one intra-node route additionally goes down for
 //     good, exercising the failover path on the survivors.
 //
+// On a switched topology (cfg.Topology) the crash gate also kills one
+// redundant fabric element, so recovery always composes with rerouting:
+//
+//   - fat-tree with spare aggregations (k >= 4): one aggregation switch of a
+//     node-hosting pod crashes; at severity >= 0.75 one edge-aggregation
+//     link of a different pod additionally dies. Edge switches are never
+//     targeted (a dead edge partitions its nodes).
+//   - dragonfly with a Valiant escape (>= 3 groups): the global channel
+//     between two node-hosting groups dies. Routers are never targeted
+//     (a dead router partitions its nodes).
+//
 // Below 0.5 the result equals Generate plus the default lease. All draws
-// are site-keyed ("crash/v1", "linkdown/v1"), so hard faults do not perturb
-// the soft-fault scenario for the same seed.
+// are site-keyed ("crash/v1", "linkdown/v1", "switchcrash/v1",
+// "interlink/v1"), so hard faults do not perturb the soft-fault scenario for
+// the same seed, and flat-topology plans are byte-identical to what this
+// function generated before topologies existed.
 func GenerateHard(seed uint64, severity float64, cfg fabric.Config, horizon sim.Duration) *Plan {
 	p := Generate(seed, severity, cfg, horizon)
 	p.Lease = DefaultLease
@@ -114,5 +155,73 @@ func GenerateHard(seed uint64, severity float64, cfg fabric.Config, horizon sim.
 			At:   sim.Time(r.Between(0.1, 0.5) * float64(horizon)),
 		})
 	}
+	generateTopologyFaults(p, seed, severity, cfg, horizon)
 	return p
+}
+
+// generateTopologyFaults adds the switched-topology hard faults of
+// GenerateHard (severity >= 0.5). Only elements adaptive routing can steer
+// around are targeted, so generated plans degrade the fabric but never
+// partition it — injected chaos must exercise rerouting and recovery, not
+// undefined unreachable-pair behavior.
+func generateTopologyFaults(p *Plan, seed uint64, severity float64, cfg fabric.Config, horizon sim.Duration) {
+	tc := fabric.ResolveTopology(cfg.Topology, cfg.Nodes)
+	switch tc.Kind {
+	case fabric.TopoFatTree:
+		k := tc.FatTreeArity
+		if k < 4 {
+			// k=2 pods hold one aggregation each: no redundancy to reroute
+			// onto, so a crash would partition cross-edge traffic.
+			return
+		}
+		half := k / 2
+		usedPods := (cfg.Nodes + half*half - 1) / (half * half)
+		r := NewRand(seed, "switchcrash/v1")
+		crashPod, crashPos := r.Intn(usedPods), r.Intn(half)
+		p.SwitchCrashes = append(p.SwitchCrashes, SwitchCrash{
+			Switch: fabric.FatTreeAggSwitch(k, crashPod, crashPos),
+			At:     sim.Time(r.Between(0.1, 0.5) * float64(horizon)),
+		})
+		if severity >= 0.75 && usedPods >= 2 {
+			// Additionally kill one edge->aggregation link in a pod other
+			// than the crashed aggregation's, at the SAME aggregation
+			// position: cross-pod routes climb through one position end to
+			// end, so a crash at position x in one pod and a dead link at
+			// position y != x in another would block both of a k=4 tree's
+			// positions for pairs spanning them — a partition, not a detour.
+			// Reusing the position keeps every pair's diversity >= 1.
+			r2 := NewRand(seed, "interlink/v1")
+			usedEdges := (cfg.Nodes + half - 1) / half
+			edge := r2.Intn(usedEdges)
+			for edge/half == crashPod {
+				edge = (edge + 1) % usedEdges
+			}
+			p.InterLinkDowns = append(p.InterLinkDowns, InterLinkDown{
+				A:  edge,
+				B:  fabric.FatTreeAggSwitch(k, edge/half, crashPos),
+				At: sim.Time(r2.Between(0.1, 0.5) * float64(horizon)),
+			})
+		}
+	case fabric.TopoDragonfly:
+		a, hosts := tc.DragonflyRouters, tc.DragonflyHosts
+		groups := (cfg.Nodes + a*hosts - 1) / (a * hosts)
+		if groups < 3 {
+			// Minimal routing is the only route between two groups: a dead
+			// global channel needs a third group for the Valiant escape.
+			return
+		}
+		r := NewRand(seed, "interlink/v1")
+		g1 := r.Intn(groups)
+		g2 := r.Intn(groups - 1)
+		if g2 >= g1 {
+			g2++
+		}
+		// The first router of each group names the groups; the fabric downs
+		// the single palmtree global channel between them.
+		p.InterLinkDowns = append(p.InterLinkDowns, InterLinkDown{
+			A:  g1 * a,
+			B:  g2 * a,
+			At: sim.Time(r.Between(0.1, 0.5) * float64(horizon)),
+		})
+	}
 }

@@ -125,6 +125,93 @@ func TestApplyHardFaults(t *testing.T) {
 	}
 }
 
+// TestGeneratedTopologyFaultGates pins the switched-topology gates of
+// GenerateHard: a fat-tree with spare aggregations gets an aggregation crash
+// from severity 0.5 and an edge-agg link down from 0.75; a >= 3-group
+// dragonfly gets a dead global channel from 0.5; flat plans carry neither.
+func TestGeneratedTopologyFaultGates(t *testing.T) {
+	horizon := 10 * sim.Millisecond
+	ftCfg := fabric.Config{Nodes: 8, GPUsPerNode: 4, NICsPerNode: 4,
+		Topology: fabric.TopologyConfig{Kind: fabric.TopoFatTree}}
+	dfCfg := fabric.Config{Nodes: 8, GPUsPerNode: 4, NICsPerNode: 4,
+		Topology: fabric.TopologyConfig{Kind: fabric.TopoDragonfly,
+			DragonflyHosts: 1, DragonflyRouters: 2, DragonflyGlobal: 2}}
+
+	flat := GenerateHard(42, 1, hardCfg(), horizon)
+	if len(flat.SwitchCrashes) != 0 || len(flat.InterLinkDowns) != 0 {
+		t.Fatalf("flat plan has topology faults: %+v", flat)
+	}
+	ft := GenerateHard(42, 0.5, ftCfg, horizon)
+	if len(ft.SwitchCrashes) != 1 || len(ft.InterLinkDowns) != 0 {
+		t.Fatalf("fat-tree severity 0.5: %d switch crashes, %d inter-links; want 1, 0",
+			len(ft.SwitchCrashes), len(ft.InterLinkDowns))
+	}
+	ftHigh := GenerateHard(42, 1, ftCfg, horizon)
+	if len(ftHigh.SwitchCrashes) != 1 || len(ftHigh.InterLinkDowns) != 1 {
+		t.Fatalf("fat-tree severity 1: %d switch crashes, %d inter-links; want 1, 1",
+			len(ftHigh.SwitchCrashes), len(ftHigh.InterLinkDowns))
+	}
+	df := GenerateHard(42, 0.5, dfCfg, horizon)
+	if len(df.SwitchCrashes) != 0 || len(df.InterLinkDowns) != 1 {
+		t.Fatalf("dragonfly severity 0.5: %d switch crashes, %d inter-links; want 0, 1",
+			len(df.SwitchCrashes), len(df.InterLinkDowns))
+	}
+}
+
+// TestGeneratedPlansNeverPartition is the route-liveness property over seeded
+// fault plans: whatever GenerateHard draws, every cross-node pair must keep a
+// live route at every time — generated chaos degrades the fabric and forces
+// detours, it never partitions. Also asserts the plans do force detours, so
+// the property is not vacuous.
+func TestGeneratedPlansNeverPartition(t *testing.T) {
+	horizon := 10 * sim.Millisecond
+	times := []sim.Time{0, sim.Time(horizon / 2), sim.Time(horizon), sim.Time(2 * horizon)}
+	cfgs := []fabric.Config{
+		{Nodes: 8, GPUsPerNode: 2, NICsPerNode: 2,
+			Topology: fabric.TopologyConfig{Kind: fabric.TopoFatTree}}, // auto k=4
+		{Nodes: 16, GPUsPerNode: 2, NICsPerNode: 2,
+			Topology: fabric.TopologyConfig{Kind: fabric.TopoFatTree, FatTreeArity: 6}},
+		{Nodes: 8, GPUsPerNode: 2, NICsPerNode: 2,
+			Topology: fabric.TopologyConfig{Kind: fabric.TopoDragonfly,
+				DragonflyHosts: 1, DragonflyRouters: 2, DragonflyGlobal: 2}}, // 4 groups
+	}
+	for _, cfg := range cfgs {
+		detours := 0
+		for seed := uint64(0); seed < 24; seed++ {
+			for _, sev := range []float64{0.5, 0.75, 1} {
+				plan := GenerateHard(seed, sev, cfg, horizon)
+				f := fabric.New(cfg)
+				plan.ApplyHardFaults(f)
+				nGPUs := cfg.Nodes * cfg.GPUsPerNode
+				for src := 0; src < nGPUs; src++ {
+					for dst := 0; dst < nGPUs; dst++ {
+						if src == dst {
+							continue
+						}
+						for _, at := range times {
+							extra, rerouted, err := f.InterExtraLatencyAt(src, dst, at)
+							if err != nil {
+								t.Fatalf("%s seed %d sev %g: pair %d->%d partitioned at %v: %v",
+									cfg.Topology.Kind, seed, sev, src, dst, at, err)
+							}
+							if healthy := f.InterExtraLatency(src, dst); extra < healthy && !rerouted {
+								t.Fatalf("%s seed %d sev %g: live extra %v under healthy %v without a detour",
+									cfg.Topology.Kind, seed, sev, extra, healthy)
+							}
+							if rerouted {
+								detours++
+							}
+						}
+					}
+				}
+			}
+		}
+		if detours == 0 {
+			t.Errorf("%s: no generated plan forced a detour — the liveness property is vacuous", cfg.Topology.Kind)
+		}
+	}
+}
+
 // ActiveLinks mirrors LinkCostAt's matching: the indices it reports are
 // exactly the faults whose windows cover the transfer.
 func TestActiveLinks(t *testing.T) {
