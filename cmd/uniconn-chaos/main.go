@@ -19,6 +19,12 @@
 // sharded engine, bit-identical at every shard count >= 1. -benchjson
 // records the recovery sweep's wall clock and completion rate.
 //
+// -live serves the live telemetry endpoints (/metrics /healthz /debug/runs
+// /debug/flight) while the sweep runs, and -flight retains a bounded
+// per-shard event history that is dumped to stderr (and the -benchjson
+// points) when a cell faults. Neither changes a byte of stdout. A SIGINT
+// flushes the completed portion of the sweep before exiting.
+//
 // Usage:
 //
 //	uniconn-chaos                                # Perlmutter, inter-node, degrade ramp
@@ -27,6 +33,7 @@
 //	uniconn-chaos -recover -ranks 8 -benchjson BENCH_recovery.json
 //	uniconn-chaos -recover -topology fattree -shards 4
 //	uniconn-chaos -recover -topology flat,fattree,dragonfly:1,2,2
+//	uniconn-chaos -recover -live 127.0.0.1:9187 -flight 256
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -46,6 +54,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func parseSeverities(s string) ([]float64, error) {
@@ -104,9 +113,11 @@ type recoveryBackendRun struct {
 // recoveryMode runs the hard-fault severity sweep per topology and backend,
 // prints one table section per topology, and optionally records wall-clock +
 // completion-rate JSON. The printed table carries virtual-time quantities
-// only, so its bytes are identical at every -shards count >= 1 (the CI
-// determinism gate compares them with cmp).
-func recoveryMode(m *machine.Model, backends []backendChoice, severities []float64, ranks int, seed uint64, benchJSON string, topologies []fabric.TopologyConfig, shards int) error {
+// only, so its bytes are identical at every -shards count >= 1 and with
+// -live on or off (the CI determinism gates compare them with cmp). With
+// -flight > 0 each faulted cell's flight-recorder post-mortem lands in the
+// JSON and on stderr; a SIGINT flushes the completed portion of the report.
+func recoveryMode(m *machine.Model, backends []backendChoice, severities []float64, ranks int, seed uint64, benchJSON string, topologies []fabric.TopologyConfig, shards, flightDepth int) error {
 	fmt.Printf("recovery sweep on %s, %d ranks, seed %d (crashes from severity 0.5, link/switch faults from 0.5-0.75)\n",
 		m.Name, ranks, seed)
 	report := recoveryJSON{
@@ -114,21 +125,46 @@ func recoveryMode(m *machine.Model, backends []backendChoice, severities []float
 		Host:        recoveryHost{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)},
 		Machine:     m.Name, Ranks: ranks, Seed: seed, Shards: shards, Severities: severities,
 	}
+	// The interrupt handler snapshots the report mid-sweep, so every append
+	// below happens under mu.
+	var mu sync.Mutex
+	telemetry.OnInterrupt(func() {
+		fmt.Fprintln(os.Stderr, "interrupted; flushing completed recovery results")
+		if live := bench.Progress(); live != nil {
+			live.WriteProgress(os.Stderr)
+			fmt.Fprint(os.Stderr, live.MetricsSnapshot().Render())
+		}
+		if benchJSON == "" {
+			return
+		}
+		mu.Lock()
+		partial := report
+		partial.Description += " [partial: interrupted by signal]"
+		data, err := json.MarshalIndent(partial, "", "  ")
+		mu.Unlock()
+		if err == nil && os.WriteFile(benchJSON, append(data, '\n'), 0o644) == nil {
+			fmt.Fprintf(os.Stderr, "wrote partial %s\n", benchJSON)
+		}
+	})
 	total := time.Now()
-	for _, tc := range topologies {
+	for ti, tc := range topologies {
 		// Clone the model so the sweep's generated plans and launched runs
 		// agree on the topology. Resolve auto-sized parameters up front so
 		// the section header names the actual fabric (fattree(k=4), not k=0).
 		mt := *m
 		mt.Topology = tc
 		resolved := fabric.ResolveTopology(tc, m.NodesFor(ranks))
-		tr := recoveryTopologyRun{Topology: resolved.Describe()}
+		mu.Lock()
+		report.Topologies = append(report.Topologies, recoveryTopologyRun{Topology: resolved.Describe()})
+		mu.Unlock()
 		fmt.Printf("\ntopology %s\n", resolved.Describe())
 		fmt.Printf("%-10s%10s%9s%11s%11s%12s%11s%13s%14s%12s\n",
 			"backend", "severity", "crashes", "survivors", "completed", "recoveries", "failovers", "detect lat", "recovery lat", "end")
 		for _, b := range backends {
+			bench.SetProgressLabel("chaos-recover " + resolved.Describe() + " " + b.label)
 			start := time.Now()
-			points, err := bench.RecoverySweep(&mt, b.backend, ranks, severities, seed)
+			points, err := bench.RecoverySweepOpts(&mt, b.backend, ranks, severities, seed,
+				bench.RecoveryOpts{FlightDepth: flightDepth, Live: bench.Progress()})
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", tc.Describe(), b.label, err)
 			}
@@ -148,17 +184,26 @@ func recoveryMode(m *machine.Model, backends []backendChoice, severities []float
 				if p.Err != "" {
 					fmt.Printf("  %s severity %.2f error: %s\n", b.label, p.Severity, p.Err)
 				}
+				// Post-mortems are diagnostics, not results: stderr only,
+				// in deterministic point order.
+				if p.FlightDump != "" {
+					fmt.Fprintf(os.Stderr, "post-mortem %s/%s severity %.2f:\n%s",
+						resolved.Describe(), b.label, p.Severity, p.FlightDump)
+				}
 			}
-			tr.Backends = append(tr.Backends, recoveryBackendRun{
+			mu.Lock()
+			report.Topologies[ti].Backends = append(report.Topologies[ti].Backends, recoveryBackendRun{
 				Backend:        b.label,
 				Seconds:        time.Since(start).Seconds(),
 				CompletionRate: float64(completed) / float64(len(points)),
 				Points:         points,
 			})
+			mu.Unlock()
 		}
-		report.Topologies = append(report.Topologies, tr)
 	}
+	mu.Lock()
 	report.Seconds = time.Since(total).Seconds()
+	mu.Unlock()
 	if benchJSON != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -223,6 +268,12 @@ func main() {
 	topoFlag := flag.String("topology", "flat",
 		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted); "+
 			"-recover accepts a comma-separated list and sweeps each topology")
+	liveAddr := flag.String("live", "",
+		"serve live telemetry HTTP on this address (host:port, :0 picks a port): "+
+			"/metrics /healthz /debug/runs /debug/flight; stdout stays byte-identical")
+	flightDepth := flag.Int("flight", 0,
+		"retain the last N engine events per shard and dump them on faults (with -recover); "+
+			"post-mortems go to stderr and the -benchjson points")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -230,6 +281,17 @@ func main() {
 	}
 	if *shards > 0 {
 		os.Setenv(core.ShardsEnv, strconv.Itoa(*shards))
+	}
+
+	var live *telemetry.Tracker
+	if *liveAddr != "" {
+		tracker, srv, err := telemetry.StartLive(*liveAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		live = tracker
+		bench.SetProgress(tracker)
+		defer srv.Close()
 	}
 
 	m := machine.ByName(*machineName)
@@ -270,7 +332,7 @@ func main() {
 			// and four dragonfly:1,2,2 groups with a Valiant escape.
 			*ranks = 32
 		}
-		if err := recoveryMode(m, backends, severities, *ranks, *seed, *benchJSON, topologies, *shards); err != nil {
+		if err := recoveryMode(m, backends, severities, *ranks, *seed, *benchJSON, topologies, *shards, *flightDepth); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -292,12 +354,26 @@ func main() {
 	}
 	if *generate {
 		mode = fmt.Sprintf("generated plan (seed %d)", *seed)
+		bench.SetProgressLabel("chaos-generate")
+	} else {
+		bench.SetProgressLabel("chaos-degrade")
 	}
+	telemetry.OnInterrupt(func() {
+		fmt.Fprintln(os.Stderr, "interrupted mid-sweep")
+		if live != nil {
+			live.WriteProgress(os.Stderr)
+			fmt.Fprint(os.Stderr, live.MetricsSnapshot().Render())
+		}
+	})
 	fmt.Printf("chaos sweep on %s (%s), %d B, %s\n", m.Name, where, *bytes, mode)
 	fmt.Printf("%-10s%10s%14s%10s%14s%10s%12s\n",
 		"backend", "severity", "latency", "lat x", "bw GB/s", "bw frac", "transfers")
 
 	profiled := *showMetrics || *profilePath != ""
+	// The live metrics endpoint needs per-cell registries even when no
+	// -metrics/-profile output was asked for; collect silently in that case
+	// (cell profiles feed the tracker and nothing else).
+	collect := profiled || live != nil
 
 	// Each backend's severity ramp is an independent cell; the ramp itself
 	// fans out again inside ChaosSweep. Rendered blocks (and, when profiling,
@@ -326,7 +402,7 @@ func main() {
 		var out backendOut
 		var points []bench.ChaosPoint
 		var err error
-		if profiled {
+		if collect {
 			points, out.profs, err = bench.ChaosSweepProfiled(cfg, severities, planFor)
 			for pi := range out.profs {
 				out.profs[pi].Label = b.label + "/" + out.profs[pi].Label
@@ -336,6 +412,9 @@ func main() {
 		}
 		if err != nil {
 			return out, fmt.Errorf("%s: %w", b.label, err)
+		}
+		for _, cp := range out.profs {
+			live.AddSnapshot(cp.Metrics) // nil-safe
 		}
 		var baseLat sim.Duration
 		var baseBW float64

@@ -6,11 +6,16 @@
 // over the deterministic parallel runner (internal/bench.Sweep), so the
 // table is bit-identical at any UNICONN_WORKERS setting.
 //
+// -live serves the live telemetry endpoints (/metrics /healthz /debug/runs
+// /debug/flight) while the sweep runs, without changing a byte of stdout;
+// a SIGINT prints the sweep progress and accumulated metrics to stderr.
+//
 // Usage:
 //
 //	uniconn-netbench                              # Perlmutter, intra-node
 //	uniconn-netbench -machine LUMI -inter
 //	uniconn-netbench -min 8 -max 16777216 -bw
+//	uniconn-netbench -live 127.0.0.1:9187
 package main
 
 import (
@@ -24,7 +29,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +50,9 @@ func main() {
 		"write a Chrome trace-event file of every cell here")
 	topoFlag := flag.String("topology", "flat",
 		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted)")
+	liveAddr := flag.String("live", "",
+		"serve live telemetry HTTP on this address (host:port, :0 picks a port): "+
+			"/metrics /healthz /debug/runs /debug/flight; stdout stays byte-identical")
 	flag.Parse()
 
 	m := machine.ByName(*machineName)
@@ -92,6 +102,25 @@ func main() {
 		add("SHMEM-D", core.GpushmemBackend, machine.APIDevice)
 	}
 
+	var live *telemetry.Tracker
+	if *liveAddr != "" {
+		tracker, srv, err := telemetry.StartLive(*liveAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		live = tracker
+		bench.SetProgress(tracker)
+		bench.SetProgressLabel("netbench")
+		defer srv.Close()
+	}
+	telemetry.OnInterrupt(func() {
+		fmt.Fprintln(os.Stderr, "interrupted mid-sweep")
+		if live != nil {
+			live.WriteProgress(os.Stderr)
+			fmt.Fprint(os.Stderr, live.MetricsSnapshot().Render())
+		}
+	})
+
 	sizes := bench.Sizes(*minSize, *maxSize)
 	profiled := *showMetrics || *profilePath != ""
 
@@ -111,6 +140,10 @@ func main() {
 		if profiled {
 			col = bench.NewCollector()
 			cfg.Metrics, cfg.Trace = col.Metrics, col.Trace
+		} else if live != nil {
+			// Metrics only — the live /metrics endpoint wants per-cell
+			// registries, but nobody asked for span traces.
+			cfg.Metrics = metrics.New()
 		}
 		var out cellOut
 		var rep core.Report
@@ -128,6 +161,9 @@ func main() {
 		if profiled {
 			out.prof = col.Finish(
 				fmt.Sprintf("%s/%dB", c.label, cfg.Bytes), rep.End)
+		}
+		if live != nil {
+			live.AddSnapshot(cfg.Metrics.Snapshot())
 		}
 		return out, nil
 	})

@@ -15,6 +15,7 @@
 //	uniconn-prof -workload net -backend GPUCCL -inter -min 8 -max 65536
 //	uniconn-prof -workload jacobi -ngpus 8
 //	uniconn-prof -workload cg -ngpus 8 -json metrics.json -trace trace.json
+//	uniconn-prof -workload net -live 127.0.0.1:9187  # live progress endpoints
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 	"repro/internal/solver/cg"
 	"repro/internal/solver/jacobi"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 func parseBackend(s string) (core.BackendID, error) {
@@ -66,6 +68,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON here")
 	topoFlag := flag.String("topology", "flat",
 		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted)")
+	liveAddr := flag.String("live", "",
+		"serve live telemetry HTTP on this address (host:port, :0 picks a port): "+
+			"/metrics /healthz /debug/runs /debug/flight; the printed report is unchanged")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -98,6 +103,22 @@ func main() {
 		api = machine.APIDevice
 	}
 
+	var live *telemetry.Tracker
+	if *liveAddr != "" {
+		tracker, srv, err := telemetry.StartLive(*liveAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		live = tracker
+		bench.SetProgress(tracker)
+		bench.SetProgressLabel("prof-" + *workload)
+		defer srv.Close()
+	}
+	telemetry.OnInterrupt(func() {
+		fmt.Fprintln(os.Stderr, "interrupted before the report was written")
+		live.WriteProgress(os.Stderr)
+	})
+
 	var prof *bench.RunProfile
 	switch *workload {
 	case "net":
@@ -122,6 +143,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	live.AddSnapshot(prof.Merged()) // nil-safe
 
 	if err := prof.WriteReport(os.Stdout); err != nil {
 		log.Fatal(err)

@@ -9,10 +9,16 @@
 // total messages at 4096 ranks, while its virtual-time trend is already
 // decided by 1024.
 //
+// -live serves the live telemetry endpoints (/metrics /healthz /debug/runs
+// /debug/flight) — useful because the big cells take minutes of wall clock
+// and /debug/runs carries an ETA. A SIGINT flushes the completed curves to
+// the -out JSON (marked partial) before exiting.
+//
 // Usage:
 //
 //	uniconn-scale                                  # 64..4096, write BENCH_scale.json
 //	uniconn-scale -bytes 262144 -max-ranks 1024 -out /tmp/scale.json
+//	uniconn-scale -live 127.0.0.1:9187
 package main
 
 import (
@@ -22,12 +28,15 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/fabric"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // scalePoint is one (ranks, time) sample of a curve.
@@ -73,6 +82,9 @@ func main() {
 	maxRanks := flag.Int("max-ranks", 4096, "largest rank count of the sweep")
 	ringMax := flag.Int("ring-max-ranks", 1024, "largest rank count of the flat-ring curve")
 	out := flag.String("out", "BENCH_scale.json", "output path")
+	liveAddr := flag.String("live", "",
+		"serve live telemetry HTTP on this address (host:port, :0 picks a port): "+
+			"/metrics /healthz /debug/runs /debug/flight; the JSON results are unchanged")
 	flag.Parse()
 
 	m := machine.ByName(*machineName)
@@ -106,39 +118,93 @@ func main() {
 		RingCap: *ringMax,
 		RingCapNote: fmt.Sprintf("ring curves stop at %d ranks: the ring's 2(n-1) serialized steps are wall-clock quadratic in simulated messages, and its virtual-time trend is already fixed there", *ringMax),
 	}
+	// The scale sweep runs serially (one engine already saturates the host
+	// with -shards), so the live run is reported cell by cell by this loop
+	// rather than through the bench runner.
+	var live *telemetry.Tracker
+	if *liveAddr != "" {
+		tracker, srv, err := telemetry.StartLive(*liveAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		live = tracker
+		defer srv.Close()
+	}
+	totalCells := 0
+	for _, sp := range specs {
+		for _, r := range ranks {
+			if r <= sp.cap {
+				totalCells++
+			}
+		}
+	}
+	lr := live.StartRun("scale", totalCells, 1)
+
+	// The interrupt handler flushes whatever curves are complete, so every
+	// append to the report happens under mu.
+	var mu sync.Mutex
+	telemetry.OnInterrupt(func() {
+		fmt.Fprintln(os.Stderr, "interrupted; flushing completed scale curves")
+		live.WriteProgress(os.Stderr)
+		mu.Lock()
+		partial := report
+		partial.Description += " [partial: interrupted by signal]"
+		data, err := json.MarshalIndent(partial, "", "  ")
+		mu.Unlock()
+		if err == nil && os.WriteFile(*out, append(data, '\n'), 0o644) == nil {
+			fmt.Fprintf(os.Stderr, "wrote partial %s\n", *out)
+		}
+	})
+
 	total := time.Now()
 	fmt.Printf("allreduce scaling on %s, %s per rank, %d iters, shards=%d\n",
 		m.Name, bench.HumanBytes(*bytes), *iters, *shards)
 	fmt.Printf("%-11s%-14s%8s%8s%14s%12s\n", "topology", "alg", "ranks", "nodes", "per-iter", "wall s")
-	for _, sp := range specs {
-		curve := scaleCurve{Topology: sp.label, Alg: sp.alg.String()}
+	cellIdx := 0
+	for si, sp := range specs {
+		mu.Lock()
+		report.Curves = append(report.Curves, scaleCurve{Topology: sp.label, Alg: sp.alg.String()})
+		mu.Unlock()
 		for _, r := range ranks {
 			if r > sp.cap {
 				continue
 			}
-			start := time.Now()
-			d, run, err := bench.ScaleAllreduce(bench.ScaleConfig{
+			lr.CellStart(0, cellIdx, fmt.Sprintf("%s/%s/%d", sp.label, sp.alg, r))
+			cfg := bench.ScaleConfig{
 				Model: m, Topology: sp.topo, Ranks: r, Bytes: *bytes,
 				Alg: sp.alg, Iters: *iters, Warmup: 1, Shards: *shards,
-			})
+			}
+			if live != nil {
+				cfg.Metrics = metrics.New()
+			}
+			start := time.Now()
+			d, run, err := bench.ScaleAllreduce(cfg)
 			if err != nil {
 				log.Fatalf("%s/%s ranks=%d: %v", sp.label, sp.alg, r, err)
 			}
+			if live != nil {
+				live.AddSnapshot(cfg.Metrics.Snapshot())
+			}
+			lr.CellDone(0, cellIdx)
+			cellIdx++
 			resolved := run.Topology.Describe()
-			curve.Resolved = resolved
 			wall := time.Since(start).Seconds()
-			curve.Points = append(curve.Points, scalePoint{
+			mu.Lock()
+			report.Curves[si].Resolved = resolved
+			report.Curves[si].Points = append(report.Curves[si].Points, scalePoint{
 				Ranks: r, Nodes: m.NodesFor(r),
 				PerIterNS: int64(d), PerIterUS: d.Micros(), Seconds: wall,
 			})
+			mu.Unlock()
 			fmt.Printf("%-11s%-14s%8d%8d%14s%12.1f\n",
 				resolved, sp.alg, r, m.NodesFor(r), d.String(), wall)
 		}
-		report.Curves = append(report.Curves, curve)
 	}
+	lr.End()
+	mu.Lock()
 	report.Seconds = time.Since(total).Seconds()
-
 	data, err := json.MarshalIndent(report, "", "  ")
+	mu.Unlock()
 	if err != nil {
 		log.Fatal(err)
 	}

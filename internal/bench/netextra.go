@@ -113,7 +113,9 @@ func AllReduceLatency(cfg NetConfig, nGPUs int) (sim.Duration, error) {
 	}
 	model := cfg.model()
 	var total sim.Duration
-	_, err := core.Launch(core.Config{Model: model, NGPUs: nGPUs, Backend: cfg.Backend},
+	_, err := core.Launch(core.Config{Model: model, NGPUs: nGPUs, Backend: cfg.Backend,
+		Shards: cfg.Shards, Topology: cfg.Topology,
+		Faults: cfg.Faults, Trace: cfg.Trace, Metrics: cfg.Metrics},
 		func(env *core.Env) {
 			comm := core.NewCommunicator(env)
 			stream := env.NewStream("coll")

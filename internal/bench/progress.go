@@ -1,0 +1,64 @@
+package bench
+
+// Live progress plumbing: the sweep CLIs install a telemetry.Tracker here
+// (once, before any sweep) and every Runner.Run reports run/cell progress to
+// it. Disabled by default — with no tracker installed the runner pays one
+// RLock per sweep and nothing per cell. Progress reporting never touches
+// cell results or stdout, so sweep output is byte-identical with tracking on
+// or off (the read-only-sampling rule of internal/telemetry).
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	progMu    sync.RWMutex
+	progTr    *telemetry.Tracker
+	progLabel = "sweep"
+)
+
+// SetProgress installs (or, with nil, removes) the process-wide live
+// progress tracker. Call it from the CLI before running sweeps; mid-sweep
+// changes affect only subsequent Runner.Run calls.
+func SetProgress(t *telemetry.Tracker) {
+	progMu.Lock()
+	progTr = t
+	progMu.Unlock()
+}
+
+// SetProgressLabel names the runs subsequent sweeps register with the
+// tracker (default "sweep"). The CLIs set it to their mode string, so
+// /debug/runs distinguishes e.g. a chaos severity ramp from a scale ramp.
+func SetProgressLabel(label string) {
+	progMu.Lock()
+	if label != "" {
+		progLabel = label
+	}
+	progMu.Unlock()
+}
+
+// Progress reports the installed tracker (nil when live telemetry is off).
+func Progress() *telemetry.Tracker {
+	progMu.RLock()
+	defer progMu.RUnlock()
+	return progTr
+}
+
+// progressRun registers one sweep with the installed tracker; nil when
+// tracking is off (telemetry handles are nil-safe, but the runner skips
+// per-cell label formatting on a nil handle).
+func progressRun(total, workers int) *telemetry.LiveRun {
+	progMu.RLock()
+	t, label := progTr, progLabel
+	progMu.RUnlock()
+	if t == nil {
+		return nil
+	}
+	return t.StartRun(label, total, workers)
+}
+
+// cellLabel names one sweep cell for the per-worker progress view.
+func cellLabel(i int) string { return fmt.Sprintf("cell[%d]", i) }

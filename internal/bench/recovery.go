@@ -7,6 +7,7 @@ package bench
 // cmd/uniconn-chaos -recover.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -15,7 +16,9 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // RecoveryConfig describes one recovery chaos run: an NGPUs-rank job that
@@ -49,6 +52,18 @@ type RecoveryConfig struct {
 	// windowed protocol, bit-identical at every shard count >= 1 — hard-fault
 	// plans included, since the failure timetable is shard-invariant.
 	Shards int
+	// Metrics, when non-nil, collects the run's counters (one registry per
+	// run — the sweep ownership rule of runner.go).
+	Metrics *metrics.Registry
+	// FlightDepth, when positive, installs a flight recorder of that depth
+	// on every engine and captures the post-mortem dump (written on abort,
+	// watchdog timeout, or a hard fault) into RecoveryPoint.FlightDump.
+	FlightDepth int
+	// FlightAttach, when non-nil, receives each shard's recorder as the run
+	// launches (core.FlightConfig.Attach) — live telemetry's /debug/flight
+	// hook. On its own it does not populate FlightDump, so enabling live
+	// observation never changes the sweep's recorded results.
+	FlightAttach func(shard int, fr *sim.FlightRecorder)
 }
 
 // RecoveryPoint is one measurement of a recovery sweep.
@@ -86,6 +101,11 @@ type RecoveryPoint struct {
 	// Err records a run-level failure (timeout, unexpected abort); empty
 	// on success.
 	Err string
+	// FlightDump is the flight recorder post-mortem (empty unless the run
+	// both enabled recording via RecoveryConfig.FlightDepth and hit a hard
+	// fault or run-level error). Deterministic: the dump derives entirely
+	// from virtual time.
+	FlightDump string `json:"flight_dump,omitempty"`
 }
 
 // recoveryRank is one rank's slot of the shared result table. The simulation
@@ -198,10 +218,23 @@ func RunRecovery(cfg RecoveryConfig) (RecoveryPoint, error) {
 		st.checksum = sum
 	}
 
+	// Flight recording: an explicit FlightDepth captures the post-mortem
+	// into the point; a live Attach hook alone observes without recording,
+	// so -live never changes the sweep's results.
+	var flightBuf bytes.Buffer
+	var flight *core.FlightConfig
+	if cfg.FlightDepth > 0 {
+		flight = &core.FlightConfig{Depth: cfg.FlightDepth, Sink: &flightBuf, Attach: cfg.FlightAttach}
+	} else if cfg.FlightAttach != nil {
+		flight = &core.FlightConfig{Attach: cfg.FlightAttach}
+	}
+
 	rep, err := core.Launch(core.Config{
 		Model: cfg.Model, NGPUs: cfg.NGPUs, Backend: cfg.Backend, Faults: plan,
 		Topology: cfg.Topology, Shards: cfg.Shards,
+		Metrics: cfg.Metrics, Flight: flight,
 	}, main)
+	pt.FlightDump = flightBuf.String()
 	if err != nil {
 		pt.Err = err.Error()
 		return pt, nil
@@ -259,14 +292,44 @@ func RunRecovery(cfg RecoveryConfig) (RecoveryPoint, error) {
 // are bit-identical at any worker count. Broken cells are reported in their
 // point's Err field rather than aborting the sweep.
 func RecoverySweep(m *machine.Model, backend core.BackendID, nGPUs int, severities []float64, seed uint64) ([]RecoveryPoint, error) {
+	return RecoverySweepOpts(m, backend, nGPUs, severities, seed, RecoveryOpts{})
+}
+
+// RecoveryOpts are the observability add-ons of a recovery sweep.
+type RecoveryOpts struct {
+	// FlightDepth, when positive, enables per-cell flight recording; a
+	// cell's post-mortem lands in its point's FlightDump.
+	FlightDepth int
+	// Live, when non-nil, attaches each cell's recorders to the tracker's
+	// flight board and feeds each cell's metrics snapshot into the live
+	// aggregate. Cells get a private registry each (the sweep ownership
+	// rule) and snapshots merge order-insensitively, so /metrics content is
+	// worker-count-independent — and the sweep's own results are untouched.
+	Live *telemetry.Tracker
+}
+
+// RecoverySweepOpts is RecoverySweep with live-telemetry and flight-recorder
+// options. Points are bit-identical to RecoverySweep's except for FlightDump
+// (populated only when opts.FlightDepth > 0).
+func RecoverySweepOpts(m *machine.Model, backend core.BackendID, nGPUs int, severities []float64, seed uint64, opts RecoveryOpts) ([]RecoveryPoint, error) {
 	horizon := 4 * sim.Millisecond
 	fc := m.FabricConfig(m.NodesFor(nGPUs))
 	return Sweep(len(severities), func(i int) (RecoveryPoint, error) {
 		sev := severities[i]
 		plan := faults.GenerateHard(seed, sev, fc, horizon)
-		pt, err := RunRecovery(RecoveryConfig{
+		rc := RecoveryConfig{
 			Model: m, Backend: backend, NGPUs: nGPUs, Plan: plan, Horizon: horizon,
-		})
+			FlightDepth: opts.FlightDepth,
+		}
+		if opts.Live != nil {
+			rc.FlightAttach = opts.Live.Flight().Attacher(
+				fmt.Sprintf("%s sev=%.2f", backend, sev))
+			rc.Metrics = metrics.New()
+		}
+		pt, err := RunRecovery(rc)
+		if opts.Live != nil {
+			opts.Live.AddSnapshot(rc.Metrics.Snapshot())
+		}
 		if err != nil {
 			return pt, err
 		}

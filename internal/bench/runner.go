@@ -84,9 +84,19 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
+	// Live progress (nil handle when no tracker is installed): reporting is
+	// read-only off the sweep — it never touches cell results or stdout, so
+	// output stays byte-identical with tracking on or off.
+	lr := progressRun(n, w)
+	defer lr.End()
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if lr != nil {
+				lr.CellStart(0, i, cellLabel(i))
+			}
+			err := fn(i)
+			lr.CellDone(0, i)
+			if err != nil {
 				return err
 			}
 		}
@@ -101,6 +111,7 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 	next.Store(-1)
 	wg.Add(w)
 	for k := 0; k < w; k++ {
+		k := k
 		go func() {
 			defer wg.Done()
 			for {
@@ -108,7 +119,12 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if lr != nil {
+					lr.CellStart(k, i, cellLabel(i))
+				}
+				err := fn(i)
+				lr.CellDone(k, i)
+				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}

@@ -106,6 +106,12 @@ type Config struct {
 	// otherwise). The override is applied on a cloned model, so shared
 	// machine.Model values are never mutated.
 	Topology fabric.TopologyConfig
+	// Flight, when non-nil, installs a bounded flight recorder on every
+	// engine (one per shard) and dumps a deterministic post-mortem to
+	// Flight.Sink when the run errors or recovered from a hard fault (see
+	// flight.go). Disabled (nil) by default; recording is zero-allocation,
+	// so enabling it does not perturb the zero-alloc hot-path gates.
+	Flight *FlightConfig
 	// Shards selects parallel-in-virtual-time execution: the cell's ranks
 	// are partitioned by cluster node across this many engines, advanced in
 	// conservative lookahead windows (sim.Group; DESIGN.md §12). 0 (the
@@ -267,6 +273,7 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 	}
 	eng := sim.NewEngine()
 	defer eng.Close()
+	flight := cfg.Flight.install([]*sim.Engine{eng})
 	job := &Job{cfg: cfg, eng: eng, cluster: gpu.NewCluster(eng, cfg.Model, cfg.NGPUs)}
 	if cfg.Trace != nil {
 		job.cluster.SetTrace(cfg.Trace)
@@ -306,11 +313,15 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 		job.armHardFaults([]*sim.Engine{eng})
 	}
 	if err := eng.Run(); err != nil {
+		flight.dump(err.Error())
 		return rep, err
 	}
 	rep.End = eng.Now()
 	rep.Topology = job.cluster.Fabric.Topology()
 	rep.Faults = job.faultSummary()
+	if len(rep.Faults.CrashedRanks) > 0 {
+		flight.dump("recovered from hard fault")
+	}
 	if cfg.Metrics != nil {
 		job.cluster.Fabric.PublishOccupancy(cfg.Metrics, rep.End)
 	}
@@ -341,6 +352,7 @@ func launchSharded(cfg Config, shards int, main func(env *Env)) (Report, error) 
 			e.Close()
 		}
 	}()
+	flight := cfg.Flight.install(engines)
 	// Nodes map to shards round-robin; any deterministic map works (the
 	// protocol is partition-independent), round-robin balances uneven
 	// node counts.
@@ -394,11 +406,15 @@ func launchSharded(cfg Config, shards int, main func(env *Env)) (Report, error) 
 		job.armHardFaults(engines)
 	}
 	if err := group.Run(); err != nil {
+		flight.dump(err.Error())
 		return rep, err
 	}
 	rep.End = group.End()
 	rep.Topology = cluster.Fabric.Topology()
 	rep.Faults = job.faultSummary()
+	if len(rep.Faults.CrashedRanks) > 0 {
+		flight.dump("recovered from hard fault")
+	}
 	if cfg.Metrics != nil {
 		cluster.Fabric.PublishOccupancy(cfg.Metrics, rep.End)
 	}

@@ -26,6 +26,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -162,7 +163,15 @@ func (h *Histogram) Sum() int64 {
 
 // Registry resolves instruments by name. The nil registry is the disabled
 // registry: it resolves every name to a nil instrument.
+//
+// Resolution and Snapshot are safe for concurrent use: a read-write mutex
+// guards the name maps, so a live telemetry scraper may call Snapshot while
+// a run resolves new instruments (e.g. fabric occupancy gauges published at
+// the end of a cell). The instruments themselves are independently
+// thread-safe, and hot paths resolve their handles once at setup, so the
+// lock is never taken on the simulation hot path.
 type Registry struct {
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -183,8 +192,15 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	c := r.counters[name]
-	if c == nil {
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -196,8 +212,15 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	g := r.gauges[name]
-	if g == nil {
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -209,8 +232,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	h := r.hists[name]
-	if h == nil {
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
 		h = &Histogram{}
 		r.hists[name] = h
 	}
@@ -265,12 +295,17 @@ type Snapshot struct {
 }
 
 // Snapshot copies the registry's current state. A nil registry snapshots
-// empty.
+// empty. Snapshot may run concurrently with instrument updates and with
+// resolution of new instruments; each instrument is copied atomically (under
+// its own lock), so every value in the snapshot is a real point-in-time
+// reading, never a torn one.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
 		return s
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for name, c := range r.counters {
 		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
 	}
@@ -374,6 +409,61 @@ func mergeBuckets(a, b []HistBucket) []HistBucket {
 	return out
 }
 
+// Delta returns the change from prev to s, turning two cumulative snapshots
+// of the same registry into one interval reading — the streaming primitive
+// behind the telemetry plane's rate views. Counters subtract; a counter is
+// included only when its interval delta is nonzero. Histograms subtract
+// count, sum, and bucket occupancy the same way; Min and Max carry the
+// cumulative extrema from s, since an extremum cannot be un-observed.
+// Gauges are levels, not accumulators, so they pass through at their
+// current value. An instrument that went backwards (the registry was
+// replaced between snapshots) is treated as freshly started: its current
+// cumulative value is the delta.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	prevCounters := make(map[string]int64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		prevCounters[c.Name] = c.Value
+	}
+	prevHists := make(map[string]HistValue, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		prevHists[h.Name] = h
+	}
+	var out Snapshot
+	for _, c := range s.Counters {
+		d := c.Value - prevCounters[c.Name]
+		if d < 0 {
+			d = c.Value
+		}
+		if d != 0 {
+			out.Counters = append(out.Counters, CounterValue{Name: c.Name, Value: d})
+		}
+	}
+	out.Gauges = append(out.Gauges, s.Gauges...)
+	for _, h := range s.Histograms {
+		p, ok := prevHists[h.Name]
+		if !ok || h.Count < p.Count {
+			out.Histograms = append(out.Histograms, h)
+			continue
+		}
+		if h.Count == p.Count {
+			continue
+		}
+		d := HistValue{Name: h.Name, Count: h.Count - p.Count, Sum: h.Sum - p.Sum,
+			Min: h.Min, Max: h.Max}
+		prevBuckets := make(map[int]int64, len(p.Buckets))
+		for _, bk := range p.Buckets {
+			prevBuckets[bk.Exp] = bk.Count
+		}
+		for _, bk := range h.Buckets {
+			if n := bk.Count - prevBuckets[bk.Exp]; n > 0 {
+				d.Buckets = append(d.Buckets, HistBucket{Exp: bk.Exp, Count: n})
+			}
+		}
+		out.Histograms = append(out.Histograms, d)
+	}
+	return out
+}
+
 // Filter returns the snapshot restricted to instruments whose name has the
 // given prefix.
 func (s Snapshot) Filter(prefix string) Snapshot {
@@ -409,6 +499,10 @@ func (s Snapshot) Render() string {
 		fmt.Fprintf(&b, "%-44s %16d\n", c.Name, c.Value)
 	}
 	for _, g := range s.Gauges {
+		if math.IsNaN(g.Value) || math.IsInf(g.Value, 0) {
+			fmt.Fprintf(&b, "%-44s %16s\n", g.Name, "n/a")
+			continue
+		}
 		fmt.Fprintf(&b, "%-44s %16.6g\n", g.Name, g.Value)
 	}
 	for _, h := range s.Histograms {
@@ -438,6 +532,13 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	for i, g := range s.Gauges {
 		if i > 0 {
 			b.WriteString(",")
+		}
+		// JSON has no NaN/Infinity literals (encoding/json rejects them
+		// outright); a poisoned gauge renders as null so one bad Set cannot
+		// invalidate the whole export.
+		if math.IsNaN(g.Value) || math.IsInf(g.Value, 0) {
+			fmt.Fprintf(&b, "\n    {\"name\": %q, \"value\": null}", g.Name)
+			continue
 		}
 		fmt.Fprintf(&b, "\n    {\"name\": %q, \"value\": %.17g}", g.Name, g.Value)
 	}

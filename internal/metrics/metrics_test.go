@@ -1,7 +1,11 @@
 package metrics
 
 import (
+	"encoding/json"
+	"fmt"
+	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -132,6 +136,186 @@ func TestMerge(t *testing.T) {
 	Merge(b.Snapshot(), a.Snapshot()).WriteJSON(&s2)
 	if s1.String() != s2.String() {
 		t.Fatal("merge must be order-independent for identical inputs")
+	}
+}
+
+// TestWriteJSONNonFiniteGauge is the regression test for NaN/±Inf gauge
+// values: encoding/json has no literals for them, so they must render as
+// null (and "n/a" in the text renderer) instead of poisoning the export.
+func TestWriteJSONNonFiniteGauge(t *testing.T) {
+	r := New()
+	r.Gauge("bad.nan").Set(math.NaN())
+	r.Gauge("bad.posinf").Set(math.Inf(1))
+	r.Gauge("bad.neginf").Set(math.Inf(-1))
+	r.Gauge("good").Set(1.5)
+	r.Counter("c").Inc()
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Gauges []struct {
+			Name  string   `json:"name"`
+			Value *float64 `json:"value"`
+		} `json:"gauges"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("WriteJSON with non-finite gauges is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(decoded.Gauges) != 4 {
+		t.Fatalf("got %d gauges, want 4:\n%s", len(decoded.Gauges), b.String())
+	}
+	for _, g := range decoded.Gauges {
+		if strings.HasPrefix(g.Name, "bad.") && g.Value != nil {
+			t.Fatalf("non-finite gauge %s must decode as null, got %v", g.Name, *g.Value)
+		}
+		if g.Name == "good" && (g.Value == nil || *g.Value != 1.5) {
+			t.Fatalf("finite gauge corrupted: %+v", g)
+		}
+	}
+
+	out := r.Snapshot().Render()
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("Render must show n/a for non-finite gauges:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("Render leaked a non-finite literal:\n%s", out)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Add(10)
+	r.Counter("stale").Add(3)
+	g := r.Gauge("g")
+	g.Set(2)
+	h := r.Histogram("h")
+	h.Observe(1)
+	h.Observe(1000)
+	prev := r.Snapshot()
+
+	c.Add(5)
+	g.Set(7)
+	h.Observe(1)
+	h.Observe(4)
+	d := r.Snapshot().Delta(prev)
+
+	if len(d.Counters) != 1 || d.Counters[0].Name != "c" || d.Counters[0].Value != 5 {
+		t.Fatalf("counter delta wrong (stale counters must be omitted): %+v", d.Counters)
+	}
+	if len(d.Gauges) != 1 || d.Gauges[0].Value != 7 {
+		t.Fatalf("gauges must pass through at current level: %+v", d.Gauges)
+	}
+	if len(d.Histograms) != 1 {
+		t.Fatalf("histogram delta missing: %+v", d.Histograms)
+	}
+	hd := d.Histograms[0]
+	if hd.Count != 2 || hd.Sum != 5 {
+		t.Fatalf("hist delta count/sum = %d/%d, want 2/5", hd.Count, hd.Sum)
+	}
+	if hd.Min != 1 || hd.Max != 1000 {
+		t.Fatalf("hist delta must carry cumulative extrema, got min/max %d/%d", hd.Min, hd.Max)
+	}
+	var total int64
+	for _, bk := range hd.Buckets {
+		total += bk.Count
+	}
+	if total != 2 {
+		t.Fatalf("delta buckets sum to %d, want 2", total)
+	}
+
+	// An idle interval deltas to nothing but the gauge levels.
+	cur := r.Snapshot()
+	idle := cur.Delta(cur)
+	if len(idle.Counters) != 0 || len(idle.Histograms) != 0 {
+		t.Fatalf("idle delta must be empty: %+v", idle)
+	}
+
+	// A registry swap (counter went backwards) restarts the accumulation.
+	fresh := New()
+	fresh.Counter("c").Add(2)
+	restart := fresh.Snapshot().Delta(prev)
+	if len(restart.Counters) != 1 || restart.Counters[0].Value != 2 {
+		t.Fatalf("restart delta wrong: %+v", restart.Counters)
+	}
+}
+
+// TestRegistryConcurrentAccess is the -race stress test for live telemetry:
+// writers resolve instruments by name and update them while a reader takes
+// mid-flight snapshots. Every snapshot must be internally consistent — each
+// histogram's aggregates must describe a real observation multiset (buckets
+// sum to the count, the sum bounded by min·count and max·count), and every
+// gauge must hold a value some writer actually set — i.e. snapshots are
+// never torn.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := New()
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Rotate names so resolution races with snapshotting, not
+				// just instrument updates.
+				r.Counter(fmt.Sprintf("c.%d", i%7)).Inc()
+				r.Gauge(fmt.Sprintf("g.%d", i%5)).Set(float64(1 + i%3))
+				r.Histogram(fmt.Sprintf("h.%d", i%3)).Observe(int64(i % 100))
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(stop) }()
+
+	var last int64 // counters are monotone across snapshots
+	for done := false; !done; {
+		select {
+		case <-stop:
+			done = true
+		default:
+		}
+		s := r.Snapshot()
+		var totalCounters int64
+		for _, c := range s.Counters {
+			totalCounters += c.Value
+		}
+		if totalCounters < last {
+			t.Fatalf("counter total went backwards: %d -> %d", last, totalCounters)
+		}
+		last = totalCounters
+		for _, g := range s.Gauges {
+			if g.Value < 1 || g.Value > 3 {
+				t.Fatalf("gauge %s holds %v, a value no writer ever set", g.Name, g.Value)
+			}
+		}
+		for _, h := range s.Histograms {
+			var bucketTotal int64
+			for _, bk := range h.Buckets {
+				bucketTotal += bk.Count
+			}
+			if bucketTotal != h.Count {
+				t.Fatalf("torn histogram %s: buckets sum %d != count %d", h.Name, bucketTotal, h.Count)
+			}
+			if h.Sum < h.Min*h.Count || h.Sum > h.Max*h.Count {
+				t.Fatalf("torn histogram %s: sum %d outside [%d, %d]",
+					h.Name, h.Sum, h.Min*h.Count, h.Max*h.Count)
+			}
+		}
+	}
+	if want := int64(writers * perWriter); last != want {
+		// The final snapshot (taken after stop) must see every increment.
+		s := r.Snapshot()
+		var total int64
+		for _, c := range s.Counters {
+			total += c.Value
+		}
+		if total != want {
+			t.Fatalf("final counter total %d, want %d", total, want)
+		}
 	}
 }
 

@@ -1,0 +1,94 @@
+package metrics
+
+// Prometheus text exposition (format version 0.0.4): the scrapeable twin of
+// WriteJSON, used by the telemetry plane's /metrics endpoint. The snapshot's
+// dotted instrument names (sim.events, mpi.coll.allreduce) are sanitized to
+// the Prometheus grammar; SanitizeName is deliberately simple and total so
+// the collision test in prom_test.go can assert injectivity over every name
+// the subsystems actually register.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SanitizeName rewrites an instrument name into a valid Prometheus metric
+// name: every byte outside [a-zA-Z0-9_:] becomes '_', and a leading digit is
+// prefixed with '_'. The mapping is not injective in general ("a.b" and
+// "a/b" collide); the registry's naming convention (dot-separated lowercase
+// words) keeps it injective in practice, pinned by the collision test over
+// all registered names.
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			if b == nil {
+				b = []byte(name)
+			}
+			b[i] = '_'
+		}
+	}
+	out := name
+	if b != nil {
+		out = string(b)
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+// promFloat renders a float64 in Prometheus text syntax. Unlike JSON, the
+// exposition format has literals for the non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format: counters and gauges one sample each, histograms as native
+// Prometheus histograms whose le bounds are the power-of-two bucket upper
+// bounds (bucket Exp holds observations v < 2^Exp, so le="2^Exp" is exact
+// for integers). Output is name-sorted within each kind — identical
+// snapshots expose identical bytes, like every other renderer here.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		name := SanitizeName(c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := SanitizeName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		name := SanitizeName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, promFloat(math.Ldexp(1, bk.Exp)), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

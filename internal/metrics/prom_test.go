@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"sim.events":         "sim_events",
+		"mpi.coll.allreduce": "mpi_coll_allreduce",
+		"a/b-c d":            "a_b_c_d",
+		"already_ok:x":       "already_ok:x",
+		"9lives":             "_9lives",
+		"":                   "_",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("sim.events").Add(42)
+	r.Gauge("fabric.occupancy.max").Set(0.75)
+	r.Gauge("bad.gauge").Set(math.NaN())
+	h := r.Histogram("mpi.coll.allreduce")
+	h.Observe(0)    // bucket exp 0
+	h.Observe(3)    // bucket exp 2
+	h.Observe(1000) // bucket exp 10
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sim_events counter\nsim_events 42\n",
+		"# TYPE fabric_occupancy_max gauge\nfabric_occupancy_max 0.75\n",
+		"bad_gauge NaN\n", // Prometheus text format has non-finite literals
+		"# TYPE mpi_coll_allreduce histogram\n",
+		"mpi_coll_allreduce_bucket{le=\"1\"} 1\n",
+		"mpi_coll_allreduce_bucket{le=\"4\"} 2\n",
+		"mpi_coll_allreduce_bucket{le=\"1024\"} 3\n",
+		"mpi_coll_allreduce_bucket{le=\"+Inf\"} 3\n",
+		"mpi_coll_allreduce_sum 1003\n",
+		"mpi_coll_allreduce_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ".") {
+		// Every sample line must be fully sanitized; a leftover dot means a
+		// name escaped SanitizeName.
+		for _, line := range strings.Split(out, "\n") {
+			if line != "" && !strings.HasPrefix(line, "#") && strings.Contains(strings.Fields(line)[0], ".") {
+				t.Errorf("unsanitized metric name in %q", line)
+			}
+		}
+	}
+
+	// Determinism: two snapshots of the same registry expose identical bytes.
+	var b2 strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("WritePrometheus must be deterministic for identical snapshots")
+	}
+}

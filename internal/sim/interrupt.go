@@ -92,6 +92,9 @@ func (p *Proc) Interrupt(err error) {
 	if p.eng.m != nil {
 		p.eng.m.interrupts.Inc()
 	}
+	if p.eng.fr != nil {
+		p.eng.fr.record(p.eng.now, FlightInterrupt, p.name, err.Error(), -1)
+	}
 	p.pendingErr = err
 	if p.parked && p.interruptible && !p.wakePending {
 		if p.waitOn != nil {
@@ -112,6 +115,9 @@ func (p *Proc) Kill() {
 	}
 	if p.eng.m != nil {
 		p.eng.m.kills.Inc()
+	}
+	if p.eng.fr != nil {
+		p.eng.fr.record(p.eng.now, FlightKill, p.name, "", -1)
 	}
 	p.crashed = true
 	if p.parked && !p.wakePending {

@@ -117,8 +117,9 @@ type Engine struct {
 
 	running  bool
 	trace    func(string)
-	deadline Time           // virtual-time watchdog; 0 disables
-	m        *engineMetrics // nil when metrics are disabled (see metrics.go)
+	deadline Time            // virtual-time watchdog; 0 disables
+	m        *engineMetrics  // nil when metrics are disabled (see metrics.go)
+	fr       *FlightRecorder // nil when flight recording is disabled (see flight.go)
 
 	// Windowed execution (see shard.go). limit, when nonzero, is the
 	// exclusive upper bound on event times the current RunWindow call may
@@ -259,6 +260,9 @@ func (e *Engine) spawnAt(t Time, name string, fn func(p *Proc), daemon bool) *Pr
 	}
 	if e.m != nil {
 		e.m.spawns.Inc()
+	}
+	if e.fr != nil {
+		e.fr.record(e.now, FlightSpawn, name, "", -1)
 	}
 	e.alive[p] = true
 	go func() {
@@ -406,6 +410,9 @@ func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
 			if e.m != nil {
 				e.m.callbacks.Inc()
 			}
+			if e.fr != nil {
+				e.fr.record(e.now, FlightCallback, "", "", -1)
+			}
 			if err := e.runCallback(fn); err != nil {
 				e.stop(self, err)
 				return false
@@ -417,6 +424,9 @@ func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
 		e.release(ev)
 		if e.trace != nil {
 			e.tracef("resume %s", p.name)
+		}
+		if e.fr != nil {
+			e.fr.record(e.now, FlightEvent, p.name, "", -1)
 		}
 		if p == self {
 			return true
@@ -430,6 +440,9 @@ func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
 // When Run's own dispatch is the caller (self == nil) no token is needed —
 // the outcome is read directly.
 func (e *Engine) stop(self *Proc, err error) {
+	if e.fr != nil && err != nil {
+		e.fr.record(e.now, FlightStop, "", err.Error(), -1)
+	}
 	e.stopErr = err
 	if self == nil {
 		e.stopLocal = true
@@ -484,6 +497,9 @@ func (p *Proc) parkFor(why string, d Duration) {
 	p.parkDur = d
 	if e.m != nil {
 		e.m.countPark(why)
+	}
+	if e.fr != nil {
+		e.fr.record(e.now, FlightPark, p.name, why, d)
 	}
 	if !e.dispatch(p) {
 		select {

@@ -1,0 +1,95 @@
+package telemetry
+
+// FlightBoard: the live side of the flight recorders. A sweep cell's
+// core.FlightConfig.Attach hook registers each shard's recorder here as the
+// cell launches, and /debug/flight renders the most recent registrations
+// mid-run. The board is bounded (a chaos sweep attaches one recorder per
+// cell per shard) and keeps the newest entries, which are the ones a live
+// observer cares about.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// DefaultBoardDepth is the registration capacity used when a non-positive
+// depth is requested.
+const DefaultBoardDepth = 64
+
+// boardSlot is one registered recorder.
+type boardSlot struct {
+	label string
+	shard int
+	fr    *sim.FlightRecorder
+}
+
+// FlightBoard is a bounded ring of recently attached flight recorders.
+type FlightBoard struct {
+	mu  sync.Mutex
+	buf []boardSlot
+	n   uint64
+}
+
+// NewFlightBoard returns a board retaining the last depth registrations
+// (DefaultBoardDepth when depth <= 0).
+func NewFlightBoard(depth int) *FlightBoard {
+	if depth <= 0 {
+		depth = DefaultBoardDepth
+	}
+	return &FlightBoard{buf: make([]boardSlot, depth)}
+}
+
+// Attacher returns a core.FlightConfig.Attach-shaped hook registering the
+// labelled cell's recorders on the board. Nil-safe: a nil board returns a
+// nil hook (which core treats as no live attachment).
+func (b *FlightBoard) Attacher(label string) func(shard int, fr *sim.FlightRecorder) {
+	if b == nil {
+		return nil
+	}
+	return func(shard int, fr *sim.FlightRecorder) {
+		b.mu.Lock()
+		b.buf[b.n%uint64(len(b.buf))] = boardSlot{label: label, shard: shard, fr: fr}
+		b.n++
+		b.mu.Unlock()
+	}
+}
+
+// snapshot copies the retained slots, oldest first.
+func (b *FlightBoard) snapshot() []boardSlot {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	depth := uint64(len(b.buf))
+	count := b.n
+	if count > depth {
+		count = depth
+	}
+	out := make([]boardSlot, 0, count)
+	for i := b.n - count; i < b.n; i++ {
+		out = append(out, b.buf[i%depth])
+	}
+	return out
+}
+
+// Dump renders every retained recorder as text: a per-cell header, then
+// the recorder's own dump. Safe to call mid-run; each recorder is sampled
+// under its own lock.
+func (b *FlightBoard) Dump(w io.Writer) error {
+	slots := b.snapshot()
+	var sb strings.Builder
+	if len(slots) == 0 {
+		sb.WriteString("no flight recorders attached\n")
+	}
+	for _, s := range slots {
+		fmt.Fprintf(&sb, "== %s shard %d ==\n", s.label, s.shard)
+		s.fr.Dump(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
