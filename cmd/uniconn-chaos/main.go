@@ -54,6 +54,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/telemetry"
 )
 
@@ -217,44 +218,14 @@ func recoveryMode(m *machine.Model, backends []backendChoice, severities []float
 	return nil
 }
 
-// parseTopologyList splits a comma-separated topology list, keeping numeric
-// dragonfly parameters attached to their spec: "flat,fattree:4,dragonfly:1,2,2"
-// is three topologies, not six. Topology names never start with a digit, so a
-// purely numeric segment always continues the previous spec.
-func parseTopologyList(s string) ([]fabric.TopologyConfig, error) {
-	var specs []string
-	for _, seg := range strings.Split(s, ",") {
-		seg = strings.TrimSpace(seg)
-		if len(specs) > 0 && seg != "" && seg[0] >= '0' && seg[0] <= '9' {
-			specs[len(specs)-1] += "," + seg
-			continue
-		}
-		specs = append(specs, seg)
-	}
-	out := make([]fabric.TopologyConfig, 0, len(specs))
-	for _, spec := range specs {
-		tc, err := fabric.ParseTopology(spec)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, tc)
-	}
-	return out, nil
-}
-
 func main() {
-	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	common := spec.Common(flag.CommandLine)
 	inter := flag.Bool("inter", true, "benchmark across two nodes")
 	bytes := flag.Int64("bytes", 8192, "message size (multiple of 8)")
 	sevFlag := flag.String("severities", "0,0.25,0.5,0.75,1", "comma-separated severity sweep")
 	generate := flag.Bool("generate", false,
 		"randomized seed-deterministic plans instead of uniform path degradation")
 	seed := flag.Uint64("seed", 42, "fault-plan seed (with -generate)")
-	workers := flag.Int("workers", 0,
-		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
-	shards := flag.Int("shards", 0,
-		"engine shards per cell (parallel-in-virtual-time); 0 = UNICONN_SHARDS env or serial engine; "+
-			"results are bit-identical at every shard count >= 1, hard-fault plans (-recover) included")
 	recover := flag.Bool("recover", false,
 		"recovery mode: hard-fault plans (rank crashes, dead links) under an iterative allreduce; "+
 			"reports completion and recovery latency per severity")
@@ -265,40 +236,25 @@ func main() {
 		"collect per-severity metrics and print the merged snapshot per backend (degrade/generate modes)")
 	profilePath := flag.String("profile", "",
 		"write a Chrome trace-event file of the profiled severity cells here (degrade/generate modes)")
-	topoFlag := flag.String("topology", "flat",
-		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted); "+
-			"-recover accepts a comma-separated list and sweeps each topology")
-	liveAddr := flag.String("live", "",
-		"serve live telemetry HTTP on this address (host:port, :0 picks a port): "+
-			"/metrics /healthz /debug/runs /debug/flight; stdout stays byte-identical")
+	topoFlag := spec.TopologyListFlag(flag.CommandLine, "flat")
 	flightDepth := flag.Int("flight", 0,
 		"retain the last N engine events per shard and dump them on faults (with -recover); "+
 			"post-mortems go to stderr and the -benchjson points")
 	flag.Parse()
 
-	if *workers > 0 {
-		os.Setenv(bench.WorkersEnv, strconv.Itoa(*workers))
-	}
-	if *shards > 0 {
-		os.Setenv(core.ShardsEnv, strconv.Itoa(*shards))
-	}
+	common.ApplyEnv()
 
-	var live *telemetry.Tracker
-	if *liveAddr != "" {
-		tracker, srv, err := telemetry.StartLive(*liveAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		live = tracker
-		bench.SetProgress(tracker)
-		defer srv.Close()
+	live, closeLive, err := bench.StartLive(*common.Live, "chaos")
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer closeLive()
 
-	m := machine.ByName(*machineName)
-	if m == nil {
-		log.Fatalf("unknown machine %q", *machineName)
+	m, err := common.Model()
+	if err != nil {
+		log.Fatal(err)
 	}
-	topologies, err := parseTopologyList(*topoFlag)
+	topologies, err := spec.ParseTopologyList(*topoFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -332,7 +288,7 @@ func main() {
 			// and four dragonfly:1,2,2 groups with a Valiant escape.
 			*ranks = 32
 		}
-		if err := recoveryMode(m, backends, severities, *ranks, *seed, *benchJSON, topologies, *shards, *flightDepth); err != nil {
+		if err := recoveryMode(m, backends, severities, *ranks, *seed, *benchJSON, topologies, *common.Shards, *flightDepth); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -31,57 +30,41 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/telemetry"
 )
 
 func main() {
-	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	common := spec.Common(flag.CommandLine)
 	inter := flag.Bool("inter", false, "benchmark across two nodes")
 	minSize := flag.Int64("min", 8, "smallest message (bytes)")
 	maxSize := flag.Int64("max", 4<<20, "largest message (bytes)")
 	bw := flag.Bool("bw", false, "measure bandwidth instead of latency")
-	workers := flag.Int("workers", 0,
-		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
-	shards := flag.Int("shards", 0,
-		"engine shards per cell (parallel-in-virtual-time); 0 = UNICONN_SHARDS env or serial engine")
 	showMetrics := flag.Bool("metrics", false,
 		"collect per-cell metrics and print the merged snapshot after the table")
 	profilePath := flag.String("profile", "",
 		"write a Chrome trace-event file of every cell here")
-	topoFlag := flag.String("topology", "flat",
-		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted)")
-	liveAddr := flag.String("live", "",
-		"serve live telemetry HTTP on this address (host:port, :0 picks a port): "+
-			"/metrics /healthz /debug/runs /debug/flight; stdout stays byte-identical")
+	topoFlag := spec.TopologyFlag(flag.CommandLine)
 	flag.Parse()
 
-	m := machine.ByName(*machineName)
-	if m == nil {
-		log.Fatalf("unknown machine %q", *machineName)
+	m, err := common.Model()
+	if err != nil {
+		log.Fatal(err)
 	}
 	tc, err := fabric.ParseTopology(*topoFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if tc.Kind != fabric.TopoFlat {
-		// Clone the model so the topology applies to every workload the tool
-		// launches on it.
-		m2 := *m
-		m2.Topology = tc
-		m = &m2
-	}
+	// Clone-on-override so the topology applies to every workload the tool
+	// launches on the shared model value.
+	m = spec.WithTopology(m, tc)
 	if *minSize < 1 {
 		log.Fatalf("-min %d: smallest message must be at least 1 byte", *minSize)
 	}
 	if *maxSize < *minSize {
 		log.Fatalf("-max %d is smaller than -min %d", *maxSize, *minSize)
 	}
-	if *workers > 0 {
-		os.Setenv(bench.WorkersEnv, strconv.Itoa(*workers))
-	}
-	if *shards > 0 {
-		os.Setenv(core.ShardsEnv, strconv.Itoa(*shards))
-	}
+	common.ApplyEnv()
 
 	type col struct {
 		label   string
@@ -102,17 +85,11 @@ func main() {
 		add("SHMEM-D", core.GpushmemBackend, machine.APIDevice)
 	}
 
-	var live *telemetry.Tracker
-	if *liveAddr != "" {
-		tracker, srv, err := telemetry.StartLive(*liveAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		live = tracker
-		bench.SetProgress(tracker)
-		bench.SetProgressLabel("netbench")
-		defer srv.Close()
+	live, closeLive, err := bench.StartLive(*common.Live, "netbench")
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer closeLive()
 	telemetry.OnInterrupt(func() {
 		fmt.Fprintln(os.Stderr, "interrupted mid-sweep")
 		if live != nil {
@@ -124,6 +101,15 @@ func main() {
 	sizes := bench.Sizes(*minSize, *maxSize)
 	profiled := *showMetrics || *profilePath != ""
 
+	// Cells that collect no metrics share one warmed cost cache per worker
+	// (bench.ModelPool): the whole grid runs on one machine, so per-cell
+	// cache rebuilds are pure waste. Metrics-collecting cells keep private
+	// caches — their machine.costcache.* counters are part of the output.
+	var pool *bench.ModelPool
+	if !profiled && live == nil {
+		pool = bench.NewModelPool(m, 0)
+	}
+
 	// One cell per (size, column); row-major so the serial order matches
 	// the printed table. With -metrics/-profile every cell owns a private
 	// Collector (see internal/bench/runner.go for the ownership rule), and
@@ -132,10 +118,11 @@ func main() {
 		val  float64
 		prof bench.CellProfile
 	}
-	cells, err := bench.Sweep(len(sizes)*len(cols), func(i int) (cellOut, error) {
+	cells, err := bench.SweepWorker(len(sizes)*len(cols), func(k, i int) (cellOut, error) {
 		c := cols[i%len(cols)]
 		cfg := bench.NetConfig{Model: m, Backend: c.backend, API: c.api,
-			Native: c.native, Inter: *inter, Bytes: sizes[i/len(cols)]}
+			Native: c.native, Inter: *inter, Bytes: sizes[i/len(cols)],
+			Costs: pool.Costs(k)}
 		var col *bench.Collector
 		if profiled {
 			col = bench.NewCollector()

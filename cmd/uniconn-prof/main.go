@@ -24,7 +24,6 @@ import (
 	"io"
 	"log"
 	"os"
-	"strconv"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -33,25 +32,13 @@ import (
 	"repro/internal/solver/cg"
 	"repro/internal/solver/jacobi"
 	"repro/internal/sparse"
+	"repro/internal/spec"
 	"repro/internal/telemetry"
 )
 
-func parseBackend(s string) (core.BackendID, error) {
-	switch s {
-	case "MPI":
-		return core.MPIBackend, nil
-	case "GPUCCL":
-		return core.GpucclBackend, nil
-	case "GPUSHMEM":
-		return core.GpushmemBackend, nil
-	default:
-		return 0, fmt.Errorf("unknown backend %q (MPI|GPUCCL|GPUSHMEM)", s)
-	}
-}
-
 func main() {
 	workload := flag.String("workload", "net", "net|jacobi|cg")
-	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	common := spec.Common(flag.CommandLine)
 	backendName := flag.String("backend", "MPI", "MPI|GPUCCL|GPUSHMEM")
 	device := flag.Bool("device", false, "device-initiated API (net; requires GPUSHMEM)")
 	native := flag.Bool("native", false, "native library instead of UNICONN (net)")
@@ -60,41 +47,22 @@ func main() {
 	maxSize := flag.Int64("max", 4096, "largest message of the net sweep (bytes)")
 	ngpus := flag.Int("ngpus", 4, "rank count (jacobi, cg)")
 	iters := flag.Int("iters", 20, "timed iterations (jacobi, cg)")
-	workers := flag.Int("workers", 0,
-		"sweep worker count; 0 = UNICONN_WORKERS env or GOMAXPROCS")
-	shards := flag.Int("shards", 0,
-		"engine shards per cell (parallel-in-virtual-time); 0 = UNICONN_SHARDS env or serial engine")
 	jsonPath := flag.String("json", "", "write merged metrics JSON here")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON here")
-	topoFlag := flag.String("topology", "flat",
-		"inter-node network: flat|fattree[:k]|dragonfly[:p,a,h] (fat-tree arity / dragonfly p,a,h auto-size when omitted)")
-	liveAddr := flag.String("live", "",
-		"serve live telemetry HTTP on this address (host:port, :0 picks a port): "+
-			"/metrics /healthz /debug/runs /debug/flight; the printed report is unchanged")
+	topoFlag := spec.TopologyFlag(flag.CommandLine)
 	flag.Parse()
 
-	if *workers > 0 {
-		os.Setenv(bench.WorkersEnv, strconv.Itoa(*workers))
-	}
-	if *shards > 0 {
-		os.Setenv(core.ShardsEnv, strconv.Itoa(*shards))
-	}
-	m := machine.ByName(*machineName)
-	if m == nil {
-		log.Fatalf("unknown machine %q", *machineName)
+	common.ApplyEnv()
+	m, err := common.Model()
+	if err != nil {
+		log.Fatal(err)
 	}
 	tc, err := fabric.ParseTopology(*topoFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if tc.Kind != fabric.TopoFlat {
-		// Clone the model so the topology applies to every workload the tool
-		// launches on it.
-		m2 := *m
-		m2.Topology = tc
-		m = &m2
-	}
-	backend, err := parseBackend(*backendName)
+	m = spec.WithTopology(m, tc)
+	backend, err := spec.ParseBackend(*backendName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,17 +71,11 @@ func main() {
 		api = machine.APIDevice
 	}
 
-	var live *telemetry.Tracker
-	if *liveAddr != "" {
-		tracker, srv, err := telemetry.StartLive(*liveAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		live = tracker
-		bench.SetProgress(tracker)
-		bench.SetProgressLabel("prof-" + *workload)
-		defer srv.Close()
+	live, closeLive, err := bench.StartLive(*common.Live, "prof-"+*workload)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer closeLive()
 	telemetry.OnInterrupt(func() {
 		fmt.Fprintln(os.Stderr, "interrupted before the report was written")
 		live.WriteProgress(os.Stderr)

@@ -33,9 +33,9 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/fabric"
-	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/spec"
 	"repro/internal/telemetry"
 )
 
@@ -74,23 +74,40 @@ type scaleHost struct {
 	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
+// kindLabel is the short curve label of a topology ("flat", "fattree",
+// "dragonfly"); the resolved description (fattree(k=8), ...) lands in the
+// JSON separately once a run has sized the fabric.
+func kindLabel(tc fabric.TopologyConfig) string {
+	switch tc.Kind {
+	case fabric.TopoFatTree:
+		return "fattree"
+	case fabric.TopoDragonfly:
+		return "dragonfly"
+	default:
+		return "flat"
+	}
+}
+
 func main() {
-	machineName := flag.String("machine", "Perlmutter", "Perlmutter|LUMI|MareNostrum5")
+	common := spec.Common(flag.CommandLine)
 	bytes := flag.Int64("bytes", 64<<10, "allreduce vector size per rank (multiple of 8)")
 	iters := flag.Int("iters", 2, "timed iterations per cell")
-	shards := flag.Int("shards", 1, "engine shards per cell (windowed protocol; 0 = serial engine)")
 	maxRanks := flag.Int("max-ranks", 4096, "largest rank count of the sweep")
 	ringMax := flag.Int("ring-max-ranks", 1024, "largest rank count of the flat-ring curve")
 	out := flag.String("out", "BENCH_scale.json", "output path")
-	liveAddr := flag.String("live", "",
-		"serve live telemetry HTTP on this address (host:port, :0 picks a port): "+
-			"/metrics /healthz /debug/runs /debug/flight; the JSON results are unchanged")
+	topoFlag := spec.TopologyListFlag(flag.CommandLine, "flat,fattree,dragonfly")
 	flag.Parse()
 
-	m := machine.ByName(*machineName)
-	if m == nil {
-		log.Fatalf("unknown machine %q", *machineName)
+	common.ApplyEnv()
+	m, err := common.Model()
+	if err != nil {
+		log.Fatal(err)
 	}
+	topologies, err := spec.ParseTopologyList(*topoFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shards := common.Shards
 
 	var ranks []int
 	for r := 64; r <= *maxRanks; r *= 4 {
@@ -103,12 +120,18 @@ func main() {
 		alg   mpi.AllreduceAlg
 		cap   int
 	}
-	specs := []curveSpec{
-		{"flat", fabric.TopologyConfig{}, mpi.AlgHierarchical, *maxRanks},
-		{"fattree", fabric.TopologyConfig{Kind: fabric.TopoFatTree}, mpi.AlgHierarchical, *maxRanks},
-		{"dragonfly", fabric.TopologyConfig{Kind: fabric.TopoDragonfly}, mpi.AlgHierarchical, *maxRanks},
-		{"flat", fabric.TopologyConfig{}, mpi.AlgRing, *ringMax},
-		{"fattree", fabric.TopologyConfig{Kind: fabric.TopoFatTree}, mpi.AlgRing, *ringMax},
+	// Hierarchical curves for every selected topology, then ring curves for
+	// the flat/fat-tree ones (the ring maps poorly onto dragonfly groups and
+	// its trend is already fixed by the cheaper fabrics). The default list
+	// reproduces the classic five-curve sweep.
+	var specs []curveSpec
+	for _, tc := range topologies {
+		specs = append(specs, curveSpec{kindLabel(tc), tc, mpi.AlgHierarchical, *maxRanks})
+	}
+	for _, tc := range topologies {
+		if tc.Kind != fabric.TopoDragonfly {
+			specs = append(specs, curveSpec{kindLabel(tc), tc, mpi.AlgRing, *ringMax})
+		}
 	}
 
 	report := scaleJSON{
@@ -121,15 +144,11 @@ func main() {
 	// The scale sweep runs serially (one engine already saturates the host
 	// with -shards), so the live run is reported cell by cell by this loop
 	// rather than through the bench runner.
-	var live *telemetry.Tracker
-	if *liveAddr != "" {
-		tracker, srv, err := telemetry.StartLive(*liveAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		live = tracker
-		defer srv.Close()
+	live, closeLive, err := bench.StartLive(*common.Live, "scale")
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer closeLive()
 	totalCells := 0
 	for _, sp := range specs {
 		for _, r := range ranks {

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/spec"
+)
+
+// evalTestSpecs is a small mixed batch: both net workloads, an allreduce,
+// a topology override, a fault plan, and a second machine.
+func evalTestSpecs() []spec.Spec {
+	return []spec.Spec{
+		{Workload: spec.WorkloadNetLatency, Bytes: 4096},
+		{Workload: spec.WorkloadNetLatency, Bytes: 4096, Inter: true},
+		{Workload: spec.WorkloadNetBandwidth, Bytes: 1 << 16, Inter: true},
+		{Workload: spec.WorkloadAllreduce, Ranks: 8, Bytes: 1 << 16},
+		{Workload: spec.WorkloadAllreduce, Ranks: 16, Bytes: 4096, Topology: "fattree:4", Alg: "hierarchical"},
+		{Workload: spec.WorkloadNetLatency, Bytes: 8192, Machine: "LUMI"},
+		{Workload: spec.WorkloadNetLatency, Bytes: 4096, FaultMode: spec.FaultDegrade, Severity: 0.5, Inter: true},
+	}
+}
+
+// evalAll evaluates the batch at a fixed worker count and returns the bodies.
+func evalAll(t *testing.T, specs []spec.Spec, c *cache.Cache, workers int) [][]byte {
+	t.Helper()
+	old, had := os.LookupEnv(WorkersEnv)
+	os.Setenv(WorkersEnv, strconv.Itoa(workers))
+	defer func() {
+		if had {
+			os.Setenv(WorkersEnv, old)
+		} else {
+			os.Unsetenv(WorkersEnv)
+		}
+	}()
+	evals := EvalSpecs(specs, c)
+	bodies := make([][]byte, len(evals))
+	for i, ev := range evals {
+		if ev.Err != nil {
+			t.Fatalf("spec %d: %v", i, ev.Err)
+		}
+		bodies[i] = ev.Body
+	}
+	return bodies
+}
+
+// TestEvalCacheHitByteIdentical is the load-bearing determinism test: the
+// same batch evaluated cache-cold at workers=1, cache-cold at workers=8, and
+// cache-warm must produce byte-identical documents per spec. Run under -race
+// in CI.
+func TestEvalCacheHitByteIdentical(t *testing.T) {
+	specs := evalTestSpecs()
+
+	cold1 := evalAll(t, specs, cache.New(cache.Options{}), 1)
+
+	c8 := cache.New(cache.Options{})
+	cold8 := evalAll(t, specs, c8, 8)
+	warm8 := evalAll(t, specs, c8, 8)
+
+	for i := range specs {
+		if !bytes.Equal(cold1[i], cold8[i]) {
+			t.Errorf("spec %d: workers=1 and workers=8 cold runs differ:\n%s\n%s",
+				i, cold1[i], cold8[i])
+		}
+		if !bytes.Equal(cold8[i], warm8[i]) {
+			t.Errorf("spec %d: cache hit differs from the cold run:\n%s\n%s",
+				i, cold8[i], warm8[i])
+		}
+	}
+
+	st := c8.Stats()
+	if st.Misses != int64(len(specs)) || st.Hits < int64(len(specs)) {
+		t.Errorf("cache stats = %+v, want %d misses then >= %d hits", st, len(specs), len(specs))
+	}
+}
+
+// TestEvalSpecReportsHitFlag pins the hit flag and the decode round trip.
+func TestEvalSpecReportsHitFlag(t *testing.T) {
+	c := cache.New(cache.Options{})
+	s := spec.Spec{Workload: spec.WorkloadAllreduce, Ranks: 8, Bytes: 4096}
+	body1, hit1, err := EvalSpec(s, EvalOptions{Cache: c})
+	if err != nil || hit1 {
+		t.Fatalf("first eval: hit=%v err=%v, want miss", hit1, err)
+	}
+	body2, hit2, err := EvalSpec(s, EvalOptions{Cache: c})
+	if err != nil || !hit2 {
+		t.Fatalf("second eval: hit=%v err=%v, want hit", hit2, err)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("hit body differs from cold body")
+	}
+	res, err := DecodeResult(body1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != s.Hash() || res.Unit != "ns" || res.Value <= 0 {
+		t.Errorf("decoded result %+v inconsistent with spec %s", res, s)
+	}
+	if res.Critical.EndNs <= 0 || res.Comm == nil || res.Comm.Ranks != 8 {
+		t.Errorf("result lacks critical path / comm matrix: %+v", res)
+	}
+	sum := res.Critical.ComputeNs + res.Critical.IntraNs + res.Critical.InterNs + res.Critical.BlockedNs
+	if sum != res.Critical.EndNs {
+		t.Errorf("critical-path attribution %d != end %d", sum, res.Critical.EndNs)
+	}
+}
+
+// TestEvalSerialIgnoresShardsEnv pins the env-independence rule: a spec with
+// Shards 0 must evaluate on the serial engine even when the process has
+// UNICONN_SHARDS set (core.Config.Shards 0 would consult it; EvalSpec must
+// not, or the same content address would map to two different results).
+func TestEvalSerialIgnoresShardsEnv(t *testing.T) {
+	s := spec.Spec{Workload: spec.WorkloadAllreduce, Ranks: 8, Bytes: 4096}
+	clean, _, err := EvalSpec(s, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("UNICONN_SHARDS", "4")
+	dirty, _, err := EvalSpec(s, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, dirty) {
+		t.Fatal("UNICONN_SHARDS leaked into a content-addressed evaluation")
+	}
+	// And the windowed protocol is genuinely different — the reason shards
+	// participate in the hash as a bit.
+	sw := s
+	sw.Shards = 2
+	windowed, _, err := EvalSpec(sw, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(clean, windowed) {
+		t.Log("serial and windowed happen to agree for this cell (allowed, not guaranteed)")
+	}
+	if s.Hash() == sw.Hash() {
+		t.Fatal("serial and windowed specs must have distinct hashes")
+	}
+}
+
+// TestEvalSpecsPerItemErrors: one broken spec must not poison its batch.
+func TestEvalSpecsPerItemErrors(t *testing.T) {
+	specs := []spec.Spec{
+		{Workload: spec.WorkloadNetLatency, Bytes: 4096},
+		{Workload: "nope", Bytes: 8},
+		{Workload: spec.WorkloadNetLatency, Bytes: 8192},
+	}
+	evals := EvalSpecs(specs, nil)
+	if evals[0].Err != nil || evals[2].Err != nil {
+		t.Fatalf("healthy specs errored: %v / %v", evals[0].Err, evals[2].Err)
+	}
+	if evals[1].Err == nil || !strings.Contains(evals[1].Err.Error(), "unknown workload") {
+		t.Fatalf("broken spec error = %v, want unknown workload", evals[1].Err)
+	}
+	if evals[0].Body == nil || evals[2].Body == nil {
+		t.Fatal("healthy specs returned no body")
+	}
+}
+
+// TestEvalCommMatrixCap: above MaxCommRanks the dense matrices are omitted
+// but the totals stay.
+func TestEvalCommMatrixCap(t *testing.T) {
+	s := spec.Spec{Workload: spec.WorkloadAllreduce, Ranks: 256, Bytes: 8, Iters: 1}
+	body, _, err := EvalSpec(s, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DecodeResult(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm == nil || res.Comm.Ranks != 256 {
+		t.Fatalf("comm summary missing: %+v", res.Comm)
+	}
+	if res.Comm.Bytes != nil || res.Comm.Count != nil {
+		t.Error("dense matrices should be omitted above MaxCommRanks")
+	}
+	if res.Comm.TotalBytes <= 0 || res.Comm.Transfers <= 0 {
+		t.Errorf("traffic totals should survive the cap: %+v", res.Comm)
+	}
+}

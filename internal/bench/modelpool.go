@@ -1,0 +1,53 @@
+package bench
+
+// Per-worker model/cost-cache reuse for sweeps. Every cell of a sweep that
+// shares a machine used to rebuild that machine's cost world from scratch:
+// a fresh machine.CostCache per cluster means every cell re-evaluates the
+// same cost curves for the same few (lib, api, path, bytes) tuples its
+// predecessors already resolved. A ModelPool holds one immutable model and
+// one CostCache per sweep worker; cells pass their worker's cache through
+// core.Config.Costs (via NetConfig/ScaleConfig Costs) and start warm.
+//
+// Per worker, not per sweep: a single shared cache would be correct (it is
+// mutex-guarded, and memoization is invisible to virtual time) but would
+// serialize workers on its lock; per-worker caches cost a few redundant
+// warm-ups and contend on nothing. Worker-keyed reuse is sound precisely
+// because the cache contents never influence results — see
+// gpu.Cluster.UseCosts — so which cells share a worker remains unobservable.
+
+import "repro/internal/machine"
+
+// ModelPool is one immutable machine model plus a warmed cost cache per
+// sweep worker.
+type ModelPool struct {
+	model *machine.Model
+	costs []*machine.CostCache
+}
+
+// NewModelPool builds a pool for the model with one cost cache per worker;
+// workers <= 0 sizes for the default runner (Workers()).
+func NewModelPool(model *machine.Model, workers int) *ModelPool {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	p := &ModelPool{model: model, costs: make([]*machine.CostCache, workers)}
+	for i := range p.costs {
+		p.costs[i] = machine.NewCostCache(model)
+	}
+	return p
+}
+
+// Model returns the pool's shared immutable model. Callers needing a
+// topology or inter-view variant clone it (spec.WithTopology, NetConfig's
+// inter view); Model.Cost ignores the cloned fields, so the pool's caches
+// stay valid for every variant.
+func (p *ModelPool) Model() *machine.Model { return p.model }
+
+// Costs returns the given worker's cost cache (nil for out-of-range
+// workers, which disables sharing rather than failing).
+func (p *ModelPool) Costs(worker int) *machine.CostCache {
+	if p == nil || worker < 0 || worker >= len(p.costs) {
+		return nil
+	}
+	return p.costs[worker]
+}

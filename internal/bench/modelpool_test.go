@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestModelPoolPerWorkerCaches(t *testing.T) {
+	m := machine.Perlmutter()
+	p := NewModelPool(m, 3)
+	if p.Model() != m {
+		t.Fatal("pool should hand back the shared model")
+	}
+	c0, c1 := p.Costs(0), p.Costs(1)
+	if c0 == nil || c1 == nil {
+		t.Fatal("in-range workers should have caches")
+	}
+	if c0 == c1 {
+		t.Fatal("workers must not share a cache (lock contention)")
+	}
+	if c0.Model() != m {
+		t.Fatal("cache should be bound to the pool's model")
+	}
+	if p.Costs(-1) != nil || p.Costs(3) != nil {
+		t.Fatal("out-of-range workers should get nil (sharing disabled)")
+	}
+	var nilPool *ModelPool
+	if nilPool.Costs(0) != nil {
+		t.Fatal("nil pool should be safe and return nil")
+	}
+}
+
+func TestModelPoolDefaultSizing(t *testing.T) {
+	p := NewModelPool(machine.LUMI(), 0)
+	if got := Workers(); p.Costs(got-1) == nil {
+		t.Fatalf("pool sized for %d default workers should cover them all", got)
+	}
+}
+
+// TestSharedCostsPreserveResults is the soundness check for the hoist: the
+// same sweep with and without pooled cost caches must produce identical
+// virtual-time results.
+func TestSharedCostsPreserveResults(t *testing.T) {
+	m := machine.Perlmutter()
+	sizes := []int64{8, 4096, 1 << 20}
+	cold := make([]sim.Duration, len(sizes))
+	for i, b := range sizes {
+		lat, err := Latency(NetConfig{Model: m, Backend: core.MPIBackend, Native: true, Inter: true, Bytes: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold[i] = lat
+	}
+	pool := NewModelPool(m, 1)
+	for i, b := range sizes {
+		lat, err := Latency(NetConfig{Model: m, Backend: core.MPIBackend, Native: true, Inter: true, Bytes: b,
+			Costs: pool.Costs(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat != cold[i] {
+			t.Errorf("bytes=%d: pooled cache changed the result: %v != %v", b, lat, cold[i])
+		}
+	}
+	if pool.Costs(0).Len() == 0 {
+		t.Error("the pooled cache should have been warmed by the sweep")
+	}
+}
+
+// BenchmarkLatencyCellPrivateCosts and BenchmarkLatencyCellPooledCosts
+// measure the per-cell setup saving of the ModelPool hoist: the same 4 KiB
+// inter-node latency cell with a fresh cost cache per cell (the old sweep
+// behaviour) versus a reused warmed cache. The delta is the rebuilt-world
+// overhead EvalSpecs and the netbench sweep no longer pay per cell.
+func BenchmarkLatencyCellPrivateCosts(b *testing.B) {
+	m := machine.Perlmutter()
+	cfg := NetConfig{Model: m, Backend: core.MPIBackend, Native: true, Inter: true, Bytes: 4096}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Latency(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLatencyCellPooledCosts(b *testing.B) {
+	m := machine.Perlmutter()
+	pool := NewModelPool(m, 1)
+	cfg := NetConfig{Model: m, Backend: core.MPIBackend, Native: true, Inter: true, Bytes: 4096,
+		Costs: pool.Costs(0)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Latency(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -40,6 +40,24 @@ func SetProgressLabel(label string) {
 	progMu.Unlock()
 }
 
+// StartLive is the sweep CLIs' one-call -live wiring: with a non-empty
+// addr it starts the telemetry HTTP server, installs its tracker as the
+// process progress sink under label, and returns the tracker plus a close
+// func for the CLI's defer. An empty addr (flag unset) returns a nil
+// tracker and a no-op close, so call sites need no branching.
+func StartLive(addr, label string) (*telemetry.Tracker, func(), error) {
+	if addr == "" {
+		return nil, func() {}, nil
+	}
+	tracker, srv, err := telemetry.StartLive(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	SetProgress(tracker)
+	SetProgressLabel(label)
+	return tracker, func() { srv.Close() }, nil
+}
+
 // Progress reports the installed tracker (nil when live telemetry is off).
 func Progress() *telemetry.Tracker {
 	progMu.RLock()

@@ -36,11 +36,13 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/spec"
 )
 
 // WorkersEnv is the environment variable that overrides the sweep worker
 // count. Unset or invalid values fall back to GOMAXPROCS.
-const WorkersEnv = "UNICONN_WORKERS"
+const WorkersEnv = spec.WorkersEnv
 
 // Workers resolves the default sweep worker count: UNICONN_WORKERS when it
 // is set to a positive integer, otherwise GOMAXPROCS.
@@ -77,6 +79,17 @@ func (r *Runner) Workers() int { return r.workers }
 // lowest failing index (the same error serial execution returns); once any
 // cell fails, unclaimed cells are skipped.
 func (r *Runner) Run(n int, fn func(i int) error) error {
+	return r.RunWorker(n, func(_, i int) error { return fn(i) })
+}
+
+// RunWorker is Run with the executing worker's index passed to the cell
+// function (0 <= worker < Workers()). Cell-to-worker assignment is a race —
+// whichever worker's atomic claim lands first — so anything keyed on the
+// worker index must be invisible to cell results: its one sound use is
+// worker-local reuse of immutable or memoized state (a warmed ModelPool
+// entry, a scratch buffer), never per-cell observability. The determinism
+// contract is otherwise identical to Run's.
+func (r *Runner) RunWorker(n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -94,7 +107,7 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 			if lr != nil {
 				lr.CellStart(0, i, cellLabel(i))
 			}
-			err := fn(i)
+			err := fn(0, i)
 			lr.CellDone(0, i)
 			if err != nil {
 				return err
@@ -122,7 +135,7 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 				if lr != nil {
 					lr.CellStart(k, i, cellLabel(i))
 				}
-				err := fn(i)
+				err := fn(k, i)
 				lr.CellDone(k, i)
 				if err != nil {
 					errs[i] = err
@@ -153,9 +166,20 @@ func Sweep[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 
 // SweepWith is Sweep with an explicit runner.
 func SweepWith[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	return SweepWorkerWith[T](r, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// SweepWorker is Sweep with the executing worker's index passed through
+// (see Runner.RunWorker for what worker-keyed state may soundly do).
+func SweepWorker[T any](n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	return SweepWorkerWith[T](NewRunner(0), n, fn)
+}
+
+// SweepWorkerWith is SweepWorker with an explicit runner.
+func SweepWorkerWith[T any](r *Runner, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := r.Run(n, func(i int) error {
-		v, err := fn(i)
+	err := r.RunWorker(n, func(k, i int) error {
+		v, err := fn(k, i)
 		if err != nil {
 			return err
 		}

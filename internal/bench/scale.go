@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Rank-scaling benchmark: one allreduce cell at a configurable rank count,
@@ -40,6 +41,12 @@ type ScaleConfig struct {
 	Compute bool
 	// Metrics, when non-nil, collects the run's counters.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, records the run's spans (critical-path and
+	// comm-matrix extraction; see internal/trace).
+	Trace *trace.Log
+	// Costs, when non-nil, is a shared per-worker cost cache (bench.ModelPool)
+	// the run reuses instead of warming a private one (see core.Config.Costs).
+	Costs *machine.CostCache
 }
 
 // Validate reports configuration errors.
@@ -75,6 +82,7 @@ func ScaleAllreduce(cfg ScaleConfig) (sim.Duration, core.Report, error) {
 	rep, err := core.Launch(core.Config{
 		Model: cfg.Model, NGPUs: cfg.Ranks, Backend: core.MPIBackend,
 		Shards: cfg.Shards, Topology: cfg.Topology, Metrics: cfg.Metrics,
+		Trace: cfg.Trace, Costs: cfg.Costs,
 	}, func(env *core.Env) {
 		comm := env.MPIComm()
 		p := env.Proc()

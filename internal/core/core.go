@@ -112,13 +112,24 @@ type Config struct {
 	// flight.go). Disabled (nil) by default; recording is zero-allocation,
 	// so enabling it does not perturb the zero-alloc hot-path gates.
 	Flight *FlightConfig
+	// Costs, when non-nil, is a shared machine.CostCache the run's cluster
+	// uses instead of building (and re-warming) a private one — the sweep
+	// runner passes one per worker so cells sharing a machine skip repeated
+	// cost-curve evaluation (see gpu.Cluster.UseCosts for the soundness
+	// argument). It must be built from the same named machine as Model;
+	// mismatches are ignored. A shared cache never binds per-run metrics
+	// counters, so Metrics snapshots stay per-cell deterministic.
+	Costs *machine.CostCache
 	// Shards selects parallel-in-virtual-time execution: the cell's ranks
 	// are partitioned by cluster node across this many engines, advanced in
 	// conservative lookahead windows (sim.Group; DESIGN.md §12). 0 (the
 	// default) consults the UNICONN_SHARDS environment variable and falls
-	// back to the classic serial engine; any positive count (clamped to the
-	// node count) runs the windowed protocol, whose virtual-time results
-	// are bit-identical at every shard count >= 1. Hard-fault plans shard
+	// back to the classic serial engine; a negative count forces the serial
+	// engine regardless of the environment (content-addressed evaluation
+	// needs env-independent results; see internal/bench.EvalSpec); any
+	// positive count (clamped to the node count) runs the windowed
+	// protocol, whose virtual-time results are bit-identical at every
+	// shard count >= 1. Hard-fault plans shard
 	// too: the failure timetable is precomputed at launch and pre-armed on
 	// every shard, so detector leases and interrupt delivery are shard-
 	// deterministic (DESIGN.md §14). Models without an inter-node latency
@@ -167,6 +178,15 @@ func (cfg Config) effectiveModel() *machine.Model {
 	m := *cfg.Model
 	m.Topology = cfg.Topology
 	return &m
+}
+
+// applyCosts installs the shared cost cache, if one was provided for this
+// machine. A cache built for a different named machine is ignored rather
+// than rejected: the private per-cluster cache is always a correct fallback.
+func (cfg Config) applyCosts(c *gpu.Cluster) {
+	if cfg.Costs != nil && cfg.Costs.Model().Name == cfg.Model.Name {
+		c.UseCosts(cfg.Costs)
+	}
 }
 
 // Validate reports whether the configuration is runnable.
@@ -275,6 +295,7 @@ func Launch(cfg Config, main func(env *Env)) (Report, error) {
 	defer eng.Close()
 	flight := cfg.Flight.install([]*sim.Engine{eng})
 	job := &Job{cfg: cfg, eng: eng, cluster: gpu.NewCluster(eng, cfg.Model, cfg.NGPUs)}
+	cfg.applyCosts(job.cluster)
 	if cfg.Trace != nil {
 		job.cluster.SetTrace(cfg.Trace)
 	}
@@ -361,6 +382,7 @@ func launchSharded(cfg Config, shards int, main func(env *Env)) (Report, error) 
 		shardOf[n] = n % shards
 	}
 	cluster := gpu.NewClusterOn(engines, shardOf, cfg.Model, cfg.NGPUs)
+	cfg.applyCosts(cluster)
 	// The lookahead window is the guaranteed lower bound on cross-shard
 	// delivery delay: the machine's minimum inter-node alpha plus, on a
 	// switched topology, the minimal per-route switch latency (every

@@ -60,10 +60,15 @@ type Cluster struct {
 	poolsMu sync.Mutex
 	pools   map[reflect.Type]any
 
-	// costs memoizes machine.Model.Cost per (lib, api, path, bytes). The
-	// model is shared across sweep cells, so the cache lives here, on the
-	// per-cell cluster.
+	// costs memoizes machine.Model.Cost per (lib, api, path, bytes). By
+	// default the cache lives here, on the per-cell cluster; a sweep worker
+	// may install a shared, pre-warmed cache with UseCosts instead.
 	costs *machine.CostCache
+	// ownCosts records whether costs is this cluster's private cache. Only a
+	// private cache may bind per-run metrics counters: a shared cache's
+	// hit/miss counts depend on which cell warmed it first, which would make
+	// per-cell metrics snapshots interleaving-dependent.
+	ownCosts bool
 }
 
 // Cost resolves a transfer cost through the cluster's memoizing cache.
@@ -71,6 +76,24 @@ type Cluster struct {
 // and over; the cache makes repeat lookups a single map probe.
 func (c *Cluster) Cost(lib machine.Lib, api machine.API, path fabric.Path, bytes int64) fabric.LinkCost {
 	return c.costs.Cost(lib, api, path, bytes)
+}
+
+// UseCosts replaces the cluster's private cost cache with a shared,
+// pre-warmed one (typically one per sweep worker, via bench.ModelPool).
+// Soundness: Model.Cost depends only on the cost
+// profiles and wire bandwidths — not on Topology, GPUsPerNode, or
+// NICsPerNode — so a cache warmed under one topology/inter-view clone of a
+// machine answers identically for every other clone of the same machine;
+// callers must pass a cache built from the same named machine. Memoization
+// is invisible to virtual time, so sharing cannot perturb results. A shared
+// cache never binds per-run metrics counters (see SetMetrics), keeping
+// per-cell metrics snapshots deterministic.
+func (c *Cluster) UseCosts(cc *machine.CostCache) {
+	if cc == nil {
+		return
+	}
+	c.costs = cc
+	c.ownCosts = false
 }
 
 // poolFor returns the cluster's staging arena for element type T, creating
@@ -120,7 +143,9 @@ func (c *Cluster) SetMetrics(r *metrics.Registry) {
 		e.SetMetrics(r)
 	}
 	c.Fabric.SetMetrics(r)
-	c.costs.SetMetrics(r)
+	if c.ownCosts {
+		c.costs.SetMetrics(r)
+	}
 	c.mSlowed = r.Counter("gpu.kernels.slowed")
 	c.mKernels = r.Counter("gpu.kernels")
 	c.mStreamOp = r.Counter("gpu.stream_ops")
@@ -144,7 +169,7 @@ func NewClusterOn(engines []*sim.Engine, shardOfNode []int, model *machine.Model
 	c := &Cluster{
 		Eng: engines[0], Engines: engines, Model: model, Fabric: fab,
 		pools: make(map[reflect.Type]any),
-		costs: machine.NewCostCache(model),
+		costs: machine.NewCostCache(model), ownCosts: true,
 	}
 	for i := 0; i < nGPUs; i++ {
 		eng := engines[0]

@@ -1,0 +1,77 @@
+package serve
+
+// The HTTP face of the service. Endpoints:
+//
+//	POST /query    one spec as JSON → the canonical result document.
+//	               Response headers: X-Uniconn-Spec-Hash (the content
+//	               address) and X-Uniconn-Cache (hit|miss|coalesced).
+//	               400 on malformed/unrunnable specs, 503 under load shed
+//	               or shutdown, 500 on evaluation failure.
+//	GET  /stats    the service's operational snapshot (Stats).
+//
+// Everything else falls through to the telemetry plane's handler when one
+// is mounted (NewHandler's fallback): /metrics, /healthz, /debug/runs,
+// /debug/flight — the same endpoints every sweep CLI serves under -live.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/spec"
+)
+
+// NewHandler routes the service's endpoints, with every unclaimed path
+// served by fallback (pass the telemetry server's Handler; nil serves 404).
+func NewHandler(sv *Service, fallback http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", sv.handleQuery)
+	mux.HandleFunc("/stats", sv.handleStats)
+	if fallback != nil {
+		mux.Handle("/", fallback)
+	}
+	return mux
+}
+
+// handleQuery answers one spec.
+func (sv *Service) handleQuery(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST a spec JSON document", http.StatusMethodNotAllowed)
+		return
+	}
+	// Unknown fields are rejected rather than ignored: a misspelled field
+	// would silently address a different cell than the client meant.
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	var s spec.Spec
+	if err := dec.Decode(&s); err != nil {
+		http.Error(w, fmt.Sprintf("bad spec JSON: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, source, err := sv.Query(s)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Uniconn-Spec-Hash", s.Hash())
+	w.Header().Set("X-Uniconn-Cache", source)
+	w.Write(body) //nolint:errcheck // client went away
+}
+
+// handleStats serves the operational snapshot.
+func (sv *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(sv.Stats()) //nolint:errcheck // client went away
+}

@@ -1,0 +1,240 @@
+package serve
+
+// The load-test harness behind `uniconn-serve -loadtest`: it drives a live
+// service over real HTTP and measures the two numbers the repeat-query
+// optimisation promises — the cold→hit speedup on the 64-rank allreduce
+// headline cell, and the sustained warm-cache throughput under concurrent
+// clients. The resulting report is BENCH_serve.json; CI gates its
+// freshness (stable fields: description, workloads, spec hashes) and its
+// targets_met verdict (speedup >= 100x, sustained qps >= 500).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// Load-test acceptance targets (ISSUE 10 / ROADMAP item 3).
+const (
+	TargetSpeedup = 100
+	TargetQPS     = 500
+)
+
+// LoadTestConfig drives LoadTest.
+type LoadTestConfig struct {
+	// BaseURL is the service under test (e.g. "http://127.0.0.1:8080").
+	BaseURL string
+	// Clients is the concurrent client count of the sustained phase
+	// (default 8).
+	Clients int
+	// Duration is the sustained phase's length (default 2s).
+	Duration time.Duration
+	// HitSamples is how many hit-path queries the speedup measurement
+	// averages over (default 50).
+	HitSamples int
+}
+
+// LoadTestReport is the harness's result document (BENCH_serve.json).
+type LoadTestReport struct {
+	Description string       `json:"description"`
+	Host        LoadTestHost `json:"host"`
+	Clients     int          `json:"clients"`
+	DurationSec float64      `json:"duration_seconds"`
+	// Workloads and SpecHashes are the stable fields the CI freshness gate
+	// diffs: the workload set exercised and the content addresses of every
+	// spec in it. A hash-encoding drift shows up here immediately.
+	Workloads  []string          `json:"workloads"`
+	SpecHashes map[string]string `json:"spec_hashes"`
+	// ColdNs/HitNs time the 64-rank allreduce headline cell: one cold
+	// simulation vs the mean cache-hit round-trip; Speedup their ratio.
+	ColdNs  int64   `json:"cold_ns"`
+	HitNs   int64   `json:"hit_ns"`
+	Speedup float64 `json:"speedup"`
+	// SustainedQPS and HitRate summarise the warm concurrent phase.
+	SustainedQPS float64 `json:"sustained_qps"`
+	HitRate      float64 `json:"hit_rate"`
+	Requests     int64   `json:"requests"`
+	Seconds      float64 `json:"total_seconds"`
+	// Targets records the acceptance thresholds; TargetsMet the verdict.
+	Targets    LoadTestTargets `json:"targets"`
+	TargetsMet bool            `json:"targets_met"`
+}
+
+// LoadTestHost pins the measuring host's shape.
+type LoadTestHost struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// LoadTestTargets records the acceptance thresholds the verdict applied.
+type LoadTestTargets struct {
+	SpeedupMin float64 `json:"speedup_min"`
+	QPSMin     float64 `json:"qps_min"`
+}
+
+// loadTestSpecs is the cell set the harness exercises: the 64-rank
+// allreduce headline cell first (the speedup measurement), then a spread
+// over workloads, machines, backends, topologies, and fault modes so the
+// warm phase touches every code path the service routes.
+func loadTestSpecs() map[string]spec.Spec {
+	return map[string]spec.Spec{
+		"allreduce-64r-1MiB": {Workload: spec.WorkloadAllreduce, Ranks: 64, Bytes: 1 << 20},
+		"allreduce-8r-ring-fattree": {Workload: spec.WorkloadAllreduce, Ranks: 8,
+			Bytes: 64 << 10, Alg: "ring", Topology: "fattree:4"},
+		"allreduce-16r-hier-LUMI": {Workload: spec.WorkloadAllreduce, Ranks: 16,
+			Bytes: 256 << 10, Alg: "hierarchical", Machine: "LUMI"},
+		"latency-mpi-4KiB":        {Workload: spec.WorkloadNetLatency, Bytes: 4 << 10},
+		"latency-mpi-inter-4KiB":  {Workload: spec.WorkloadNetLatency, Bytes: 4 << 10, Inter: true},
+		"latency-ccl-native":      {Workload: spec.WorkloadNetLatency, Backend: "GPUCCL", Native: true, Bytes: 8 << 10},
+		"bandwidth-mpi-1MiB":      {Workload: spec.WorkloadNetBandwidth, Bytes: 1 << 20, Inter: true},
+		"bandwidth-shmem-dev":     {Workload: spec.WorkloadNetBandwidth, Backend: "GPUSHMEM", API: "Device", Bytes: 128 << 10},
+		"latency-degraded":        {Workload: spec.WorkloadNetLatency, Bytes: 4 << 10, Inter: true, FaultMode: spec.FaultDegrade, Severity: 0.5},
+		"latency-generated-fault": {Workload: spec.WorkloadNetLatency, Bytes: 4 << 10, Inter: true, FaultMode: spec.FaultGenerate, Severity: 0.5, Seed: 42},
+	}
+}
+
+// headlineSpec names the loadTestSpecs entry the speedup measurement times.
+const headlineSpec = "allreduce-64r-1MiB"
+
+// LoadTest runs the three phases — cold fill, hit timing, sustained warm
+// load — against the service at cfg.BaseURL and returns the report.
+func LoadTest(cfg LoadTestConfig) (LoadTestReport, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.HitSamples <= 0 {
+		cfg.HitSamples = 50
+	}
+	specs := loadTestSpecs()
+	rep := LoadTestReport{
+		Description: "What-if service load test (cmd/uniconn-serve -loadtest): content-addressed cache cold-vs-hit speedup on the 64-rank allreduce cell, plus sustained warm-cache throughput under concurrent HTTP clients.",
+		Host:        LoadTestHost{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)},
+		Clients:     cfg.Clients,
+		DurationSec: cfg.Duration.Seconds(),
+		Workloads:   spec.Workloads(),
+		SpecHashes:  map[string]string{},
+		Targets:     LoadTestTargets{SpeedupMin: TargetSpeedup, QPSMin: TargetQPS},
+	}
+	names := make([]string, 0, len(specs))
+	for name, s := range specs {
+		rep.SpecHashes[name] = s.Hash()
+		names = append(names, name)
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+
+	// Phase 1: cold fill. The headline cell is timed; the rest just warm
+	// the cache. Warming is sequential so the headline's cold time is not
+	// distorted by batch-mates sharing the worker pool.
+	headline := specs[headlineSpec]
+	coldStart := time.Now()
+	headlineBody, _, err := postQuery(client, cfg.BaseURL, headline)
+	if err != nil {
+		return rep, fmt.Errorf("cold %s: %w", headlineSpec, err)
+	}
+	rep.ColdNs = time.Since(coldStart).Nanoseconds()
+	for name, s := range specs {
+		if name == headlineSpec {
+			continue
+		}
+		if _, _, err := postQuery(client, cfg.BaseURL, s); err != nil {
+			return rep, fmt.Errorf("cold %s: %w", name, err)
+		}
+	}
+
+	// Phase 2: hit timing. Every repeat of the headline cell must come back
+	// from the cache, byte-identical.
+	var hitTotal time.Duration
+	for i := 0; i < cfg.HitSamples; i++ {
+		t0 := time.Now()
+		body, source, err := postQuery(client, cfg.BaseURL, headline)
+		if err != nil {
+			return rep, fmt.Errorf("hit sample %d: %w", i, err)
+		}
+		hitTotal += time.Since(t0)
+		if source != "hit" {
+			return rep, fmt.Errorf("hit sample %d: X-Uniconn-Cache = %q, want hit", i, source)
+		}
+		if !bytes.Equal(body, headlineBody) {
+			return rep, fmt.Errorf("hit sample %d: body differs from cold body", i)
+		}
+	}
+	rep.HitNs = hitTotal.Nanoseconds() / int64(cfg.HitSamples)
+	if rep.HitNs > 0 {
+		rep.Speedup = float64(rep.ColdNs) / float64(rep.HitNs)
+	}
+
+	// Phase 3: sustained warm load. Clients cycle the warm spec set at
+	// distinct offsets; everything is cached, so this measures the serving
+	// path (HTTP + hash + cache lookup) under concurrency.
+	var requests, hits atomic.Int64
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			cl := &http.Client{Timeout: 30 * time.Second}
+			for i := offset; time.Now().Before(deadline); i++ {
+				s := specs[names[i%len(names)]]
+				_, source, err := postQuery(cl, cfg.BaseURL, s)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				requests.Add(1)
+				if source == "hit" {
+					hits.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return rep, fmt.Errorf("sustained phase: %w", err)
+	default:
+	}
+	rep.Requests = requests.Load()
+	rep.SustainedQPS = float64(rep.Requests) / cfg.Duration.Seconds()
+	if rep.Requests > 0 {
+		rep.HitRate = float64(hits.Load()) / float64(rep.Requests)
+	}
+	rep.Seconds = time.Since(start).Seconds()
+	rep.TargetsMet = rep.Speedup >= TargetSpeedup && rep.SustainedQPS >= TargetQPS
+	return rep, nil
+}
+
+// postQuery POSTs one spec to /query and returns the body and the
+// X-Uniconn-Cache source.
+func postQuery(client *http.Client, baseURL string, s spec.Spec) ([]byte, string, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return body, resp.Header.Get("X-Uniconn-Cache"), nil
+}

@@ -1,0 +1,303 @@
+// Package serve implements the what-if query service behind cmd/uniconn-serve:
+// an HTTP/JSON API answering "this workload, this machine, this backend →
+// predicted time, critical path, comm matrix" from the deterministic
+// simulator, made cheap by two layers of reuse.
+//
+// First, every answer is served from the content-addressed result cache
+// (internal/cache) when possible: the spec's hash (internal/spec) is the
+// cache key, and a hit returns the stored bytes verbatim — byte-identical
+// to a fresh simulation, at O(1) cost.
+//
+// Second, concurrent misses coalesce and batch. A miss does not simulate
+// inline: it enqueues the spec and waits. Identical specs join the same
+// pending call (one simulation, many waiters); distinct specs accumulate
+// until the batch window closes or the batch is full, then execute together
+// as one bench.EvalSpecs sweep — the same deterministic fan-out the CLIs
+// use, with per-worker warmed cost caches. A semaphore bounds concurrent
+// batch executions, and a queue cap sheds load (ErrOverloaded → 503) rather
+// than accepting unbounded work.
+//
+// Determinism note: coalescing and batching change *when* and *how often* a
+// cell is simulated, never *what* it returns — cell results are a pure
+// function of the spec, and the cache stores encoded bytes. The service can
+// therefore never serve two different answers for one spec.
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/spec"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultBatchWindow = 2 * time.Millisecond
+	DefaultMaxBatch    = 64
+	DefaultMaxInflight = 2
+	DefaultQueueCap    = 1024
+)
+
+// ErrOverloaded reports a query rejected because the pending queue is full;
+// the HTTP layer maps it to 503.
+var ErrOverloaded = errors.New("serve: pending queue full")
+
+// ErrClosed reports a query arriving after Close began; mapped to 503.
+var ErrClosed = errors.New("serve: shutting down")
+
+// Options configures a Service.
+type Options struct {
+	// Cache is the result cache (a private in-memory cache when nil).
+	Cache *cache.Cache
+	// Registry, when non-nil, hosts the service's serve.* and cache.*
+	// counters — pass the telemetry tracker's registry so they surface on
+	// /metrics. A private registry is used when nil (Stats still works).
+	Registry *metrics.Registry
+	// BatchWindow is how long the first miss of a batch waits for company
+	// before the batch executes (0 = DefaultBatchWindow).
+	BatchWindow time.Duration
+	// MaxBatch caps specs per batch; a full batch executes immediately
+	// (0 = DefaultMaxBatch).
+	MaxBatch int
+	// MaxInflight caps concurrently executing batches (0 = DefaultMaxInflight).
+	MaxInflight int
+	// QueueCap caps queued-but-unstarted specs; beyond it queries are shed
+	// with ErrOverloaded (0 = DefaultQueueCap).
+	QueueCap int
+}
+
+// Service coalesces and batches spec queries over the result cache.
+type Service struct {
+	opts Options
+	c    *cache.Cache
+
+	mu      sync.Mutex
+	pending map[string]*call // spec hash → in-flight or queued call
+	queue   []*call          // queued calls in arrival order
+	timer   *time.Timer      // pending batch-window flush, nil when unarmed
+	closed  bool
+
+	sem chan struct{} // MaxInflight batch-execution slots
+	wg  sync.WaitGroup
+
+	mQueries, mFast, mCoalesced *metrics.Counter
+	mBatches, mBatched          *metrics.Counter
+	mRejected, mErrors          *metrics.Counter
+}
+
+// call is one pending simulation: the first requester of a spec creates it,
+// identical requests join it, and the executing batch resolves it.
+type call struct {
+	spec spec.Spec
+	hash string
+	done chan struct{} // closed once body/hit/err are set
+	body []byte
+	hit  bool
+	err  error
+}
+
+// New returns a service over the options.
+func New(opts Options) *Service {
+	if opts.Cache == nil {
+		opts.Cache = cache.New(cache.Options{})
+	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.New()
+	}
+	if opts.BatchWindow <= 0 {
+		opts.BatchWindow = DefaultBatchWindow
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = DefaultMaxInflight
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = DefaultQueueCap
+	}
+	sv := &Service{
+		opts:    opts,
+		c:       opts.Cache,
+		pending: make(map[string]*call),
+		sem:     make(chan struct{}, opts.MaxInflight),
+	}
+	sv.c.SetMetrics(opts.Registry)
+	r := opts.Registry
+	sv.mQueries = r.Counter("serve.queries")
+	sv.mFast = r.Counter("serve.fast_hits")
+	sv.mCoalesced = r.Counter("serve.coalesced")
+	sv.mBatches = r.Counter("serve.batches")
+	sv.mBatched = r.Counter("serve.batched_specs")
+	sv.mRejected = r.Counter("serve.rejected")
+	sv.mErrors = r.Counter("serve.errors")
+	return sv
+}
+
+// Cache exposes the service's result cache (the loadtest harness warms and
+// inspects it).
+func (sv *Service) Cache() *cache.Cache { return sv.c }
+
+// Query answers one validated spec. The source return value reports how:
+// "hit" (served from the cache, fast path or filled while queued), "miss"
+// (this call's batch simulated it), or "coalesced" (joined another query's
+// in-flight call). Blocks until the answer is ready; under overload or
+// shutdown it fails fast with ErrOverloaded / ErrClosed.
+func (sv *Service) Query(s spec.Spec) (body []byte, source string, err error) {
+	sv.mQueries.Inc()
+	h := s.Hash()
+	if body, ok := sv.c.Get(h); ok {
+		sv.mFast.Inc()
+		return body, "hit", nil
+	}
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		sv.mRejected.Inc()
+		return nil, "", ErrClosed
+	}
+	if c, ok := sv.pending[h]; ok {
+		sv.mu.Unlock()
+		sv.mCoalesced.Inc()
+		<-c.done
+		if c.err != nil {
+			return nil, "", c.err
+		}
+		return c.body, "coalesced", nil
+	}
+	if len(sv.queue) >= sv.opts.QueueCap {
+		sv.mu.Unlock()
+		sv.mRejected.Inc()
+		return nil, "", ErrOverloaded
+	}
+	c := &call{spec: s, hash: h, done: make(chan struct{})}
+	sv.pending[h] = c
+	sv.queue = append(sv.queue, c)
+	if len(sv.queue) >= sv.opts.MaxBatch {
+		sv.flushLocked()
+	} else if sv.timer == nil {
+		sv.timer = time.AfterFunc(sv.opts.BatchWindow, sv.flushOnTimer)
+	}
+	sv.mu.Unlock()
+	<-c.done
+	if c.err != nil {
+		sv.mErrors.Inc()
+		return nil, "", c.err
+	}
+	source = "miss"
+	if c.hit {
+		source = "hit"
+	}
+	return c.body, source, nil
+}
+
+// flushOnTimer is the batch-window callback.
+func (sv *Service) flushOnTimer() {
+	sv.mu.Lock()
+	sv.timer = nil
+	sv.flushLocked()
+	sv.mu.Unlock()
+}
+
+// flushLocked drains the queue into MaxBatch-sized batches, each executing
+// on its own goroutine gated by the inflight semaphore. Called with the
+// mutex held.
+func (sv *Service) flushLocked() {
+	if sv.timer != nil {
+		sv.timer.Stop()
+		sv.timer = nil
+	}
+	for len(sv.queue) > 0 {
+		n := len(sv.queue)
+		if n > sv.opts.MaxBatch {
+			n = sv.opts.MaxBatch
+		}
+		batch := make([]*call, n)
+		copy(batch, sv.queue[:n])
+		sv.queue = sv.queue[n:]
+		sv.wg.Add(1)
+		go sv.runBatch(batch)
+	}
+	sv.queue = nil
+}
+
+// runBatch executes one batch as a single deterministic sweep and resolves
+// its calls. Pending-map entries survive until resolution so late identical
+// queries keep coalescing onto the executing call.
+func (sv *Service) runBatch(batch []*call) {
+	defer sv.wg.Done()
+	sv.sem <- struct{}{}
+	defer func() { <-sv.sem }()
+	specs := make([]spec.Spec, len(batch))
+	for i, c := range batch {
+		specs[i] = c.spec
+	}
+	evals := bench.EvalSpecs(specs, sv.c)
+	sv.mBatches.Inc()
+	sv.mBatched.Add(int64(len(batch)))
+	sv.mu.Lock()
+	for i, c := range batch {
+		c.body, c.hit, c.err = evals[i].Body, evals[i].Hit, evals[i].Err
+		delete(sv.pending, c.hash)
+	}
+	sv.mu.Unlock()
+	for _, c := range batch {
+		close(c.done)
+	}
+}
+
+// Close drains the service: new queries are shed with ErrClosed, everything
+// already queued executes, and Close returns once the last batch resolved.
+func (sv *Service) Close() {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		sv.wg.Wait()
+		return
+	}
+	sv.closed = true
+	sv.flushLocked()
+	sv.mu.Unlock()
+	sv.wg.Wait()
+}
+
+// Stats is the service's point-in-time operational snapshot.
+type Stats struct {
+	Cache cache.Stats `json:"cache"`
+	// Queries counts every Query; FastHits the cache fast path; Coalesced
+	// the queries that joined an in-flight call.
+	Queries   int64 `json:"queries"`
+	FastHits  int64 `json:"fast_hits"`
+	Coalesced int64 `json:"coalesced"`
+	// Batches counts executed sweeps; BatchedSpecs their summed sizes.
+	Batches      int64 `json:"batches"`
+	BatchedSpecs int64 `json:"batched_specs"`
+	// Rejected counts load-shed and shutdown-shed queries; Errors failed
+	// evaluations.
+	Rejected int64 `json:"rejected"`
+	Errors   int64 `json:"errors"`
+	// Pending is the current in-flight + queued call count.
+	Pending int `json:"pending"`
+}
+
+// Stats snapshots the service.
+func (sv *Service) Stats() Stats {
+	sv.mu.Lock()
+	pending := len(sv.pending)
+	sv.mu.Unlock()
+	return Stats{
+		Cache:        sv.c.Stats(),
+		Queries:      sv.mQueries.Value(),
+		FastHits:     sv.mFast.Value(),
+		Coalesced:    sv.mCoalesced.Value(),
+		Batches:      sv.mBatches.Value(),
+		BatchedSpecs: sv.mBatched.Value(),
+		Rejected:     sv.mRejected.Value(),
+		Errors:       sv.mErrors.Value(),
+		Pending:      pending,
+	}
+}

@@ -1,0 +1,381 @@
+// Package spec defines the canonical, serializable experiment specification
+// shared by every CLI and by the what-if service (cmd/uniconn-serve): one
+// value that pins a simulation cell completely — workload, machine, backend,
+// API flavour, topology, shard count, message size, seed, and fault plan —
+// together with a stable content hash.
+//
+// The hash is the content address of the cell's result: two specs with the
+// same hash always describe the same deterministic simulation (the engine is
+// bit-reproducible, see DESIGN.md §8/§12), so a result cached under the hash
+// can be served for every later occurrence of the spec without re-simulating.
+// Injectivity is the load-bearing property — distinct specs must never
+// collide — so the hash covers every field explicitly through a versioned,
+// canonical encoding (hashPayload), never through map iteration or float
+// formatting that could drift between processes. Stability across process
+// restarts is pinned by golden tests in spec_test.go.
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+// The registered workloads. Workloads(), not iota constants, is the source
+// of truth the injectivity tests sweep.
+const (
+	// WorkloadNetLatency is the OSU-style ping-pong one-way latency cell
+	// (bench.LatencyRun); Value is the one-way latency in nanoseconds.
+	WorkloadNetLatency = "net-latency"
+	// WorkloadNetBandwidth is the windowed one-way bandwidth cell
+	// (bench.BandwidthRun); Value is bytes/second.
+	WorkloadNetBandwidth = "net-bandwidth"
+	// WorkloadAllreduce is the rank-scaling allreduce cell
+	// (bench.ScaleAllreduce); Value is the per-iteration virtual time in
+	// nanoseconds.
+	WorkloadAllreduce = "allreduce"
+)
+
+// Workloads lists every registered workload name.
+func Workloads() []string {
+	return []string{WorkloadNetLatency, WorkloadNetBandwidth, WorkloadAllreduce}
+}
+
+// The fault-plan modes a spec can request (net workloads only).
+const (
+	// FaultNone (the empty string) runs the healthy fabric.
+	FaultNone = ""
+	// FaultDegrade uniformly degrades the benchmarked path at Severity
+	// (faults.Degrade).
+	FaultDegrade = "degrade"
+	// FaultGenerate injects the seed-deterministic randomized plan
+	// (faults.Generate) at Severity.
+	FaultGenerate = "generate"
+)
+
+// Spec pins one simulation cell. The zero value of every field selects the
+// workload's documented default (Normalize makes the defaults explicit), so
+// JSON bodies can stay minimal: {"workload":"net-latency","bytes":4096}.
+//
+// Specs are plain data: they marshal to/from JSON losslessly (round-trip
+// property test in spec_test.go) and hash stably (Hash).
+type Spec struct {
+	// Workload selects the cell kind; see Workloads().
+	Workload string `json:"workload"`
+	// Machine is the machine model name (machine.ByName); default Perlmutter.
+	Machine string `json:"machine,omitempty"`
+	// Backend is the communication library: MPI | GPUCCL | GPUSHMEM.
+	Backend string `json:"backend,omitempty"`
+	// API selects host- or device-initiated communication: Host | Device.
+	API string `json:"api,omitempty"`
+	// Native selects the library's own API instead of UNICONN (net only).
+	Native bool `json:"native,omitempty"`
+	// Inter places the two net ranks on different nodes (net only).
+	Inter bool `json:"inter,omitempty"`
+	// Ranks is the GPU count of the allreduce workload (>= 2).
+	Ranks int `json:"ranks,omitempty"`
+	// Bytes is the message / per-rank vector size (positive multiple of 8).
+	Bytes int64 `json:"bytes"`
+	// Iters/Warmup override the workload's iteration defaults; 0 keeps them.
+	Iters  int `json:"iters,omitempty"`
+	Warmup int `json:"warmup,omitempty"`
+	// Window is the bandwidth test's in-flight message count (0 = 64).
+	Window int `json:"window,omitempty"`
+	// Alg forces an allreduce algorithm: auto | rd | ring | hierarchical.
+	Alg string `json:"alg,omitempty"`
+	// Topology is the inter-node network spec, in the CLI -topology syntax:
+	// flat | fattree[:k] | dragonfly[:p,a,h]. Default flat.
+	Topology string `json:"topology,omitempty"`
+	// Shards is the engine shard count: 0 selects the classic serial
+	// engine, any positive count the windowed (parallel-in-virtual-time)
+	// protocol. Windowed results are bit-identical at every count >= 1, so
+	// only the serial/windowed bit participates in the hash; the count
+	// itself is an execution hint (see Hash). Unlike core.Config.Shards,
+	// 0 here never consults the UNICONN_SHARDS environment — a spec's
+	// result must not depend on the evaluating process's env.
+	Shards int `json:"shards,omitempty"`
+	// Seed is the fault-plan seed (FaultGenerate).
+	Seed uint64 `json:"seed,omitempty"`
+	// FaultMode selects the injected plan: "" | degrade | generate.
+	FaultMode string `json:"fault_mode,omitempty"`
+	// Severity is the fault severity (>= 0; meaningful with FaultMode).
+	Severity float64 `json:"severity,omitempty"`
+}
+
+// Normalize fills the canonical defaults into the string-valued fields so
+// that semantically identical specs hash identically: {"machine":""} and
+// {"machine":"Perlmutter"} address the same cell. Numeric zero values stay
+// zero — they mean "workload default" and are canonical as-is.
+func (s Spec) Normalize() Spec {
+	if s.Machine == "" {
+		s.Machine = "Perlmutter"
+	}
+	if s.Backend == "" {
+		s.Backend = "MPI"
+	}
+	if s.API == "" {
+		s.API = "Host"
+	}
+	if s.Alg == "" {
+		s.Alg = "auto"
+	}
+	if s.Topology == "" {
+		s.Topology = "flat"
+	}
+	// Canonicalize topology spelling ("fat-tree:4" == "fattree:4") when it
+	// parses; Validate reports the error otherwise.
+	if tc, err := fabric.ParseTopology(s.Topology); err == nil {
+		s.Topology = CanonicalTopology(tc)
+	}
+	return s
+}
+
+// CanonicalTopology renders a TopologyConfig in the canonical unresolved
+// spec syntax (auto-sized parameters stay 0, since resolution depends on the
+// node count): "flat", "fattree:4", "fattree", "dragonfly:1,2,2".
+func CanonicalTopology(tc fabric.TopologyConfig) string {
+	switch tc.Kind {
+	case fabric.TopoFatTree:
+		if tc.FatTreeArity == 0 {
+			return "fattree"
+		}
+		return fmt.Sprintf("fattree:%d", tc.FatTreeArity)
+	case fabric.TopoDragonfly:
+		if tc.DragonflyHosts == 0 && tc.DragonflyRouters == 0 && tc.DragonflyGlobal == 0 {
+			return "dragonfly"
+		}
+		return fmt.Sprintf("dragonfly:%d,%d,%d",
+			tc.DragonflyHosts, tc.DragonflyRouters, tc.DragonflyGlobal)
+	default:
+		return "flat"
+	}
+}
+
+// Validate reports whether the spec describes a runnable cell. It validates
+// only what the spec layer owns (names parse, sizes are legal, the machine
+// supports the backend); the workload's own Validate still runs at launch.
+func (s Spec) Validate() error {
+	switch s.Workload {
+	case WorkloadNetLatency, WorkloadNetBandwidth:
+		if s.Ranks != 0 {
+			return fmt.Errorf("spec: %s: ranks is not a net-workload field (always 2)", s.Workload)
+		}
+		if a := s.Normalize().Alg; a != "auto" {
+			return fmt.Errorf("spec: alg %q is an allreduce field", a)
+		}
+	case WorkloadAllreduce:
+		if s.Ranks < 2 {
+			return fmt.Errorf("spec: allreduce needs ranks >= 2 (got %d)", s.Ranks)
+		}
+		if s.Native || s.Inter {
+			return fmt.Errorf("spec: native/inter are net-workload fields")
+		}
+		if s.Window != 0 {
+			return fmt.Errorf("spec: window is a net-bandwidth field")
+		}
+		if s.FaultMode != FaultNone {
+			return fmt.Errorf("spec: fault modes apply to net workloads only (got %q)", s.FaultMode)
+		}
+	default:
+		return fmt.Errorf("spec: unknown workload %q (%s)", s.Workload, strings.Join(Workloads(), "|"))
+	}
+	m, err := s.Model()
+	if err != nil {
+		return err
+	}
+	backend, err := s.BackendID()
+	if err != nil {
+		return err
+	}
+	api, err := s.APIKind()
+	if err != nil {
+		return err
+	}
+	if backend == core.GpushmemBackend && !m.HasGPUSHMEM {
+		return fmt.Errorf("spec: %s has no GPUSHMEM", m.Name)
+	}
+	if api == machine.APIDevice && backend != core.GpushmemBackend {
+		return fmt.Errorf("spec: the device API requires the GPUSHMEM backend")
+	}
+	if _, err := s.AllreduceAlg(); err != nil {
+		return err
+	}
+	if s.Bytes < 8 || s.Bytes%8 != 0 {
+		return fmt.Errorf("spec: bytes must be a positive multiple of 8 (got %d)", s.Bytes)
+	}
+	if s.Iters < 0 || s.Warmup < 0 || s.Window < 0 || s.Shards < 0 {
+		return fmt.Errorf("spec: iters/warmup/window/shards must be >= 0")
+	}
+	switch s.FaultMode {
+	case FaultNone, FaultDegrade, FaultGenerate:
+	default:
+		return fmt.Errorf("spec: unknown fault mode %q (degrade|generate)", s.FaultMode)
+	}
+	if s.Severity < 0 || math.IsNaN(s.Severity) || math.IsInf(s.Severity, 0) {
+		return fmt.Errorf("spec: severity must be finite and >= 0 (got %g)", s.Severity)
+	}
+	if s.FaultMode == FaultNone && s.Severity != 0 {
+		return fmt.Errorf("spec: severity %g without a fault mode", s.Severity)
+	}
+	return nil
+}
+
+// hashVersion tags the canonical encoding. Bump it whenever a field is
+// added or the encoding changes, so old cached results are never served for
+// a spec the new code would run differently.
+const hashVersion = "uniconn-spec/v1"
+
+// hashPayload is the canonical pre-image of the content hash: every field,
+// normalized, in fixed order, with exact encodings (hex floats, decimal
+// ints). The shard count itself is deliberately reduced to the windowed
+// bit — sharded execution is bit-identical at every shard count >= 1
+// (DESIGN.md §12), so specs that differ only in positive Shards address
+// the same result; the serial engine (Shards 0) is a different protocol
+// with different virtual times and hashes separately.
+func (s Spec) hashPayload() string {
+	n := s.Normalize()
+	var b strings.Builder
+	b.Grow(256)
+	b.WriteString(hashVersion)
+	field := func(name, val string) {
+		b.WriteByte('\n')
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	field("workload", n.Workload)
+	field("machine", n.Machine)
+	field("backend", n.Backend)
+	field("api", n.API)
+	field("native", strconv.FormatBool(n.Native))
+	field("inter", strconv.FormatBool(n.Inter))
+	field("ranks", strconv.Itoa(n.Ranks))
+	field("bytes", strconv.FormatInt(n.Bytes, 10))
+	field("iters", strconv.Itoa(n.Iters))
+	field("warmup", strconv.Itoa(n.Warmup))
+	field("window", strconv.Itoa(n.Window))
+	field("alg", n.Alg)
+	field("topology", n.Topology)
+	field("windowed", strconv.FormatBool(n.Shards > 0))
+	field("seed", strconv.FormatUint(n.Seed, 10))
+	field("fault_mode", n.FaultMode)
+	// Hex float formatting is exact: every distinct float64 has a distinct
+	// encoding, and the encoding never depends on locale or printf rounding.
+	field("severity", strconv.FormatFloat(n.Severity, 'x', -1, 64))
+	return b.String()
+}
+
+// Hash returns the spec's content address: the hex SHA-256 of the canonical
+// encoding. Equal-by-meaning specs (Normalize-equal, any positive Shards)
+// share a hash; distinct specs never collide (injectivity of hashPayload
+// plus SHA-256).
+func (s Spec) Hash() string {
+	sum := sha256.Sum256([]byte(s.hashPayload()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Model resolves the machine model with the spec's topology applied (on a
+// clone when the topology is not flat, so shared models stay untouched).
+func (s Spec) Model() (*machine.Model, error) {
+	n := s.Normalize()
+	m := machine.ByName(n.Machine)
+	if m == nil {
+		return nil, fmt.Errorf("spec: unknown machine %q", n.Machine)
+	}
+	tc, err := s.TopologyConfig()
+	if err != nil {
+		return nil, err
+	}
+	return WithTopology(m, tc), nil
+}
+
+// TopologyConfig parses the spec's topology field.
+func (s Spec) TopologyConfig() (fabric.TopologyConfig, error) {
+	return fabric.ParseTopology(s.Normalize().Topology)
+}
+
+// BackendID parses the backend name.
+func (s Spec) BackendID() (core.BackendID, error) {
+	return ParseBackend(s.Normalize().Backend)
+}
+
+// APIKind parses the API flavour.
+func (s Spec) APIKind() (machine.API, error) {
+	switch s.Normalize().API {
+	case "Host", "host":
+		return machine.APIHost, nil
+	case "Device", "device":
+		return machine.APIDevice, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown API %q (Host|Device)", s.API)
+	}
+}
+
+// AllreduceAlg parses the allreduce algorithm name.
+func (s Spec) AllreduceAlg() (mpi.AllreduceAlg, error) {
+	switch s.Normalize().Alg {
+	case "auto":
+		return mpi.AlgAuto, nil
+	case "rd":
+		return mpi.AlgRecursiveDoubling, nil
+	case "ring":
+		return mpi.AlgRing, nil
+	case "hierarchical":
+		return mpi.AlgHierarchical, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown allreduce alg %q (auto|rd|ring|hierarchical)", s.Alg)
+	}
+}
+
+// ParseBackend parses a backend name as the CLIs spell it.
+func ParseBackend(name string) (core.BackendID, error) {
+	switch name {
+	case "MPI":
+		return core.MPIBackend, nil
+	case "GPUCCL":
+		return core.GpucclBackend, nil
+	case "GPUSHMEM":
+		return core.GpushmemBackend, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown backend %q (MPI|GPUCCL|GPUSHMEM)", name)
+	}
+}
+
+// String renders a short human label for progress displays and logs.
+func (s Spec) String() string {
+	n := s.Normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s/%s", n.Workload, n.Machine, n.Backend)
+	if n.Workload == WorkloadAllreduce {
+		fmt.Fprintf(&b, "/r%d", n.Ranks)
+	}
+	fmt.Fprintf(&b, "/%dB", n.Bytes)
+	if n.Topology != "flat" {
+		fmt.Fprintf(&b, "/%s", n.Topology)
+	}
+	if n.FaultMode != FaultNone {
+		fmt.Fprintf(&b, "/%s%.2f", n.FaultMode, n.Severity)
+	}
+	return b.String()
+}
+
+// WithTopology returns the model carrying the topology: the model itself
+// when it already matches, a clone otherwise. This is the clone-on-override
+// rule every CLI used to hand-roll (shared machine.Model values are never
+// mutated).
+func WithTopology(m *machine.Model, tc fabric.TopologyConfig) *machine.Model {
+	if m.Topology == tc {
+		return m
+	}
+	m2 := *m
+	m2.Topology = tc
+	return &m2
+}

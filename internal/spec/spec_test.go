@@ -1,0 +1,246 @@
+package spec
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestHashInjectivityGrid sweeps every registered workload against the
+// registered machines, backends, and topology kinds and asserts no two
+// distinct cells share a content address. The grid deliberately includes
+// combinations Validate would reject (GPUSHMEM on LUMI, device API on MPI):
+// injectivity is a property of the encoding, not of runnability.
+func TestHashInjectivityGrid(t *testing.T) {
+	machines := []string{"Perlmutter", "LUMI", "MareNostrum5"}
+	backends := []string{"MPI", "GPUCCL", "GPUSHMEM"}
+	topologies := []string{"flat", "fattree", "fattree:4", "dragonfly", "dragonfly:1,2,2"}
+	sizes := []int64{8, 4096, 1 << 20}
+
+	seen := make(map[string]Spec)
+	check := func(s Spec) {
+		t.Helper()
+		h := s.Hash()
+		if len(h) != 64 {
+			t.Fatalf("hash of %+v is %q, want 64 hex chars", s, h)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision: %+v and %+v both map to %s", prev, s, h)
+		}
+		seen[h] = s
+	}
+	for _, w := range Workloads() {
+		for _, m := range machines {
+			for _, b := range backends {
+				for _, topo := range topologies {
+					for _, bytes := range sizes {
+						s := Spec{Workload: w, Machine: m, Backend: b, Topology: topo, Bytes: bytes}
+						if w == WorkloadAllreduce {
+							s.Ranks = 64
+						}
+						check(s)
+					}
+				}
+			}
+		}
+	}
+	// Each remaining dimension, varied alone off the (already-gridded)
+	// default base spec.
+	for _, s := range []Spec{
+		{Workload: WorkloadNetLatency, Bytes: 4096, Native: true},
+		{Workload: WorkloadNetLatency, Bytes: 4096, Inter: true},
+		{Workload: WorkloadNetLatency, Bytes: 4096, API: "Device"},
+		{Workload: WorkloadNetLatency, Bytes: 4096, Iters: 10},
+		{Workload: WorkloadNetLatency, Bytes: 4096, Warmup: 3},
+		{Workload: WorkloadNetLatency, Bytes: 4096, Shards: 2},
+		{Workload: WorkloadNetLatency, Bytes: 4096, FaultMode: FaultDegrade, Severity: 0.5},
+		{Workload: WorkloadNetLatency, Bytes: 4096, FaultMode: FaultDegrade, Severity: 0.25},
+		{Workload: WorkloadNetLatency, Bytes: 4096, FaultMode: FaultGenerate, Severity: 0.5},
+		{Workload: WorkloadNetLatency, Bytes: 4096, FaultMode: FaultGenerate, Severity: 0.5, Seed: 7},
+		{Workload: WorkloadNetBandwidth, Bytes: 4096, Window: 32},
+		{Workload: WorkloadAllreduce, Bytes: 4096, Ranks: 8},
+		{Workload: WorkloadAllreduce, Bytes: 4096, Ranks: 8, Alg: "ring"},
+		{Workload: WorkloadAllreduce, Bytes: 4096, Ranks: 8, Alg: "hierarchical"},
+		{Workload: WorkloadAllreduce, Bytes: 4096, Ranks: 16},
+	} {
+		check(s)
+	}
+	t.Logf("%d distinct specs, %d distinct hashes", len(seen), len(seen))
+}
+
+// TestHashEquivalences pins the deliberate hash-equivalence classes:
+// Normalize-equal spellings share an address, and so do windowed runs at
+// different positive shard counts (bit-identical results, DESIGN.md §12).
+// The serial engine is a different protocol and must NOT share.
+func TestHashEquivalences(t *testing.T) {
+	base := Spec{Workload: WorkloadNetLatency, Bytes: 4096}
+	same := []Spec{
+		{Workload: WorkloadNetLatency, Bytes: 4096, Machine: "Perlmutter"},
+		{Workload: WorkloadNetLatency, Bytes: 4096, Backend: "MPI", API: "Host"},
+		{Workload: WorkloadNetLatency, Bytes: 4096, Alg: "auto", Topology: "flat"},
+	}
+	for _, s := range same {
+		if s.Hash() != base.Hash() {
+			t.Errorf("normalized-equal spec %+v hashes differently from base", s)
+		}
+	}
+	if h := (Spec{Workload: WorkloadNetLatency, Bytes: 4096, Topology: "fat-tree:4"}).Hash(); h != (Spec{Workload: WorkloadNetLatency, Bytes: 4096, Topology: "fattree:4"}).Hash() {
+		t.Error("fat-tree:4 and fattree:4 should share a hash")
+	}
+
+	w1 := Spec{Workload: WorkloadAllreduce, Ranks: 64, Bytes: 4096, Shards: 1}
+	w4 := w1
+	w4.Shards = 4
+	if w1.Hash() != w4.Hash() {
+		t.Error("windowed runs at shards 1 and 4 are bit-identical and must share a hash")
+	}
+	serial := w1
+	serial.Shards = 0
+	if serial.Hash() == w1.Hash() {
+		t.Error("the serial engine (shards 0) has different virtual times than the windowed protocol and must hash separately")
+	}
+}
+
+// TestHashGolden pins content addresses across process restarts and code
+// changes: these literals were produced by this package and must never drift
+// without bumping hashVersion (a drift silently invalidates every persisted
+// cache entry — better loudly here).
+func TestHashGolden(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Workload: WorkloadNetLatency, Bytes: 4096},
+			"f46786a8ff02001f39907e7b177a510d9277ae82d5ee9ed9496123df33397b68"},
+		{Spec{Workload: WorkloadNetBandwidth, Bytes: 1 << 20, Inter: true, Backend: "GPUCCL"},
+			"97ac85df0419ac2f25dc07931a2debadc49ce7ef3e86fd000941b8ccd7df6f5f"},
+		{Spec{Workload: WorkloadAllreduce, Ranks: 64, Bytes: 1 << 20, Topology: "fattree:8", Shards: 2},
+			"c33fc07efee231717f962df5814bd4458ca6ecb22f202445c07dab81a0b417f7"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8192, FaultMode: FaultGenerate, Severity: 0.75, Seed: 42},
+			"8fcf72d4921e91e7dbed9db6d31a5b131d1561a94cf9f7c257e4b0af0a4a9e86"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Hash(); got != c.want {
+			t.Errorf("golden hash drift for %+v:\n got %s\nwant %s", c.spec, got, c.want)
+		}
+	}
+}
+
+// randSpec draws a random (not necessarily valid) spec; the JSON round-trip
+// property must hold for every representable value, not just runnable ones.
+func randSpec(r *rand.Rand) Spec {
+	pick := func(ss ...string) string { return ss[r.Intn(len(ss))] }
+	s := Spec{
+		Workload:  pick(Workloads()...),
+		Machine:   pick("", "Perlmutter", "LUMI", "MareNostrum5"),
+		Backend:   pick("", "MPI", "GPUCCL", "GPUSHMEM"),
+		API:       pick("", "Host", "Device"),
+		Native:    r.Intn(2) == 0,
+		Inter:     r.Intn(2) == 0,
+		Ranks:     r.Intn(128),
+		Bytes:     8 * (1 + r.Int63n(1<<17)),
+		Iters:     r.Intn(20),
+		Warmup:    r.Intn(5),
+		Window:    r.Intn(128),
+		Alg:       pick("", "auto", "rd", "ring", "hierarchical"),
+		Topology:  pick("", "flat", "fattree", "fattree:4", "dragonfly", "dragonfly:2,4,2"),
+		Shards:    r.Intn(8),
+		Seed:      r.Uint64(),
+		FaultMode: pick(FaultNone, FaultDegrade, FaultGenerate),
+	}
+	if s.FaultMode != FaultNone {
+		s.Severity = float64(r.Intn(100)) / 64 // exact in binary
+	}
+	return s
+}
+
+// TestJSONRoundTripProperty marshals random specs through JSON and back and
+// demands a field-exact round trip plus hash stability on the decoded copy.
+func TestJSONRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		s := randSpec(r)
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", s, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("round trip changed the spec:\n before %+v\n after  %+v\n json %s", s, back, data)
+		}
+		if s.Hash() != back.Hash() {
+			t.Fatalf("round trip changed the hash for %s", data)
+		}
+	}
+}
+
+// TestValidate spot-checks the acceptance boundary.
+func TestValidate(t *testing.T) {
+	ok := []Spec{
+		{Workload: WorkloadNetLatency, Bytes: 4096},
+		{Workload: WorkloadNetBandwidth, Bytes: 1 << 20, Inter: true, Window: 32},
+		{Workload: WorkloadNetLatency, Bytes: 8, Backend: "GPUSHMEM", API: "Device"},
+		{Workload: WorkloadAllreduce, Ranks: 8, Bytes: 4096, Alg: "ring", Shards: 4},
+		{Workload: WorkloadNetLatency, Bytes: 4096, FaultMode: FaultDegrade, Severity: 1.5},
+	}
+	for _, s := range ok {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	bad := []struct {
+		spec Spec
+		frag string
+	}{
+		{Spec{Workload: "osu", Bytes: 8}, "unknown workload"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 12}, "multiple of 8"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 0}, "multiple of 8"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8, Machine: "Frontier"}, "unknown machine"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8, Backend: "UCX"}, "unknown backend"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8, Machine: "LUMI", Backend: "GPUSHMEM"}, "no GPUSHMEM"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8, API: "Device"}, "requires the GPUSHMEM"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8, Ranks: 4}, "not a net-workload field"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8, Alg: "ring"}, "allreduce field"},
+		{Spec{Workload: WorkloadAllreduce, Ranks: 1, Bytes: 8}, "ranks >= 2"},
+		{Spec{Workload: WorkloadAllreduce, Ranks: 4, Bytes: 8, Inter: true}, "net-workload fields"},
+		{Spec{Workload: WorkloadAllreduce, Ranks: 4, Bytes: 8, Window: 8}, "net-bandwidth field"},
+		{Spec{Workload: WorkloadAllreduce, Ranks: 4, Bytes: 8, FaultMode: FaultDegrade, Severity: 0.5}, "net workloads only"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8, FaultMode: "meteor"}, "unknown fault mode"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8, Severity: 0.5}, "without a fault mode"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8, Shards: -1}, ">= 0"},
+		{Spec{Workload: WorkloadNetLatency, Bytes: 8, Topology: "torus"}, "fabric"},
+	}
+	for _, c := range bad {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) = nil, want error containing %q", c.spec, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Validate(%+v) = %q, want it to contain %q", c.spec, err, c.frag)
+		}
+	}
+}
+
+// TestParseTopologyList pins the list-splitting rule the chaos and scale
+// CLIs share: numeric segments continue the previous dragonfly spec.
+func TestParseTopologyList(t *testing.T) {
+	tcs, err := ParseTopologyList("flat,fattree:4,dragonfly:1,2,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tcs) != 3 {
+		t.Fatalf("got %d topologies, want 3 (dragonfly params must stay attached)", len(tcs))
+	}
+	if got := CanonicalTopology(tcs[2]); got != "dragonfly:1,2,2" {
+		t.Errorf("third entry = %s, want dragonfly:1,2,2", got)
+	}
+	if _, err := ParseTopologyList("flat,torus"); err == nil {
+		t.Error("want an error for an unknown topology in the list")
+	}
+}

@@ -52,6 +52,16 @@ func (t *Tracker) Flight() *FlightBoard {
 	return t.board
 }
 
+// Registry exposes the tracker's self-metrics registry so embedding servers
+// (the what-if service's cache and batcher counters) surface on the same
+// /metrics endpoint as the telemetry.* instruments. Nil on a nil tracker.
+func (t *Tracker) Registry() *metrics.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
 // AddSnapshot merges one completed cell's metrics snapshot into the live
 // aggregate. Merge is order-insensitive (counters sum, gauges take maxima,
 // histograms sum), so cells may report in completion order without making
